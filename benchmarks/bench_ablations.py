@@ -1,0 +1,71 @@
+"""Ablations on the design choices the paper discusses but does not chart.
+
+* Pivot selection strategy (Section 1: the reason the study fixes HFI);
+* MVPT arity m (Section 4.3: pruning rises then falls with m);
+* SPB-tree space-filling curve (Section 5.4: Hilbert vs Z-order locality).
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    exp_ablation_mvpt_arity,
+    exp_ablation_pivot_selection,
+    exp_ablation_sfc,
+    format_table,
+)
+
+from conftest import emit
+
+
+def test_ablation_pivot_selection(workloads, benchmark):
+    workload = workloads["LA"]
+    rows = exp_ablation_pivot_selection(workload)
+    emit(
+        "ablation_pivot_selection",
+        format_table(
+            rows,
+            title="Ablation: pivot selection strategy (LAESA MRQ on LA)",
+            first_column="Strategy",
+        ),
+    )
+    by = {r["Strategy"]: r["Compdists"] for r in rows}
+    # the study's choice: HFI should beat random selection
+    assert by["hfi"] <= by["random"] * 1.05
+    benchmark.pedantic(
+        lambda: exp_ablation_pivot_selection(workload, strategies=("random",)),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_ablation_mvpt_arity(workloads, benchmark):
+    workload = workloads["Words"]
+    rows = exp_ablation_mvpt_arity(workload)
+    emit(
+        "ablation_mvpt_arity",
+        format_table(
+            rows, title="Ablation: MVPT arity m (MkNNQ on Words)", first_column="m"
+        ),
+    )
+    assert len(rows) == 4
+    benchmark.pedantic(
+        lambda: exp_ablation_mvpt_arity(workload, arities=(5,)), rounds=1, iterations=1
+    )
+
+
+def test_ablation_sfc(workloads, benchmark):
+    workload = workloads["LA"]
+    rows = exp_ablation_sfc(workload)
+    emit(
+        "ablation_sfc",
+        format_table(
+            rows, title="Ablation: SPB-tree SFC (Hilbert vs Z-order on LA)",
+            first_column="Curve",
+        ),
+    )
+    by = {r["Curve"]: r for r in rows}
+    # Hilbert's locality should not lose to Z-order on page accesses
+    assert by["Hilbert"]["kNN PA"] <= by["Z-order"]["kNN PA"] * 1.25
+    benchmark.pedantic(
+        lambda: exp_ablation_sfc(workload), rounds=1, iterations=1
+    )

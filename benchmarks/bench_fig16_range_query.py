@@ -1,0 +1,87 @@
+"""Figure 16: MRQ performance vs radius r for all indexes on all datasets.
+
+Paper shapes: query cost grows with r; in-memory indexes have the lowest
+CPU; the SPB-tree has the lowest PA among disk indexes; CPT and the PM-tree
+have the highest PA; the pivot-based trees pay somewhat more compdists than
+the tables (they store only part of the pre-computed distances).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ascii_chart, format_table, run_range_queries, series_from_rows
+
+from conftest import emit
+
+SELECTIVITIES = (0.04, 0.08, 0.16, 0.32, 0.64)
+
+
+@pytest.fixture(scope="module")
+def fig16(workloads, built_indexes):
+    rows = []
+    for wl_name, workload in workloads.items():
+        indexes = built_indexes(wl_name)
+        for selectivity in SELECTIVITIES:
+            radius = workload.radius_for(selectivity)
+            for index_name, result in indexes.items():
+                cost = run_range_queries(result.index, workload.queries, radius)
+                rows.append(
+                    {
+                        "Dataset": wl_name,
+                        "Index": index_name,
+                        "r (%)": int(selectivity * 100),
+                        "Compdists": round(cost.compdists, 1),
+                        "PA": round(cost.page_accesses, 1),
+                        "CPU (ms)": round(cost.cpu_seconds * 1000, 2),
+                    }
+                )
+    return rows
+
+
+def test_fig16_range_query_costs(fig16, benchmark, workloads, built_indexes):
+    charts = []
+    for wl_name in workloads:
+        wl_rows = [r for r in fig16 if r["Dataset"] == wl_name]
+        charts.append(
+            ascii_chart(
+                series_from_rows(wl_rows, "r (%)", "Compdists"),
+                title=f"Figure 16 ({wl_name}): MRQ compdists vs r",
+                log_y=True,
+            )
+        )
+    emit(
+        "fig16_range",
+        format_table(fig16, title="Figure 16: MRQ cost vs r", first_column="Dataset")
+        + "\n\n"
+        + "\n\n".join(charts),
+    )
+    by = {(r["Dataset"], r["Index"], r["r (%)"]): r for r in fig16}
+
+    # cost grows with the radius
+    for wl_name in workloads:
+        for index_name in ("LAESA", "MVPT", "SPB-tree"):
+            assert (
+                by[(wl_name, index_name, 64)]["Compdists"]
+                >= by[(wl_name, index_name, 4)]["Compdists"]
+            )
+    # SPB-tree I/O <= CPT and PM-tree I/O (disk shape, Section 6.5.1).
+    # CPT/PM-tree run on 40 KB pages on Color/Synthetic (the paper's rule),
+    # so compare bytes accessed, not raw page counts.
+    def bytes_accessed(index_name: str, wl_name: str) -> float:
+        page_kb = (
+            40
+            if index_name in ("CPT", "PM-tree") and wl_name in ("Color", "Synthetic")
+            else 4
+        )
+        return by[(wl_name, index_name, 16)]["PA"] * page_kb
+
+    for wl_name in workloads:
+        spb = bytes_accessed("SPB-tree", wl_name)
+        assert spb <= bytes_accessed("CPT", wl_name) * 1.2
+        assert spb <= bytes_accessed("PM-tree", wl_name) * 1.2
+
+    index = built_indexes("LA")["SPB-tree"].index
+    workload = workloads["LA"]
+    radius = workload.radius_for(0.16)
+    benchmark(lambda: index.range_query(workload.queries[0], radius))

@@ -1,0 +1,68 @@
+"""Figure 17: MkNNQ performance vs k for all indexes on all datasets.
+
+Paper shapes: cost grows with k; the in-memory indexes beat the disk
+indexes on CPU; LAESA/CPT verify in storage order and pay extra compdists
+relative to best-first competitors; the SPB-tree has the best PA.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ascii_chart, format_table, run_knn_queries, series_from_rows
+
+from conftest import emit
+
+KS = (5, 10, 20, 50, 100)
+
+
+@pytest.fixture(scope="module")
+def fig17(workloads, built_indexes):
+    rows = []
+    for wl_name, workload in workloads.items():
+        indexes = built_indexes(wl_name)
+        for index_name, result in indexes.items():
+            for k in KS:
+                cost = run_knn_queries(result.index, workload.queries, k)
+                rows.append(
+                    {
+                        "Dataset": wl_name,
+                        "Index": index_name,
+                        "k": k,
+                        "Compdists": round(cost.compdists, 1),
+                        "PA": round(cost.page_accesses, 1),
+                        "CPU (ms)": round(cost.cpu_seconds * 1000, 2),
+                    }
+                )
+    return rows
+
+
+def test_fig17_knn_query_costs(fig17, benchmark, workloads, built_indexes):
+    charts = []
+    for wl_name in workloads:
+        wl_rows = [r for r in fig17 if r["Dataset"] == wl_name]
+        charts.append(
+            ascii_chart(
+                series_from_rows(wl_rows, "k", "Compdists"),
+                title=f"Figure 17 ({wl_name}): MkNNQ compdists vs k",
+                log_y=True,
+            )
+        )
+    emit(
+        "fig17_knn",
+        format_table(fig17, title="Figure 17: MkNNQ cost vs k", first_column="Dataset")
+        + "\n\n"
+        + "\n\n".join(charts),
+    )
+    by = {(r["Dataset"], r["Index"], r["k"]): r for r in fig17}
+    for wl_name in workloads:
+        for index_name in ("LAESA", "MVPT", "SPB-tree"):
+            assert (
+                by[(wl_name, index_name, 100)]["Compdists"]
+                >= by[(wl_name, index_name, 5)]["Compdists"]
+            )
+        # memory indexes touch no pages
+        assert by[(wl_name, "MVPT", 20)]["PA"] == 0
+    index = built_indexes("Words")["MVPT"].index
+    q = workloads["Words"].queries[0]
+    benchmark(lambda: index.knn_query(q, 20))

@@ -1,0 +1,72 @@
+"""Tables 6 + 7: update (delete + reinsert) costs and rankings.
+
+Paper shapes (Section 6.3): trees (BKT/FQT/MVPT) cheapest in time;
+EPT/EPT* costliest in compdists (per-object pivot selection); LAESA pays a
+sequential scan but few computations; SPB-tree / M-index* cheap on PA.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    exp_table7_ranking,
+    format_ranking,
+    format_table,
+    run_updates,
+)
+
+from conftest import N_QUERIES, emit
+
+N_UPDATES = max(10, N_QUERIES)
+
+
+@pytest.fixture(scope="module")
+def table6(workloads, built_indexes):
+    rows = []
+    for wl_name in ("LA", "Words"):
+        indexes = built_indexes(wl_name)
+        victims = list(range(10, 10 + N_UPDATES))
+        for index_name, result in indexes.items():
+            cost = run_updates(result.index, victims)
+            rows.append(
+                {
+                    "Dataset": wl_name,
+                    "Index": index_name,
+                    "PA": round(cost.page_accesses, 1),
+                    "Compdists": round(cost.compdists, 1),
+                    "Time (ms)": round(cost.cpu_seconds * 1000, 3),
+                }
+            )
+    return rows
+
+
+def test_table6_update_costs(table6, benchmark, workloads, built_indexes):
+    emit(
+        "table6_updates",
+        format_table(table6, title="Table 6: update costs", first_column="Dataset"),
+    )
+    by_key = {(r["Dataset"], r["Index"]): r for r in table6}
+    for wl_name in ("LA", "Words"):
+        # EPT(*) update compdists dominate everyone else's (paper Table 6)
+        assert (
+            by_key[(wl_name, "EPT*")]["Compdists"]
+            > by_key[(wl_name, "MVPT")]["Compdists"]
+        )
+        # LAESA deletes by scan: few computations
+        assert by_key[(wl_name, "LAESA")]["Compdists"] <= 2 * 5 + 1
+    index = built_indexes("Words")["MVPT"].index
+    benchmark.pedantic(
+        lambda: run_updates(index, [40, 41, 42]), rounds=3, iterations=1
+    )
+
+
+def test_table7_update_ranking(table6, benchmark):
+    metrics = exp_table7_ranking(table6)
+    # normalise key names for the ranking helper
+    lines = []
+    for metric, scores in metrics.items():
+        if scores:
+            lines.append(format_ranking(scores, metric))
+    emit("table7_ranking", "Table 7: update-cost ranking\n" + "\n".join(lines))
+    benchmark.pedantic(lambda: exp_table7_ranking(table6), rounds=3, iterations=1)

@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_N``       dataset cardinality (default 2000)
+* ``REPRO_BENCH_COLOR_N`` Color cardinality (default N/2; 282-dim is heavy)
+* ``REPRO_BENCH_QUERIES`` queries per measurement (default 8)
+
+Every bench prints its paper-style table to stdout (run pytest with ``-s``
+to see them live) and writes it to ``benchmarks/results/``; the
+``run_experiments.py`` driver assembles EXPERIMENTS.md from the same
+experiment functions at a larger scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import DEFAULT_INDEX_NAMES, build_all, default_workloads
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "2000"))
+COLOR_N = int(os.environ.get("REPRO_BENCH_COLOR_N", str(max(400, BENCH_N // 2))))
+N_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "8"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    return default_workloads(n=BENCH_N, color_n=COLOR_N, n_queries=N_QUERIES)
+
+
+@pytest.fixture(scope="session")
+def built_indexes(workloads):
+    """All study indexes built once per dataset (lazy per workload)."""
+    cache: dict[str, dict] = {}
+
+    def get(workload_name: str) -> dict:
+        if workload_name not in cache:
+            cache[workload_name] = build_all(
+                workloads[workload_name], DEFAULT_INDEX_NAMES
+            )
+        return cache[workload_name]
+
+    return get
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Nearest-neighbour classification over a metric index.
+
+The paper's introduction motivates metric search with pattern recognition:
+"similarity queries can be used to classify a new object according to the
+labels of already classified nearest neighbors."  This example builds that
+classifier: a majority vote over MkNNQ(q, k), with the index (not a linear
+scan) doing the neighbour search.
+
+Run:  python examples/knn_classifier.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro import CostCounters, Dataset, L2, MetricSpace, select_pivots
+from repro.external import SPBTree
+
+
+def make_labelled_blobs(n_per_class: int, seed: int = 5):
+    """Three Gaussian classes in the plane (a toy pattern-recognition task)."""
+    rng = np.random.default_rng(seed)
+    centers = {"ring": (2000, 2000), "spur": (7000, 3000), "vale": (4500, 7500)}
+    points, labels = [], []
+    for label, center in centers.items():
+        pts = rng.normal(center, 600, size=(n_per_class, 2))
+        points.append(pts)
+        labels.extend([label] * n_per_class)
+    return np.clip(np.concatenate(points), 0, 10_000), labels
+
+
+class KnnClassifier:
+    """Majority-vote k-NN classifier on top of any metric index."""
+
+    def __init__(self, index, labels: list[str], k: int = 7):
+        self.index = index
+        self.labels = labels
+        self.k = k
+
+    def predict(self, obj) -> str:
+        votes = Counter(
+            self.labels[n.object_id] for n in self.index.knn_query(obj, self.k)
+        )
+        return votes.most_common(1)[0][0]
+
+
+def main() -> None:
+    points, labels = make_labelled_blobs(n_per_class=800)
+    train = Dataset(points, L2, name="blobs")
+    counters = CostCounters()
+    space = MetricSpace(train, counters)
+    index = SPBTree.build(space, select_pivots(MetricSpace(train), 4, strategy="hfi"))
+    classifier = KnnClassifier(index, labels, k=7)
+    print(f"training set: {len(train)} points, 3 classes; index: {index.name}")
+
+    rng = np.random.default_rng(42)
+    probes = {
+        "near 'ring'": np.array([2100.0, 1900.0]),
+        "near 'spur'": np.array([6800.0, 3100.0]),
+        "near 'vale'": np.array([4600.0, 7400.0]),
+        "between all": np.array([4500.0, 4200.0]),
+    }
+    print()
+    for description, probe in probes.items():
+        counters.reset()
+        predicted = classifier.predict(probe)
+        print(
+            f"  {description:12} at {probe.tolist()} -> {predicted:5} "
+            f"({counters.distance_computations} distance computations)"
+        )
+
+    # hold-out accuracy on fresh samples from the same blobs
+    test_points, test_labels = make_labelled_blobs(n_per_class=50, seed=99)
+    correct = sum(
+        classifier.predict(p) == label for p, label in zip(test_points, test_labels)
+    )
+    total = len(test_labels)
+    print(f"\nhold-out accuracy: {correct}/{total} = {correct / total:.1%}")
+    assert correct / total > 0.9
+
+
+if __name__ == "__main__":
+    main()

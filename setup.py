@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package (PEP 660 editable builds require it; the legacy develop path does
+not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""ASCII charts for figure-style series (terminal-friendly plots).
+
+The paper's Figures 14-18 are line charts of cost vs a parameter; these
+helpers render the same series as aligned ASCII so bench output and
+EXPERIMENTS.md stay readable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart", "series_from_rows"]
+
+_MARKS = "*o+x#@%&"
+
+
+def series_from_rows(
+    rows: Sequence[Mapping],
+    x_key: str,
+    y_key: str,
+    label_key: str = "Index",
+) -> dict[str, list[tuple[float, float]]]:
+    """Group row dicts into {label: [(x, y), ...]} series for ascii_chart."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        label = str(row[label_key])
+        series.setdefault(label, []).append((float(row[x_key]), float(row[y_key])))
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render {label: [(x, y), ...]} as an ASCII scatter/line chart.
+
+    Each series gets a marker character; a legend follows the plot.  With
+    ``log_y`` the y axis is log-scaled (the paper's figures often are).
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    import math
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y:
+        floor = min(y for y in ys if y > 0) if any(y > 0 for y in ys) else 1.0
+        transform = lambda y: math.log10(max(y, floor))  # noqa: E731
+    else:
+        transform = lambda y: y  # noqa: E731
+    ty = [transform(y) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (label, pts) in zip(_MARKS * 4, series.items()):
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((transform(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{(10 ** y_hi if log_y else y_hi):,.4g}"
+    y_bottom = f"{(10 ** y_lo if log_y else y_lo):,.4g}"
+    gutter = max(len(y_top), len(y_bottom))
+    for i, row_chars in enumerate(grid):
+        label = y_top if i == 0 else (y_bottom if i == height - 1 else "")
+        lines.append(f"{label:>{gutter}} |" + "".join(row_chars))
+    lines.append(" " * gutter + " +" + "-" * width)
+    lines.append(
+        " " * gutter + f"  {x_lo:,.4g}" + " " * max(1, width - 16) + f"{x_hi:,.4g}"
+    )
+    legend = "   ".join(
+        f"{mark} {label}" for mark, (label, _) in zip(_MARKS * 4, series.items())
+    )
+    lines.append("legend: " + legend + ("   [log y]" if log_y else ""))
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Workload construction for the benchmark harness.
+
+Builds the four datasets at a configurable scale, samples query objects, and
+calibrates range-query radii the way the paper parameterises them: the
+radius value "denotes the percentage of objects in the dataset that are
+result objects of a metric range query" (Section 6.1, Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.dataset import DATASET_FACTORIES, Dataset
+from ..core.metric_space import MetricSpace
+
+__all__ = ["Workload", "calibrate_radius", "sample_queries", "make_workload"]
+
+
+def sample_queries(dataset: Dataset, n_queries: int, seed: int = 99) -> list:
+    """Random query objects drawn from the dataset (the paper's protocol)."""
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(len(dataset), size=min(n_queries, len(dataset)), replace=False)
+    return [dataset[int(i)] for i in ids]
+
+
+def calibrate_radius(
+    dataset: Dataset,
+    selectivity: float,
+    sample_pairs: int = 4000,
+    seed: int = 7,
+) -> float:
+    """Radius whose MRQ returns about ``selectivity`` of the dataset.
+
+    Estimated as the ``selectivity`` quantile of the query-to-object distance
+    distribution over random pairs (uncounted -- calibration is workload
+    setup, not measured query work).
+    """
+    if not 0 < selectivity <= 1:
+        raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+    left = rng.integers(0, n, size=sample_pairs)
+    right = rng.integers(0, n, size=sample_pairs)
+    keep = left != right
+    d = dataset.distance
+    dists = np.asarray(
+        [d(dataset[int(i)], dataset[int(j)]) for i, j in zip(left[keep], right[keep])]
+    )
+    return float(np.quantile(dists, selectivity))
+
+
+@dataclass
+class Workload:
+    """One benchmark configuration: a dataset plus query parameters."""
+
+    dataset: Dataset
+    queries: list = field(default_factory=list)
+    radii: dict[float, float] = field(default_factory=dict)  # selectivity -> r
+
+    @property
+    def name(self) -> str:
+        return self.dataset.name
+
+    def radius_for(self, selectivity: float) -> float:
+        if selectivity not in self.radii:
+            self.radii[selectivity] = calibrate_radius(self.dataset, selectivity)
+        return self.radii[selectivity]
+
+    def fresh_space(self):
+        """A new counted MetricSpace over this dataset (per-index isolation)."""
+        return MetricSpace(self.dataset)
+
+
+def make_workload(
+    name: str,
+    n: int = 10_000,
+    n_queries: int = 20,
+    selectivities: tuple[float, ...] = (0.04, 0.08, 0.16, 0.32, 0.64),
+    seed: int = 42,
+) -> Workload:
+    """Build one of the paper's workloads ("LA", "Words", "Color", "Synthetic")."""
+    try:
+        factory = DATASET_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASET_FACTORIES)}"
+        ) from None
+    dataset = factory(n, seed=seed)
+    workload = Workload(dataset=dataset, queries=sample_queries(dataset, n_queries))
+    for s in selectivities:
+        workload.radius_for(s)
+    return workload

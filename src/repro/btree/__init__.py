@@ -1,0 +1,5 @@
+"""Paged B+-tree substrate (M-index, SPB-tree, OmniB+-tree)."""
+
+from .bptree import Augmentation, BPlusTree, InternalNode, LeafNode
+
+__all__ = ["Augmentation", "BPlusTree", "InternalNode", "LeafNode"]

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``     -- build an index on a synthetic workload, run a query, show
+                  the counted costs (the quickest way to see the library).
+* ``stats``    -- Table 2-style statistics for one of the four workloads.
+* ``compare``  -- build several indexes on one workload and print the
+                  paper-style cost comparison for MRQ and MkNNQ.
+* ``indexes``  -- list every available index with its category.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import ALL_INDEXES
+from .bench import (
+    format_table,
+    make_workload,
+    measure_build,
+    run_knn_queries,
+    run_range_queries,
+    shared_pivots,
+)
+from .core.dataset import DATASET_FACTORIES, dataset_statistics
+
+__all__ = ["main"]
+
+_CATEGORIES = {
+    "AESA": "table",
+    "LAESA": "table",
+    "EPT": "table",
+    "EPT*": "table",
+    "CPT": "table (disk objects)",
+    "BKT": "tree (discrete)",
+    "FQT": "tree (discrete)",
+    "FQA": "tree (discrete)",
+    "VPT": "tree",
+    "MVPT": "tree",
+    "PM-tree": "external",
+    "Omni-seq": "external",
+    "OmniB+": "external",
+    "OmniR-tree": "external",
+    "M-index": "external",
+    "M-index*": "external",
+    "SPB-tree": "external",
+    "DEPT": "external (extension)",
+    "M-tree": "external (compact baseline)",
+}
+
+
+def _cmd_indexes(args) -> int:
+    rows = [
+        {"Index": name, "Category": _CATEGORIES.get(name, "?")}
+        for name in ALL_INDEXES
+    ]
+    print(format_table(rows, title="Available indexes", first_column="Index"))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    workload = make_workload(args.dataset, n=args.n, n_queries=1)
+    stats = dataset_statistics(workload.dataset)
+    print(format_table([stats.row()], title="Dataset statistics"))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    workload = make_workload(args.dataset, n=args.n, n_queries=1)
+    pivots = shared_pivots(workload, args.pivots)
+    result = measure_build(args.index, workload, pivots)
+    print(
+        f"built {args.index} on {args.dataset} (n={args.n}): "
+        f"{result.compdists} compdists, {result.page_accesses} PA, "
+        f"{result.seconds:.2f}s"
+    )
+    q = workload.queries[0]
+    radius = workload.radius_for(0.16)
+    cost = run_range_queries(result.index, [q], radius)
+    hits = result.index.range_query(q, radius)
+    print(
+        f"MRQ(q, r=16%sel): {len(hits)} answers, "
+        f"{cost.compdists:.0f} compdists, {cost.page_accesses:.0f} PA"
+    )
+    cost = run_knn_queries(result.index, [q], args.k)
+    nearest = result.index.knn_query(q, args.k)
+    print(
+        f"MkNNQ(q, k={args.k}): nearest distance {nearest[0].distance:.3f}, "
+        f"{cost.compdists:.0f} compdists, {cost.page_accesses:.0f} PA"
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    workload = make_workload(args.dataset, n=args.n, n_queries=args.queries)
+    pivots = shared_pivots(workload, args.pivots)
+    radius = workload.radius_for(0.16)
+    rows = []
+    for name in args.indexes:
+        if name not in ALL_INDEXES:
+            print(f"unknown index {name!r}; see `python -m repro indexes`")
+            return 2
+        if name in ("BKT", "FQT", "FQA") and not workload.dataset.distance.is_discrete:
+            print(f"skipping {name}: requires a discrete distance")
+            continue
+        build = measure_build(name, workload, pivots)
+        range_cost = run_range_queries(build.index, workload.queries, radius)
+        knn_cost = run_knn_queries(build.index, workload.queries, args.k)
+        rows.append(
+            {
+                "Index": name,
+                "Build comp": build.compdists,
+                "MRQ comp": round(range_cost.compdists, 1),
+                "MRQ PA": round(range_cost.page_accesses, 1),
+                "kNN comp": round(knn_cost.compdists, 1),
+                "kNN PA": round(knn_cost.page_accesses, 1),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"{args.dataset} (n={args.n}), r=16% selectivity, k={args.k}",
+            first_column="Index",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Pivot-based metric indexing (VLDB 2017 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("indexes", help="list available indexes")
+    p.set_defaults(func=_cmd_indexes)
+
+    p = sub.add_parser("stats", help="dataset statistics (Table 2)")
+    p.add_argument("dataset", choices=sorted(DATASET_FACTORIES))
+    p.add_argument("--n", type=int, default=2000)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("demo", help="build one index and run queries")
+    p.add_argument("--dataset", choices=sorted(DATASET_FACTORIES), default="Words")
+    p.add_argument("--index", default="MVPT")
+    p.add_argument("--n", type=int, default=2000)
+    p.add_argument("--pivots", type=int, default=5)
+    p.add_argument("--k", type=int, default=10)
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("compare", help="compare indexes on one workload")
+    p.add_argument("--dataset", choices=sorted(DATASET_FACTORIES), default="Words")
+    p.add_argument(
+        "--indexes",
+        nargs="+",
+        default=["LAESA", "MVPT", "SPB-tree", "M-index*"],
+    )
+    p.add_argument("--n", type=int, default=2000)
+    p.add_argument("--pivots", type=int, default=5)
+    p.add_argument("--queries", type=int, default=5)
+    p.add_argument("--k", type=int, default=10)
+    p.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

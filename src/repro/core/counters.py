@@ -1,0 +1,151 @@
+"""Cost accounting shared by every index in the study.
+
+The paper (Section 6.1) reports three metrics for each experiment:
+
+* ``compdists`` -- the number of distance computations,
+* ``PA`` -- the number of page accesses, and
+* CPU time.
+
+All of them flow through :class:`CostCounters`.  A single counter object is
+shared by a :class:`~repro.core.metric_space.MetricSpace` (which increments
+``compdists``) and by the storage layer (which increments page reads and
+writes), so one ``measure()`` block captures the full cost of an operation no
+matter how many components participate.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostSnapshot:
+    """Immutable view of the counters at one point in time."""
+
+    distance_computations: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def page_accesses(self) -> int:
+        """Total page accesses (reads + writes), the paper's ``PA``."""
+        return self.page_reads + self.page_writes
+
+    def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        return CostSnapshot(
+            distance_computations=self.distance_computations - other.distance_computations,
+            page_reads=self.page_reads - other.page_reads,
+            page_writes=self.page_writes - other.page_writes,
+            elapsed_seconds=self.elapsed_seconds - other.elapsed_seconds,
+        )
+
+
+@dataclass
+class CostCounters:
+    """Mutable cost accumulator threaded through a metric space and pager."""
+
+    distance_computations: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+
+    def add_distances(self, n: int = 1) -> None:
+        self.distance_computations += n
+
+    def add_page_read(self, n: int = 1) -> None:
+        self.page_reads += n
+
+    def add_page_write(self, n: int = 1) -> None:
+        self.page_writes += n
+
+    def reset(self) -> None:
+        self.distance_computations = 0
+        self.page_reads = 0
+        self.page_writes = 0
+
+    def snapshot(self) -> CostSnapshot:
+        return CostSnapshot(
+            distance_computations=self.distance_computations,
+            page_reads=self.page_reads,
+            page_writes=self.page_writes,
+            elapsed_seconds=time.perf_counter(),
+        )
+
+    @contextmanager
+    def measure(self):
+        """Measure the cost of a block.
+
+        Yields a :class:`Measurement` whose fields are filled in when the
+        block exits::
+
+            with counters.measure() as m:
+                index.range_query(q, r)
+            print(m.cost.distance_computations, m.cost.page_accesses)
+        """
+        measurement = Measurement()
+        before = self.snapshot()
+        try:
+            yield measurement
+        finally:
+            measurement.cost = self.snapshot() - before
+
+
+@dataclass
+class Measurement:
+    """Result of a :meth:`CostCounters.measure` block."""
+
+    cost: CostSnapshot = field(default_factory=CostSnapshot)
+
+    @property
+    def compdists(self) -> int:
+        return self.cost.distance_computations
+
+    @property
+    def page_accesses(self) -> int:
+        return self.cost.page_accesses
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.cost.elapsed_seconds
+
+
+@dataclass
+class QueryStats:
+    """Aggregated per-query statistics over a batch of queries.
+
+    The paper reports averages over 100 random queries; this accumulates the
+    same averages.
+    """
+
+    queries: int = 0
+    total_distance_computations: int = 0
+    total_page_accesses: int = 0
+    total_cpu_seconds: float = 0.0
+
+    def record(self, measurement: Measurement) -> None:
+        self.queries += 1
+        self.total_distance_computations += measurement.compdists
+        self.total_page_accesses += measurement.page_accesses
+        self.total_cpu_seconds += measurement.cpu_seconds
+
+    @property
+    def mean_compdists(self) -> float:
+        return self.total_distance_computations / self.queries if self.queries else 0.0
+
+    @property
+    def mean_page_accesses(self) -> float:
+        return self.total_page_accesses / self.queries if self.queries else 0.0
+
+    @property
+    def mean_cpu_seconds(self) -> float:
+        return self.total_cpu_seconds / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "compdists": self.mean_compdists,
+            "page_accesses": self.mean_page_accesses,
+            "cpu_seconds": self.mean_cpu_seconds,
+        }

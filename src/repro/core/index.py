@@ -1,0 +1,103 @@
+"""The abstract interface every pivot-based metric index implements.
+
+The uniform surface lets the benchmark harness run the full grid of the
+paper's Section 6 over any index, and lets the test suite assert the golden
+invariant (index answers == brute-force answers) uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from .metric_space import MetricSpace
+from .queries import Neighbor
+
+__all__ = ["MetricIndex", "UnsupportedOperation", "brute_force_range", "brute_force_knn"]
+
+
+class UnsupportedOperation(RuntimeError):
+    """Raised when an index does not support an optional operation.
+
+    Example: AESA has no dynamic delete; BKT/FQT reject continuous metrics.
+    """
+
+
+class MetricIndex(ABC):
+    """Base class of all indexes in the study.
+
+    Subclasses are constructed by their own ``build`` classmethods; the
+    shared constructor just wires the metric space in.
+
+    Attributes:
+        space: the counted metric space the index answers queries against.
+        name: short name used in benchmark tables (paper's row labels).
+        is_disk_based: True for the external category (reports PA).
+    """
+
+    name: str = "index"
+    is_disk_based: bool = False
+
+    def __init__(self, space: MetricSpace):
+        self.space = space
+
+    # -- queries ---------------------------------------------------------
+
+    @abstractmethod
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        """MRQ(q, r): ids of all objects within ``radius`` of ``query_obj``."""
+
+    @abstractmethod
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        """MkNNQ(q, k): the k nearest objects, ascending by distance."""
+
+    # -- maintenance -------------------------------------------------------
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        """Add an object; returns its id.
+
+        When ``object_id`` is given, the object re-registers under an
+        existing dataset slot (the paper's update experiment deletes an
+        object and inserts it back); otherwise the object is appended to the
+        dataset and receives a fresh id.
+        """
+        raise UnsupportedOperation(f"{self.name} does not support insert")
+
+    def delete(self, object_id: int) -> None:
+        """Remove an object by id."""
+        raise UnsupportedOperation(f"{self.name} does not support delete")
+
+    # -- accounting --------------------------------------------------------
+
+    def storage_bytes(self) -> dict[str, int]:
+        """Storage footprint split into ``memory`` and ``disk`` bytes."""
+        return {"memory": 0, "disk": 0}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.__class__.__name__}(n={len(self.space)})"
+
+
+def brute_force_range(space: MetricSpace, query_obj, radius: float) -> list[int]:
+    """Reference MRQ by linear scan (golden answers for tests)."""
+    dataset = space.dataset
+    dists = space.d_many(query_obj, dataset.objects)
+    return [int(i) for i in range(len(dataset)) if dists[i] <= radius]
+
+
+def brute_force_knn(space: MetricSpace, query_obj, k: int) -> list[Neighbor]:
+    """Reference MkNNQ by linear scan (golden answers for tests)."""
+    from .queries import KnnHeap
+
+    dataset = space.dataset
+    dists = space.d_many(query_obj, dataset.objects)
+    heap = KnnHeap(k)
+    for object_id, dist in enumerate(dists):
+        heap.consider(object_id, float(dist))
+    return heap.neighbors()
+
+
+def live_ids(deleted: set[int], n: int) -> Sequence[int]:
+    """Helper: ids currently present given a deleted-set (scan indexes)."""
+    if not deleted:
+        return range(n)
+    return [i for i in range(n) if i not in deleted]

@@ -1,0 +1,138 @@
+"""Pivot-based filtering and validation: Lemmas 1-4 of the paper.
+
+These are the pruning rules every index shares:
+
+* **Lemma 1 (pivot filtering)** -- an object o with mapped vector
+  I(o) = <d(o,p_1), ..., d(o,p_l)> cannot be within r of q unless I(o) lies
+  inside the box SR(q) = prod_i [d(q,p_i)-r, d(q,p_i)+r].  Equivalently,
+  max_i |d(q,p_i) - d(o,p_i)| is a lower bound of d(q,o).
+* **Lemma 2 (range-pivot filtering)** -- a ball region (pivot p, radius R)
+  can be pruned when d(q,p) > R + r.
+* **Lemma 3 (double-pivot filtering)** -- a generalized-hyperplane region
+  assigned to p_i can be pruned when d(q,p_i) - d(q,p_j) > 2r.
+* **Lemma 4 (pivot validation)** -- o is guaranteed to be an answer when
+  d(o,p_i) <= r - d(q,p_i) for some pivot p_i.
+
+The vectorised variants operate on whole columns of pre-computed distances
+(`n x l` matrices) and on MBBs in pivot space; they are the hot path of the
+table indexes and of MBB-equipped external indexes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "lower_bound",
+    "lower_bound_many",
+    "upper_bound",
+    "upper_bound_many",
+    "can_prune",
+    "can_validate",
+    "range_pivot_can_prune",
+    "range_pivot_min_dist",
+    "double_pivot_can_prune",
+    "mbb_min_dist",
+    "mbb_max_dist",
+    "mbb_can_prune",
+    "mbb_can_validate",
+]
+
+
+def lower_bound(query_pivot_dists, object_pivot_dists) -> float:
+    """Best triangle-inequality lower bound of d(q, o) over shared pivots."""
+    q = np.asarray(query_pivot_dists, dtype=np.float64)
+    o = np.asarray(object_pivot_dists, dtype=np.float64)
+    if q.size == 0:
+        return 0.0
+    return float(np.abs(q - o).max())
+
+
+def lower_bound_many(query_pivot_dists, object_pivot_matrix) -> np.ndarray:
+    """Lower bounds of d(q, o) for every row of an ``n x l`` distance matrix."""
+    q = np.asarray(query_pivot_dists, dtype=np.float64)
+    mat = np.asarray(object_pivot_matrix, dtype=np.float64)
+    if mat.size == 0:
+        return np.zeros(mat.shape[0] if mat.ndim else 0, dtype=np.float64)
+    return np.abs(mat - q).max(axis=1)
+
+
+def upper_bound(query_pivot_dists, object_pivot_dists) -> float:
+    """Best triangle-inequality upper bound of d(q, o) over shared pivots."""
+    q = np.asarray(query_pivot_dists, dtype=np.float64)
+    o = np.asarray(object_pivot_dists, dtype=np.float64)
+    if q.size == 0:
+        return float("inf")
+    return float((q + o).min())
+
+
+def upper_bound_many(query_pivot_dists, object_pivot_matrix) -> np.ndarray:
+    """Upper bounds of d(q, o) for every row of an ``n x l`` distance matrix."""
+    q = np.asarray(query_pivot_dists, dtype=np.float64)
+    mat = np.asarray(object_pivot_matrix, dtype=np.float64)
+    if mat.size == 0:
+        return np.full(mat.shape[0] if mat.ndim else 0, np.inf)
+    return (mat + q).min(axis=1)
+
+
+def can_prune(query_pivot_dists, object_pivot_dists, radius: float) -> bool:
+    """Lemma 1: True when o is provably outside the query ball."""
+    return lower_bound(query_pivot_dists, object_pivot_dists) > radius
+
+
+def can_validate(query_pivot_dists, object_pivot_dists, radius: float) -> bool:
+    """Lemma 4: True when o is provably inside the query ball."""
+    return upper_bound(query_pivot_dists, object_pivot_dists) <= radius
+
+
+def range_pivot_can_prune(query_to_pivot: float, region_radius: float, radius: float) -> bool:
+    """Lemma 2: prune ball region (p, R) when d(q,p) > R + r."""
+    return query_to_pivot > region_radius + radius
+
+
+def range_pivot_min_dist(query_to_pivot: float, region_radius: float) -> float:
+    """Lower bound of d(q, o) for any o inside ball region (p, R)."""
+    return max(0.0, query_to_pivot - region_radius)
+
+
+def double_pivot_can_prune(query_to_own: float, query_to_other: float, radius: float) -> bool:
+    """Lemma 3: prune hyperplane region of p_i when d(q,p_i) - d(q,p_j) > 2r."""
+    return query_to_own - query_to_other > 2.0 * radius
+
+
+def mbb_min_dist(query_pivot_dists, lows, highs) -> float:
+    """Minimum possible lower-bound distance from q to any point in an MBB.
+
+    The MBB ``[lows, highs]`` bounds mapped vectors I(o); the pivot-space
+    metric is L-infinity, so the minimum of max_i |q_i - v_i| over the box is
+    the L-infinity point-to-rectangle distance.  It lower-bounds d(q, o) for
+    every o inside, hence drives both pruning and best-first orderings.
+    """
+    q = np.asarray(query_pivot_dists, dtype=np.float64)
+    lo = np.asarray(lows, dtype=np.float64)
+    hi = np.asarray(highs, dtype=np.float64)
+    gaps = np.maximum(np.maximum(lo - q, q - hi), 0.0)
+    return float(gaps.max()) if gaps.size else 0.0
+
+
+def mbb_max_dist(query_pivot_dists, lows, highs) -> float:
+    """An upper bound of d(q, o) valid for every o inside the MBB.
+
+    For each pivot i, d(q,o) <= d(q,p_i) + d(o,p_i) <= q_i + hi_i; the best
+    (smallest) such bound over pivots is returned (Lemma 4 lifted to MBBs).
+    """
+    q = np.asarray(query_pivot_dists, dtype=np.float64)
+    hi = np.asarray(highs, dtype=np.float64)
+    if q.size == 0:
+        return float("inf")
+    return float((q + hi).min())
+
+
+def mbb_can_prune(query_pivot_dists, lows, highs, radius: float) -> bool:
+    """Lemma 1 on a whole region: prune when the MBB misses SR(q)."""
+    return mbb_min_dist(query_pivot_dists, lows, highs) > radius
+
+
+def mbb_can_validate(query_pivot_dists, lows, highs, radius: float) -> bool:
+    """Lemma 4 on a whole region: every object in the MBB is an answer."""
+    return mbb_max_dist(query_pivot_dists, lows, highs) <= radius

@@ -1,0 +1,100 @@
+"""Query result containers and the bounded k-NN heap.
+
+Defines the two query types of Section 2.1:
+
+* **MRQ(q, r)** -- metric range query: all objects within distance r of q.
+* **MkNNQ(q, k)** -- metric k nearest neighbours.
+
+:class:`KnnHeap` implements the standard "radius tightening" used by every
+best-first MkNNQ algorithm in the paper: the search radius starts at infinity
+and shrinks to the current k-th nearest distance as candidates are verified.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+__all__ = ["Neighbor", "KnnHeap", "RangeResult"]
+
+
+@dataclass(frozen=True, order=True)
+class Neighbor:
+    """One answer of a k-NN query (ordered by distance, then id)."""
+
+    distance: float
+    object_id: int
+
+
+@dataclass
+class RangeResult:
+    """Answer set of a metric range query."""
+
+    ids: list[int] = field(default_factory=list)
+    distances: dict[int, float] = field(default_factory=dict)
+
+    def add(self, object_id: int, distance: float | None = None) -> None:
+        self.ids.append(object_id)
+        if distance is not None:
+            self.distances[object_id] = distance
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in set(self.ids)
+
+    def sorted_ids(self) -> list[int]:
+        return sorted(self.ids)
+
+
+class KnnHeap:
+    """Bounded max-heap of the best k candidates seen so far.
+
+    ``radius`` is the current pruning radius: infinity until k candidates are
+    known, afterwards the k-th smallest distance.  Ties at the radius are kept
+    out (strictly better candidates replace the worst), which matches the
+    paper's definition of MkNNQ returning exactly k objects.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        # max-heap via negated distances
+        self._heap: list[tuple[float, int]] = []
+
+    @property
+    def radius(self) -> float:
+        """Current search radius (inf until the heap holds k candidates)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def consider(self, object_id: int, distance: float) -> bool:
+        """Offer a candidate; returns True when it entered the heap."""
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-distance, object_id))
+            return True
+        if distance < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, (-distance, object_id))
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def is_full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    def neighbors(self) -> list[Neighbor]:
+        """Final answers, ascending by distance (ties by id)."""
+        return sorted(
+            (Neighbor(-negated, object_id) for negated, object_id in self._heap)
+        )
+
+    def ids(self) -> list[int]:
+        return [n.object_id for n in self.neighbors()]
+
+    def distances(self) -> list[float]:
+        return [n.distance for n in self.neighbors()]

@@ -1,0 +1,20 @@
+"""Pivot-based external (disk) indexes: PM-tree, Omni-family, M-index(*), SPB-tree."""
+
+from .dept import DEPT
+from .mindex import MIndex, MIndexStar
+from .mtree_index import MTreeIndex
+from .omni import OmniBPlusTree, OmniRTree, OmniSequentialFile
+from .pmtree import PMTree
+from .spbtree import SPBTree
+
+__all__ = [
+    "DEPT",
+    "MIndex",
+    "MIndexStar",
+    "MTreeIndex",
+    "OmniBPlusTree",
+    "OmniRTree",
+    "OmniSequentialFile",
+    "PMTree",
+    "SPBTree",
+]

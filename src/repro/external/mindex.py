@@ -1,0 +1,473 @@
+"""M-index and M-index* (Novak, Batko, Zezula 2011 + the paper's MBBs).
+
+The M-index generalises iDistance to metric spaces (Section 5.3): objects
+are clustered by *generalized hyperplane partitioning* (each object joins
+its nearest pivot), and within cluster C_i an object is keyed by
+``d(p_i, o) + (i-1) * d+``.  The structure is:
+
+1. a pivot table,
+2. a **cluster tree** (in memory) whose leaves track minkey/maxkey per
+   cluster -- clusters exceeding ``maxnum`` objects are re-partitioned by
+   their objects' nearest pivot among the *remaining* pivots, giving the
+   dynamic tree of Figure 12(d);
+3. a **B+-tree** over the keys -- we key by the tuple
+   ``(cluster path, d(p_first, o))``, a lossless tuple form of the paper's
+   flattened real-number key (each cluster is one contiguous key run, and
+   within a run keys sort by the distance, which is all the flattened
+   encoding provides);
+4. an **RAF** storing each object together with all of its pre-computed
+   pivot distances (cluster order, so cluster scans are I/O-local).
+
+MRQ prunes clusters with Lemma 3 (double-pivot) and ring bounds
+(minkey/maxkey), scans the surviving clusters' key ranges, and filters
+fetched records with Lemma 1.  MkNNQ runs MRQs with an increasing radius --
+the paper's stated weakness of the M-index.
+
+**M-index*** (the paper's second contribution) additionally keeps each
+cluster's MBB in pivot space, enabling Lemma 1 pruning of whole clusters, a
+*single* best-first traversal for MkNNQ, and Lemma 4 validation that skips
+both the RAF read and the distance computation for whole clusters.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..btree.bptree import BPlusTree
+from ..core.index import MetricIndex
+from ..core.mapping import PivotMapping
+from ..core.metric_space import MetricSpace
+from ..core.pivot_filter import (
+    lower_bound,
+    mbb_max_dist,
+    mbb_min_dist,
+    upper_bound,
+)
+from ..core.queries import KnnHeap, Neighbor
+from ..storage.pager import Pager
+from ..storage.raf import RandomAccessFile, RecordPointer
+
+__all__ = ["MIndex", "MIndexStar"]
+
+
+@dataclass
+class _ClusterNode:
+    """One node of the dynamic cluster tree.
+
+    ``path`` is the pivot-index sequence identifying the cluster; internal
+    nodes have ``children`` keyed by the next pivot index, leaves track key
+    bounds, a member count, and (M-index* only) the cluster MBB.
+    """
+
+    path: tuple[int, ...]
+    children: dict[int, "_ClusterNode"] | None = None
+    count: int = 0
+    min_dist: float = float("inf")  # min d(p_first, o) over members
+    max_dist: float = -float("inf")
+    mbb_lows: np.ndarray | None = None
+    mbb_highs: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class MIndex(MetricIndex):
+    """iDistance for metric spaces; see module docstring."""
+
+    name = "M-index"
+    is_disk_based = True
+    track_mbbs = False
+
+    def __init__(
+        self,
+        space: MetricSpace,
+        mapping: PivotMapping,
+        pager: Pager,
+        maxnum: int,
+    ):
+        super().__init__(space)
+        self.mapping = mapping
+        self.pager = pager
+        self.maxnum = maxnum
+        self.btree = BPlusTree(pager)
+        self.raf = RandomAccessFile(pager)
+        self.root = _ClusterNode(path=())
+        self.root.children = {}
+        self._pointers: dict[int, RecordPointer] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        space: MetricSpace,
+        pivot_ids,
+        pager: Pager | None = None,
+        page_size: int = 4096,
+        maxnum: int = 512,
+    ) -> "MIndex":
+        """Cluster all objects and bulk-load the B+-tree in key order.
+
+        Partitioning happens in memory first (recursively splitting clusters
+        larger than ``maxnum`` by the next-nearest remaining pivot), so the
+        final paths are known before the RAF and B+-tree are written --
+        objects land on disk in cluster order.
+        """
+        mapping = PivotMapping(space, pivot_ids)
+        if pager is None:
+            pager = Pager(page_size=page_size, counters=space.counters)
+        index = cls(space, mapping, pager, maxnum)
+
+        n = mapping.n_objects
+        clusters: dict[tuple[int, ...], list[int]] = {}
+        pending: list[tuple[tuple[int, ...], list[int]]] = [((), list(range(n)))]
+        while pending:
+            path, ids = pending.pop()
+            if len(ids) <= maxnum or len(path) >= mapping.n_pivots:
+                if path:
+                    clusters[path] = ids
+                    continue
+            groups: dict[int, list[int]] = {}
+            used = set(path)
+            remaining = [j for j in range(mapping.n_pivots) if j not in used]
+            for object_id in ids:
+                vec = mapping.vector(object_id)
+                nearest = min(remaining, key=lambda j: vec[j])
+                groups.setdefault(nearest, []).append(object_id)
+            for pivot, group_ids in groups.items():
+                pending.append((path + (pivot,), group_ids))
+
+        items = []
+        for path in sorted(clusters):
+            leaf = index._materialize_leaf(path)
+            member_ids = sorted(
+                clusters[path], key=lambda i: float(mapping.vector(i)[path[0]])
+            )
+            for object_id in member_ids:
+                vec = mapping.vector(object_id)
+                pointer = index.raf.append(
+                    (object_id, space.dataset[object_id], vec)
+                )
+                index._pointers[object_id] = pointer
+                items.append(((path, float(vec[path[0]])), (object_id, pointer)))
+                index._register_into(leaf, vec)
+        index.btree.bulk_load(items)
+        return index
+
+    def _cluster_path(self, vec: np.ndarray) -> tuple[int, ...]:
+        """Descend the dynamic cluster tree by nearest-remaining-pivot."""
+        node = self.root
+        path: list[int] = []
+        used: set[int] = set()
+        while not node.is_leaf:
+            remaining = [j for j in range(self.mapping.n_pivots) if j not in used]
+            if not remaining:
+                break
+            nearest = min(remaining, key=lambda j: vec[j])
+            path.append(nearest)
+            used.add(nearest)
+            child = node.children.get(nearest)
+            if child is None:
+                child = _ClusterNode(path=tuple(path))
+                node.children[nearest] = child
+            node = child
+        return node.path
+
+    def _materialize_leaf(self, path: tuple[int, ...]) -> _ClusterNode:
+        """Create (or fetch) the leaf for ``path``, adding internal levels."""
+        node = self.root
+        for depth, pivot in enumerate(path):
+            if node.is_leaf:
+                node.children = {}
+            child = node.children.get(pivot)
+            if child is None:
+                child = _ClusterNode(path=path[: depth + 1])
+                node.children[pivot] = child
+            node = child
+        return node
+
+    def _find_leaf(self, path: tuple[int, ...]) -> _ClusterNode:
+        node = self.root
+        for pivot in path:
+            node = node.children[pivot]
+        return node
+
+    def _register(self, path: tuple[int, ...], vec: np.ndarray) -> None:
+        """Update leaf statistics after adding one member; split when full."""
+        leaf = self._find_leaf(path)
+        self._register_into(leaf, vec)
+        if leaf.count > self.maxnum and len(path) < self.mapping.n_pivots:
+            self._split_cluster(leaf)
+
+    def _split_cluster(self, leaf: _ClusterNode) -> None:
+        """Re-partition an oversized cluster by the next-nearest pivot."""
+        path = leaf.path
+        members = list(self.btree.range_scan((path, -float("inf")), (path, float("inf"))))
+        leaf.children = {}
+        leaf.count = 0
+        leaf.min_dist, leaf.max_dist = float("inf"), -float("inf")
+        leaf.mbb_lows = leaf.mbb_highs = None
+        used = set(path)
+        remaining = [j for j in range(self.mapping.n_pivots) if j not in used]
+        for key, (object_id, pointer) in members:
+            self.btree.delete(key, (object_id, pointer))
+            _, _, vec = self.raf.read(pointer)
+            nearest = min(remaining, key=lambda j: vec[j])
+            child_path = path + (nearest,)
+            child = leaf.children.get(nearest)
+            if child is None:
+                child = _ClusterNode(path=child_path)
+                leaf.children[nearest] = child
+            new_key = (child_path, float(vec[child_path[0]]))
+            self.btree.insert(new_key, (object_id, pointer))
+            self._register_into(child, vec)
+        for child in leaf.children.values():
+            if child.count > self.maxnum and len(child.path) < self.mapping.n_pivots:
+                self._split_cluster(child)
+
+    def _register_into(self, leaf: _ClusterNode, vec: np.ndarray) -> None:
+        leaf.count += 1
+        d_first = float(vec[leaf.path[0]])
+        leaf.min_dist = min(leaf.min_dist, d_first)
+        leaf.max_dist = max(leaf.max_dist, d_first)
+        if self.track_mbbs:
+            if leaf.mbb_lows is None:
+                leaf.mbb_lows = np.array(vec, dtype=np.float64)
+                leaf.mbb_highs = np.array(vec, dtype=np.float64)
+            else:
+                np.minimum(leaf.mbb_lows, vec, out=leaf.mbb_lows)
+                np.maximum(leaf.mbb_highs, vec, out=leaf.mbb_highs)
+
+    # -- cluster enumeration with pruning ------------------------------------------
+
+    def _candidate_clusters(self, qdists: np.ndarray, radius: float):
+        """Leaves surviving Lemma 3 + ring pruning, depth-first."""
+        stack: list[tuple[_ClusterNode, set[int]]] = [(self.root, set())]
+        while stack:
+            node, used = stack.pop()
+            if node.is_leaf:
+                if node.count == 0:
+                    continue
+                first = node.path[0]
+                # ring bounds on d(q, p_first) (range-pivot flavour)
+                if qdists[first] - radius > node.max_dist:
+                    continue
+                if qdists[first] + radius < node.min_dist:
+                    continue
+                yield node
+                continue
+            remaining = [j for j in range(self.mapping.n_pivots) if j not in used]
+            if not remaining:
+                continue
+            best = min(float(qdists[j]) for j in remaining)
+            for pivot, child in node.children.items():
+                # Lemma 3: q is more than 2r closer to some other pivot
+                if float(qdists[pivot]) - best > 2.0 * radius:
+                    continue
+                stack.append((child, used | {pivot}))
+
+    def _scan_cluster(self, leaf, qdists, radius, handler) -> None:
+        """Key-range scan of one cluster; Lemma 1 filter; verify via handler."""
+        first = leaf.path[0]
+        low = (leaf.path, float(qdists[first]) - radius)
+        high = (leaf.path, float(qdists[first]) + radius)
+        for _, (object_id, pointer) in self.btree.range_scan(low, high):
+            if object_id not in self._pointers:
+                continue  # deleted
+            _, obj, vec = self.raf.read(pointer)
+            if lower_bound(qdists, vec) > radius:
+                continue  # Lemma 1, no distance computation
+            handler(object_id, obj, vec)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        qdists = self.mapping.map_query(query_obj)
+        results: list[int] = []
+
+        def handler(object_id, obj, vec):
+            if self.space.d(query_obj, obj) <= radius:
+                results.append(object_id)
+
+        for leaf in self._candidate_clusters(qdists, radius):
+            self._scan_cluster(leaf, qdists, radius, handler)
+        return sorted(results)
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        """Expanding-radius MkNNQ (the paper's stated M-index weakness).
+
+        Every round re-traverses the cluster tree and re-scans B+-tree/RAF
+        pages -- the redundant PA and CPU the paper measures.  Distances
+        already verified are cached so compdists stay comparable to the
+        M-index* (matching the paper's observation on Color/Synthetic).
+        """
+        live = len(self._pointers)
+        if live == 0:
+            return []
+        k = min(k, live)
+        qdists = self.mapping.map_query(query_obj)
+        radius = max(self.mapping.max_distance_bound() / 128.0, 1e-9)
+        heap = KnnHeap(k)
+        computed: set[int] = set()
+
+        def handler(object_id, obj, vec):
+            if object_id in computed:
+                return
+            computed.add(object_id)
+            heap.consider(object_id, self.space.d(query_obj, obj))
+
+        while True:
+            for leaf in self._candidate_clusters(qdists, radius):
+                self._scan_cluster(leaf, qdists, radius, handler)
+            if heap.is_full() and heap.radius <= radius:
+                return heap.neighbors()
+            if len(computed) >= live:
+                return heap.neighbors()
+            radius *= 2.0
+
+    # -- maintenance ----------------------------------------------------------------------
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        if object_id is None:
+            object_id = self.space.dataset.add(obj)
+        vec = self.mapping.map_object(obj)
+        if int(object_id) >= self.mapping.n_objects:
+            self.mapping.append(vec)
+        path = self._cluster_path(vec)
+        pointer = self.raf.append((int(object_id), obj, vec))
+        self._pointers[int(object_id)] = pointer
+        self.btree.insert((path, float(vec[path[0]])), (int(object_id), pointer))
+        self._register(path, vec)
+        return int(object_id)
+
+    def delete(self, object_id: int) -> None:
+        pointer = self._pointers.pop(object_id, None)
+        if pointer is None:
+            raise KeyError(f"object {object_id} is not in the index")
+        vec = self.mapping.vector(object_id)
+        path = self._cluster_path(vec)
+        self.btree.delete((path, float(vec[path[0]])), (object_id, pointer))
+        leaf = self._find_leaf(path)
+        leaf.count -= 1  # bounds/MBB stay conservative
+        self.raf.mark_deleted(pointer)
+
+    # -- accounting --------------------------------------------------------------------------
+
+    def storage_bytes(self) -> dict[str, int]:
+        cluster_nodes = self._count_cluster_nodes(self.root)
+        return {
+            "memory": 8 * self.mapping.n_pivots + 64 * cluster_nodes,
+            "disk": self.pager.disk_bytes(),
+        }
+
+    def _count_cluster_nodes(self, node: _ClusterNode) -> int:
+        if node.is_leaf:
+            return 1
+        return 1 + sum(self._count_cluster_nodes(c) for c in node.children.values())
+
+
+class MIndexStar(MIndex):
+    """M-index + cluster MBBs + validation + single-pass best-first kNN."""
+
+    name = "M-index*"
+    track_mbbs = True
+
+    def _candidate_clusters(self, qdists: np.ndarray, radius: float):
+        """Adds Lemma 1 MBB pruning on top of the base cluster pruning."""
+        for leaf in super()._candidate_clusters(qdists, radius):
+            if leaf.mbb_lows is not None and mbb_min_dist(
+                qdists, leaf.mbb_lows, leaf.mbb_highs
+            ) > radius:
+                continue
+            yield leaf
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        qdists = self.mapping.map_query(query_obj)
+        results: list[int] = []
+        for leaf in self._candidate_clusters(qdists, radius):
+            if leaf.mbb_lows is not None and mbb_max_dist(
+                qdists, leaf.mbb_lows, leaf.mbb_highs
+            ) <= radius:
+                # Lemma 4 on the whole cluster: every member qualifies and the
+                # B+-tree values carry the ids -- no RAF reads, no computations
+                low = (leaf.path, -float("inf"))
+                high = (leaf.path, float("inf"))
+                for _, (object_id, _ptr) in self.btree.range_scan(low, high):
+                    if object_id in self._pointers:
+                        results.append(object_id)
+                continue
+
+            def handler(object_id, obj, vec):
+                if upper_bound(qdists, vec) <= radius:  # Lemma 4 per object
+                    results.append(object_id)
+                elif self.space.d(query_obj, obj) <= radius:
+                    results.append(object_id)
+
+            self._scan_cluster(leaf, qdists, radius, handler)
+        return sorted(results)
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        """Single best-first pass: clusters by MBB bound, entries by ring bound.
+
+        Popping a cluster scans its B+-tree key run once and re-queues each
+        entry under ``max(cluster MBB bound, |d(q,p_first) - d(o,p_first)|)``
+        -- the ring part comes straight from the B+-tree key, so no RAF page
+        is touched until an entry is actually popped for verification.  This
+        is the single-traversal behaviour the paper credits for the
+        M-index*'s improvement over the M-index in Figure 15.
+        """
+        live = len(self._pointers)
+        if live == 0:
+            return []
+        k = min(k, live)
+        qdists = self.mapping.map_query(query_obj)
+        heap = KnnHeap(k)
+        counter = itertools.count()
+        # queue items: (bound, seq, kind, payload); kind 0 = cluster, 1 = entry
+        pq: list[tuple[float, int, int, object]] = []
+        for leaf in self._all_leaves(self.root):
+            if leaf.count <= 0:
+                continue
+            bound = (
+                mbb_min_dist(qdists, leaf.mbb_lows, leaf.mbb_highs)
+                if leaf.mbb_lows is not None
+                else 0.0
+            )
+            heapq.heappush(pq, (bound, next(counter), 0, leaf))
+        while pq:
+            bound, _, kind, payload = heapq.heappop(pq)
+            if bound > heap.radius:
+                break
+            if kind == 1:
+                object_id, pointer = payload
+                _, obj, vec = self.raf.read(pointer)
+                if lower_bound(qdists, vec) > heap.radius:
+                    continue  # Lemma 1 with the full vector, post-tightening
+                heap.consider(object_id, self.space.d(query_obj, obj))
+                continue
+            leaf = payload
+            first = leaf.path[0]
+            low = (leaf.path, -float("inf"))
+            high = (leaf.path, float("inf"))
+            for key, (object_id, pointer) in self.btree.range_scan(low, high):
+                if object_id not in self._pointers:
+                    continue
+                ring = abs(float(qdists[first]) - key[1])
+                entry_bound = max(bound, ring)
+                if entry_bound <= heap.radius:
+                    heapq.heappush(
+                        pq, (entry_bound, next(counter), 1, (object_id, pointer))
+                    )
+        return heap.neighbors()
+
+    def _all_leaves(self, node: _ClusterNode):
+        if node.is_leaf:
+            yield node
+            return
+        for child in node.children.values():
+            yield from self._all_leaves(child)

@@ -1,0 +1,352 @@
+"""The Omni-family (Traina Jr. et al., VLDB J. 2007).
+
+All members share the same skeleton (Section 5.2 / Figure 11): a pivot
+("foci") table, the mapped vectors I(o), and a **random access file** (RAF)
+keeping the real objects *outside* the index so the object size does not
+dictate the node layout.  They differ in how the mapped vectors are indexed:
+
+* :class:`OmniSequentialFile` -- vectors in a flat paged file, scanned
+  entirely ("LAESA stored on disk", as the paper puts it);
+* :class:`OmniBPlusTree` -- one B+-tree per pivot over d(o, p_i); candidate
+  id sets from per-pivot ranges are intersected;
+* :class:`OmniRTree` -- a single R-tree over the l-dimensional mapped
+  vectors, the family's best performer in the paper's experiments.
+
+Queries verify candidates by fetching the object from the RAF (a counted
+page access) and computing the true distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..btree.bptree import BPlusTree
+from ..core.index import MetricIndex
+from ..core.mapping import PivotMapping
+from ..core.metric_space import MetricSpace
+from ..core.pivot_filter import lower_bound_many
+from ..core.queries import KnnHeap, Neighbor
+from ..rtree.geometry import Rect
+from ..rtree.rtree import RTree
+from ..storage.pager import Pager
+from ..storage.raf import RandomAccessFile, RecordPointer
+
+__all__ = ["OmniSequentialFile", "OmniBPlusTree", "OmniRTree"]
+
+
+class _OmniBase(MetricIndex):
+    """Shared RAF handling for the Omni family."""
+
+    is_disk_based = True
+
+    def __init__(self, space: MetricSpace, mapping: PivotMapping, pager: Pager):
+        super().__init__(space)
+        self.mapping = mapping
+        self.pager = pager
+        self.raf = RandomAccessFile(pager)
+        self._pointers: dict[int, RecordPointer] = {}
+
+    def _store_objects(self, order) -> None:
+        for object_id in order:
+            self._pointers[object_id] = self.raf.append(
+                (object_id, self.space.dataset[object_id])
+            )
+
+    def _fetch(self, object_id: int):
+        """Read one object from the RAF (page access on cache miss)."""
+        _, obj = self.raf.read(self._pointers[object_id])
+        return obj
+
+    def _verify(self, query_obj, object_id: int) -> float:
+        return self.space.d(query_obj, self._fetch(object_id))
+
+    def storage_bytes(self) -> dict[str, int]:
+        return {
+            "memory": 8 * self.mapping.n_pivots,
+            "disk": self.pager.disk_bytes(),
+        }
+
+
+class OmniSequentialFile(_OmniBase):
+    """Mapped vectors in a flat paged file, scanned in full per query."""
+
+    name = "Omni-seq"
+
+    def __init__(self, space, mapping, pager, per_page, vector_pages):
+        super().__init__(space, mapping, pager)
+        self._per_page = per_page
+        self._vector_pages = vector_pages
+        self._vector_page_of: dict[int, int] = {}
+
+    @classmethod
+    def build(
+        cls,
+        space: MetricSpace,
+        pivot_ids,
+        pager: Pager | None = None,
+        page_size: int = 4096,
+    ) -> "OmniSequentialFile":
+        mapping = PivotMapping(space, pivot_ids)
+        if pager is None:
+            pager = Pager(page_size=page_size, counters=space.counters)
+        # vectors go to their own sequence of pages, read linearly on query
+        per_page = max(1, (page_size - 64) // (8 * mapping.n_pivots + 12))
+        vector_pages: list[int] = []
+        n = mapping.n_objects
+        index = cls(space, mapping, pager, per_page, vector_pages)
+        for start in range(0, n, per_page):
+            page = pager.allocate()
+            block_ids = list(range(start, min(start + per_page, n)))
+            pager.write(page, (block_ids, mapping.matrix[block_ids]))
+            vector_pages.append(page)
+            for object_id in block_ids:
+                index._vector_page_of[object_id] = page
+        index._store_objects(range(n))
+        return index
+
+    def _scan_candidates(self, query_pivot_dists, radius: float):
+        """Read every vector page, yielding Lemma 1 survivors."""
+        for page in self._vector_pages:
+            block_ids, vectors = self.pager.read(page)
+            if len(block_ids) == 0:
+                continue
+            lower = lower_bound_many(query_pivot_dists, vectors)
+            for i in np.flatnonzero(lower <= radius):
+                yield block_ids[i], lower[i]
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        query_pivot_dists = self.mapping.map_query(query_obj)
+        results = []
+        for object_id, _ in self._scan_candidates(query_pivot_dists, radius):
+            if object_id in self._pointers and self._verify(query_obj, object_id) <= radius:
+                results.append(object_id)
+        return sorted(results)
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        query_pivot_dists = self.mapping.map_query(query_obj)
+        heap = KnnHeap(k)
+        for object_id, lower in self._scan_candidates(query_pivot_dists, float("inf")):
+            if lower > heap.radius or object_id not in self._pointers:
+                continue
+            heap.consider(object_id, self._verify(query_obj, object_id))
+        return heap.neighbors()
+
+    def delete(self, object_id: int) -> None:
+        """Remove the vector row in place, tombstone the RAF record."""
+        pointer = self._pointers.pop(object_id, None)
+        if pointer is None:
+            raise KeyError(f"object {object_id} is not in the file")
+        page = self._vector_page_of.pop(object_id)
+        block_ids, vectors = self.pager.read(page)
+        keep = [i for i, bid in enumerate(block_ids) if bid != object_id]
+        self.pager.write(
+            page, ([block_ids[i] for i in keep], vectors[keep])
+        )
+        self.raf.mark_deleted(pointer)
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        """Append the vector to the last page (new page when full)."""
+        if object_id is None:
+            object_id = self.space.dataset.add(obj)
+        vec = self.mapping.map_object(obj)
+        target = self._vector_pages[-1] if self._vector_pages else None
+        if target is not None:
+            block_ids, vectors = self.pager.read(target)
+            if len(block_ids) < self._per_page:
+                self.pager.write(
+                    target,
+                    (
+                        block_ids + [int(object_id)],
+                        np.concatenate([vectors, vec.reshape(1, -1)])
+                        if len(block_ids)
+                        else vec.reshape(1, -1),
+                    ),
+                )
+                self._vector_page_of[int(object_id)] = target
+                self._pointers[int(object_id)] = self.raf.append((int(object_id), obj))
+                return int(object_id)
+        page = self.pager.allocate()
+        self.pager.write(page, ([int(object_id)], vec.reshape(1, -1)))
+        self._vector_pages.append(page)
+        self._vector_page_of[int(object_id)] = page
+        self._pointers[int(object_id)] = self.raf.append((int(object_id), obj))
+        return int(object_id)
+
+
+class OmniBPlusTree(_OmniBase):
+    """One B+-tree per pivot over the single-coordinate projections."""
+
+    name = "OmniB+"
+
+    def __init__(self, space, mapping, pager, trees):
+        super().__init__(space, mapping, pager)
+        self.trees = trees
+
+    @classmethod
+    def build(
+        cls,
+        space: MetricSpace,
+        pivot_ids,
+        pager: Pager | None = None,
+        page_size: int = 4096,
+    ) -> "OmniBPlusTree":
+        mapping = PivotMapping(space, pivot_ids)
+        if pager is None:
+            pager = Pager(page_size=page_size, counters=space.counters)
+        trees = []
+        n = mapping.n_objects
+        for j in range(mapping.n_pivots):
+            tree = BPlusTree(pager)
+            items = sorted(
+                (float(mapping.matrix[i, j]), i) for i in range(n)
+            )
+            tree.bulk_load(items)
+            trees.append(tree)
+        index = cls(space, mapping, pager, trees)
+        index._store_objects(range(n))
+        return index
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        query_pivot_dists = self.mapping.map_query(query_obj)
+        candidates: set[int] | None = None
+        for j, tree in enumerate(self.trees):
+            low = float(query_pivot_dists[j]) - radius
+            high = float(query_pivot_dists[j]) + radius
+            ids = {object_id for _, object_id in tree.range_scan(low, high)}
+            candidates = ids if candidates is None else candidates & ids
+            if not candidates:
+                return []
+        results = []
+        for object_id in candidates:
+            if object_id in self._pointers and self._verify(query_obj, object_id) <= radius:
+                results.append(object_id)
+        return sorted(results)
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        """Expanding-radius kNN (the family paper's approach for B+-trees)."""
+        query_pivot_dists = self.mapping.map_query(query_obj)
+        live = len(self._pointers)
+        if live == 0:
+            return []
+        k = min(k, live)
+        radius = self._initial_radius()
+        heap = KnnHeap(k)
+        seen: set[int] = set()
+        while True:
+            candidates: set[int] | None = None
+            for j, tree in enumerate(self.trees):
+                low = float(query_pivot_dists[j]) - radius
+                high = float(query_pivot_dists[j]) + radius
+                ids = {object_id for _, object_id in tree.range_scan(low, high)}
+                candidates = ids if candidates is None else candidates & ids
+            for object_id in candidates or ():
+                if object_id in seen or object_id not in self._pointers:
+                    continue
+                seen.add(object_id)
+                heap.consider(object_id, self._verify(query_obj, object_id))
+            if heap.is_full() and heap.radius <= radius:
+                return heap.neighbors()
+            if len(seen) >= live:
+                return heap.neighbors()
+            radius *= 2.0
+
+    def _initial_radius(self) -> float:
+        span = float(self.mapping.matrix.max() - self.mapping.matrix.min())
+        return max(span / 64.0, 1e-9)
+
+    def delete(self, object_id: int) -> None:
+        pointer = self._pointers.pop(object_id, None)
+        if pointer is None:
+            raise KeyError(f"object {object_id} is not in the index")
+        vec = self.mapping.vector(object_id)
+        for j, tree in enumerate(self.trees):
+            tree.delete(float(vec[j]), object_id)
+        self.raf.mark_deleted(pointer)
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        if object_id is None:
+            object_id = self.space.dataset.add(obj)
+        vec = self.mapping.map_object(obj)
+        if int(object_id) >= self.mapping.n_objects:
+            self.mapping.append(vec)
+        for j, tree in enumerate(self.trees):
+            tree.insert(float(vec[j]), int(object_id))
+        self._pointers[int(object_id)] = self.raf.append((int(object_id), obj))
+        return int(object_id)
+
+
+class OmniRTree(_OmniBase):
+    """R-tree over the mapped vectors: the Omni family's strongest member."""
+
+    name = "OmniR-tree"
+
+    def __init__(self, space, mapping, pager, rtree):
+        super().__init__(space, mapping, pager)
+        self.rtree = rtree
+
+    @classmethod
+    def build(
+        cls,
+        space: MetricSpace,
+        pivot_ids,
+        pager: Pager | None = None,
+        page_size: int = 4096,
+    ) -> "OmniRTree":
+        mapping = PivotMapping(space, pivot_ids)
+        if pager is None:
+            pager = Pager(page_size=page_size, counters=space.counters)
+        rtree = RTree(pager, dims=mapping.n_pivots)
+        rtree.bulk_load(mapping.matrix, list(range(mapping.n_objects)))
+        index = cls(space, mapping, pager, rtree)
+        # store the RAF in R-tree leaf order so that objects verified
+        # together share pages (the bulk-loaded clustered layout)
+        if mapping.n_objects:
+            leaf_order = [
+                payload
+                for _, payload in rtree.search_rect(
+                    Rect(mapping.matrix.min(axis=0), mapping.matrix.max(axis=0))
+                )
+            ]
+            seen = set(leaf_order)
+            leaf_order.extend(i for i in range(mapping.n_objects) if i not in seen)
+            index._store_objects(leaf_order)
+        return index
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        """MRQ: R-tree window query on SR(q), then verify via RAF."""
+        query_pivot_dists = self.mapping.map_query(query_obj)
+        window = Rect(query_pivot_dists - radius, query_pivot_dists + radius)
+        results = []
+        for _, object_id in self.rtree.search_rect(window):
+            if object_id in self._pointers and self._verify(query_obj, object_id) <= radius:
+                results.append(object_id)
+        return sorted(results)
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        """MkNNQ: best-first on the L-infinity mindist lower bound."""
+        query_pivot_dists = self.mapping.map_query(query_obj)
+        heap = KnnHeap(k)
+        for bound, _, object_id in self.rtree.nearest_linf(query_pivot_dists):
+            if bound > heap.radius:
+                break
+            if object_id not in self._pointers:
+                continue
+            heap.consider(object_id, self._verify(query_obj, object_id))
+        return heap.neighbors()
+
+    def delete(self, object_id: int) -> None:
+        pointer = self._pointers.pop(object_id, None)
+        if pointer is None:
+            raise KeyError(f"object {object_id} is not in the index")
+        self.rtree.delete(self.mapping.vector(object_id), object_id)
+        self.raf.mark_deleted(pointer)
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        if object_id is None:
+            object_id = self.space.dataset.add(obj)
+        vec = self.mapping.map_object(obj)
+        if int(object_id) >= self.mapping.n_objects:
+            self.mapping.append(vec)
+        self.rtree.insert(vec, int(object_id))
+        self._pointers[int(object_id)] = self.raf.append((int(object_id), obj))
+        return int(object_id)

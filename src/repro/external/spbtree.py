@@ -1,0 +1,263 @@
+"""SPB-tree: the Space-filling-curve and Pivot-based B+-tree (Chen et al.,
+ICDE 2015 -- the paper's own prior work, Section 5.4).
+
+Pipeline: pivot mapping -> discretisation -> Hilbert key -> B+-tree.
+
+* Each object's mapped vector I(o) is discretised onto a 2^bits grid; the
+  grid cell is encoded as one integer by a Hilbert curve, which (to a large
+  extent) preserves pivot-space proximity -- so B+-tree order clusters
+  similar objects, and the RAF (written in key order) keeps them on nearby
+  pages.  This is where the SPB-tree's storage/I/O wins come from.
+* Leaf B+-tree entries hold (key, (object_id, RAF pointer)).  The key alone
+  reproduces the *approximate* pre-computed distances: cell c covers
+  [c*eps, (c+1)*eps) per pivot.  Lemma 1 and Lemma 4 therefore work without
+  touching the RAF; only survivors that cannot be validated cost a page
+  read plus a distance computation.  The approximation also weakens pruning
+  slightly -- the paper's stated SPB-tree trade-off for continuous metrics.
+* Non-leaf entries carry the MBB of their subtree in grid space via B+-tree
+  augmentation (the paper stores the box as two SFC-encoded corners; we
+  store the corner coordinate tuples, which is the same information).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from ..btree.bptree import Augmentation, BPlusTree
+from ..core.index import MetricIndex
+from ..core.mapping import PivotMapping
+from ..core.metric_space import MetricSpace
+from ..core.queries import KnnHeap, Neighbor
+from ..sfc.hilbert import HilbertCurve
+from ..storage.pager import Pager
+from ..storage.raf import RandomAccessFile, RecordPointer
+
+__all__ = ["SPBTree"]
+
+
+class SPBTree(MetricIndex):
+    """See module docstring."""
+
+    name = "SPB-tree"
+    is_disk_based = True
+
+    def __init__(
+        self,
+        space: MetricSpace,
+        mapping: PivotMapping,
+        pager: Pager,
+        bits: int,
+        curve_cls=HilbertCurve,
+    ):
+        super().__init__(space)
+        self.mapping = mapping
+        self.pager = pager
+        self.bits = bits
+        self.curve = curve_cls(bits=bits, dims=mapping.n_pivots)
+        # grid resolution: the paper approximates continuous distances by
+        # discrete cells of width eps
+        max_d = max(mapping.matrix.max(), 1e-9) if mapping.matrix.size else 1.0
+        self.eps = float(max_d) / self.curve.max_coordinate * (1 + 1e-9)
+        self.btree = BPlusTree(
+            pager,
+            augmentation=Augmentation(
+                from_entry=self._entry_summary, merge=self._merge_summaries
+            ),
+        )
+        self.raf = RandomAccessFile(pager)
+        self._pointers: dict[int, RecordPointer] = {}
+
+    # -- augmentation: grid-space MBBs ------------------------------------------
+
+    def _entry_summary(self, key, value):
+        coords = self.curve.decode(key)
+        return (coords, coords)
+
+    @staticmethod
+    def _merge_summaries(summaries):
+        lows = tuple(min(s[0][i] for s in summaries) for i in range(len(summaries[0][0])))
+        highs = tuple(max(s[1][i] for s in summaries) for i in range(len(summaries[0][1])))
+        return (lows, highs)
+
+    # -- discretisation ------------------------------------------------------------
+
+    def _grid_cell(self, vec: np.ndarray) -> np.ndarray:
+        cell = np.floor(np.asarray(vec, dtype=np.float64) / self.eps).astype(np.int64)
+        return np.clip(cell, 0, self.curve.max_coordinate)
+
+    def _cell_bounds(self, coords) -> tuple[np.ndarray, np.ndarray]:
+        """Continuous [low, high] distance bounds covered by a grid cell."""
+        cell = np.asarray(coords, dtype=np.float64)
+        return cell * self.eps, (cell + 1.0) * self.eps
+
+    def _cell_lower_bound(self, qdists: np.ndarray, coords) -> float:
+        lows, highs = self._cell_bounds(coords)
+        gaps = np.maximum(np.maximum(lows - qdists, qdists - highs), 0.0)
+        return float(gaps.max())
+
+    def _cell_upper_bound(self, qdists: np.ndarray, coords) -> float:
+        coords = np.asarray(coords)
+        if coords.max() >= self.curve.max_coordinate:
+            # a clipped cell no longer upper-bounds the true distance
+            # (inserted objects may exceed the build-time grid), so Lemma 4
+            # must not fire on it
+            return float("inf")
+        _, highs = self._cell_bounds(coords)
+        return float((qdists + highs).min())
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        space: MetricSpace,
+        pivot_ids,
+        pager: Pager | None = None,
+        page_size: int = 4096,
+        bits: int = 8,
+        curve_cls=HilbertCurve,
+    ) -> "SPBTree":
+        """Map, discretise, Hilbert-encode, and bulk-load in key order."""
+        mapping = PivotMapping(space, pivot_ids)
+        if pager is None:
+            pager = Pager(page_size=page_size, counters=space.counters)
+        index = cls(space, mapping, pager, bits, curve_cls)
+        n = mapping.n_objects
+        keyed = []
+        for object_id in range(n):
+            cell = index._grid_cell(mapping.vector(object_id))
+            keyed.append((index.curve.encode(cell), object_id))
+        keyed.sort()
+        items = []
+        for key, object_id in keyed:
+            # RAF in SFC order: neighbouring keys share pages (the paper's
+            # "maintains spatial proximity")
+            pointer = index.raf.append((object_id, space.dataset[object_id]))
+            index._pointers[object_id] = pointer
+            items.append((key, (object_id, pointer)))
+        index.btree.bulk_load(items)
+        return index
+
+    # -- queries --------------------------------------------------------------------------
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        """MRQ: depth-first over the B+-tree with MBB pruning + validation."""
+        qdists = self.mapping.map_query(query_obj)
+        results: list[int] = []
+        stack = [self.btree.root_page]
+        while stack:
+            node = self.btree.read_node(stack.pop())
+            if node.is_leaf:
+                for key, (object_id, pointer) in zip(node.keys, node.values):
+                    if object_id not in self._pointers:
+                        continue
+                    coords = self.curve.decode(key)
+                    if self._cell_lower_bound(qdists, coords) > radius:
+                        continue  # Lemma 1 on the approximated distances
+                    if self._cell_upper_bound(qdists, coords) <= radius:
+                        results.append(object_id)  # Lemma 4: no I/O, no comp
+                        continue
+                    _, obj = self.raf.read(pointer)
+                    if self.space.d(query_obj, obj) <= radius:
+                        results.append(object_id)
+            else:
+                for child, aux in zip(node.children, node.aux):
+                    if aux is not None:
+                        lows, highs = aux
+                        clows, _ = self._cell_bounds(lows)
+                        _, chighs = self._cell_bounds(highs)
+                        gaps = np.maximum(
+                            np.maximum(clows - qdists, qdists - chighs), 0.0
+                        )
+                        if float(gaps.max()) > radius:
+                            continue
+                    stack.append(child)
+        return sorted(results)
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        """MkNNQ: best-first over nodes/entries by grid lower bound."""
+        live = len(self._pointers)
+        if live == 0:
+            return []
+        qdists = self.mapping.map_query(query_obj)
+        heap = KnnHeap(min(k, live))
+        counter = itertools.count()
+        pq: list[tuple[float, int, bool, object]] = [
+            (0.0, next(counter), False, self.btree.root_page)
+        ]
+        while pq:
+            bound, _, is_entry, payload = heapq.heappop(pq)
+            if bound > heap.radius:
+                break
+            if is_entry:
+                object_id, pointer = payload
+                _, obj = self.raf.read(pointer)
+                heap.consider(object_id, self.space.d(query_obj, obj))
+                continue
+            node = self.btree.read_node(payload)
+            if node.is_leaf:
+                for key, (object_id, pointer) in zip(node.keys, node.values):
+                    if object_id not in self._pointers:
+                        continue
+                    coords = self.curve.decode(key)
+                    entry_bound = self._cell_lower_bound(qdists, coords)
+                    if entry_bound <= heap.radius:
+                        heapq.heappush(
+                            pq,
+                            (entry_bound, next(counter), True, (object_id, pointer)),
+                        )
+            else:
+                for child, aux in zip(node.children, node.aux):
+                    child_bound = 0.0
+                    if aux is not None:
+                        lows, highs = aux
+                        clows, _ = self._cell_bounds(lows)
+                        _, chighs = self._cell_bounds(highs)
+                        gaps = np.maximum(
+                            np.maximum(clows - qdists, qdists - chighs), 0.0
+                        )
+                        child_bound = float(gaps.max())
+                    if child_bound <= heap.radius:
+                        heapq.heappush(pq, (child_bound, next(counter), False, child))
+        return heap.neighbors()
+
+    # -- maintenance -----------------------------------------------------------------------
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        """|P| computations + B+-tree insert (augmented path updates)."""
+        if object_id is None:
+            object_id = self.space.dataset.add(obj)
+        vec = self.mapping.map_object(obj)
+        if int(object_id) >= self.mapping.n_objects:
+            self.mapping.append(vec)
+        key = self.curve.encode(self._grid_cell(vec))
+        pointer = self.raf.append((int(object_id), obj))
+        self._pointers[int(object_id)] = pointer
+        self.btree.insert(key, (int(object_id), pointer))
+        return int(object_id)
+
+    def delete(self, object_id: int) -> None:
+        """Recompute the key (|P| computations), then B+-tree delete."""
+        pointer = self._pointers.pop(object_id, None)
+        if pointer is None:
+            raise KeyError(f"object {object_id} is not in the index")
+        vec = np.asarray(
+            [
+                self.space.d(self.space.dataset[object_id], p)
+                for p in self.mapping.pivot_objects
+            ]
+        )
+        key = self.curve.encode(self._grid_cell(vec))
+        self.btree.delete(key, (object_id, pointer))
+        self.raf.mark_deleted(pointer)
+
+    # -- accounting --------------------------------------------------------------------------
+
+    def storage_bytes(self) -> dict[str, int]:
+        return {
+            "memory": 8 * self.mapping.n_pivots,
+            "disk": self.pager.disk_bytes(),
+        }

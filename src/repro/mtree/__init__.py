@@ -1,0 +1,5 @@
+"""Paged M-tree substrate (CPT, PM-tree)."""
+
+from .mtree import MLeafEntry, MNode, MRoutingEntry, MTree
+
+__all__ = ["MLeafEntry", "MNode", "MRoutingEntry", "MTree"]

@@ -1,0 +1,454 @@
+"""Paged M-tree (Ciaccia, Patella, Zezula, VLDB 1997).
+
+The disk-resident metric tree the paper uses twice: CPT clusters its objects
+with an M-tree (Section 3.3), and the PM-tree is an M-tree whose entries are
+augmented with pivot information (Section 5.1).
+
+Structure (matching the paper's description):
+
+* a **routing entry** holds a routing object (the full object -- the M-tree
+  embeds data in the tree, which is why CPT/PM-tree storage is the largest in
+  Table 4), a covering radius, the distance to its parent routing object, and
+  a child page pointer;
+* a **leaf entry** holds the object, its id, and the parent distance.
+
+Optionally each entry carries the object's mapped pivot vector I(o); routing
+entries then also maintain the MBB of their subtree's vectors.  The plain
+M-tree ignores these fields; the PM-tree builds on them.
+
+Distance computations flow through the shared counted
+:class:`~repro.core.metric_space.MetricSpace`; node I/O through the shared
+:class:`~repro.storage.pager.Pager`.  Insertion uses the classic
+min-enlargement descent and an mM_RAD-style sampled promotion split.  Deletes
+are directory-assisted and lazy (covering radii are not shrunk -- still
+correct, radii stay conservative), as in production M-tree implementations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..core.metric_space import MetricSpace
+from ..core.queries import KnnHeap, Neighbor
+from ..storage.pager import Pager
+
+__all__ = ["MTree", "MLeafEntry", "MRoutingEntry", "MNode"]
+
+
+@dataclass
+class MLeafEntry:
+    object_id: int
+    obj: Any
+    parent_dist: float
+    vec: np.ndarray | None = None  # I(o); used by the PM-tree only
+
+
+@dataclass
+class MRoutingEntry:
+    routing_id: int
+    obj: Any
+    radius: float
+    parent_dist: float
+    child_page: int
+    mbb_lows: np.ndarray | None = None  # subtree MBB in pivot space (PM-tree)
+    mbb_highs: np.ndarray | None = None
+
+
+@dataclass
+class MNode:
+    is_leaf: bool
+    entries: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class MTree:
+    """See module docstring.
+
+    Args:
+        space: counted metric space (supplies the distance function).
+        pager: counted page store for nodes.
+        capacity: max entries per node; derived from the page size and a
+            measured entry size when omitted (clamped to >= 4 -- oversized
+            nodes then simply span several pages, which the pager counts).
+        track_vectors: keep I(o) vectors / MBBs in entries (PM-tree mode).
+        seed: RNG seed for sampled split promotion.
+    """
+
+    def __init__(
+        self,
+        space: MetricSpace,
+        pager: Pager,
+        capacity: int | None = None,
+        track_vectors: bool = False,
+        seed: int = 0,
+    ):
+        self.space = space
+        self.pager = pager
+        self.capacity = capacity
+        self.track_vectors = track_vectors
+        self._rng = np.random.default_rng(seed)
+        self.root_page = pager.allocate()
+        pager.write(self.root_page, MNode(is_leaf=True))
+        self.height = 1
+        self._size = 0
+        # object directory: id -> leaf page (maintained across splits);
+        # real deployments keep an equivalent id index beside the tree.
+        self.leaf_of: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- node IO helpers ------------------------------------------------------
+
+    def read_node(self, page_id: int) -> MNode:
+        return self.pager.read(page_id)
+
+    def _write(self, page_id: int, node: MNode) -> None:
+        self.pager.write(page_id, node)
+
+    def _ensure_capacity(self, entry: MLeafEntry) -> None:
+        if self.capacity is None:
+            import pickle
+
+            per_entry = max(
+                16, len(pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL))
+            )
+            self.capacity = max(4, (self.pager.page_size - 64) // per_entry)
+
+    # -- insertion ------------------------------------------------------------
+
+    def insert(self, object_id: int, obj, vec: np.ndarray | None = None) -> None:
+        """Insert one object (``vec`` = I(o) when pivot tracking is on)."""
+        if self.track_vectors and vec is None:
+            raise ValueError("track_vectors=True requires the mapped vector")
+        entry = MLeafEntry(object_id=object_id, obj=obj, parent_dist=0.0, vec=vec)
+        self._ensure_capacity(entry)
+        path = self._descend(obj, vec)
+        leaf_page, leaf, parent_obj = path[-1]
+        entry.parent_dist = (
+            self.space.d(obj, parent_obj) if parent_obj is not None else 0.0
+        )
+        leaf.entries.append(entry)
+        self.leaf_of[object_id] = leaf_page
+        self._size += 1
+        self._write(leaf_page, leaf)
+        self._update_path_vectors(path, vec)
+        if len(leaf) > self.capacity:
+            self._split(path)
+
+    def _descend(self, obj, vec):
+        """Choose-subtree descent; returns [(page, node, parent_routing_obj)].
+
+        At each internal node the child whose ball already contains the
+        object (minimal distance) is preferred; otherwise the child with the
+        least radius enlargement, whose radius is then grown (classic M-tree
+        policy).  Every candidate distance is a counted computation.
+        """
+        path = []
+        page_id = self.root_page
+        parent_obj = None
+        node = self.read_node(page_id)
+        while True:
+            path.append((page_id, node, parent_obj))
+            if node.is_leaf:
+                return path
+            dists = [self.space.d(obj, e.obj) for e in node.entries]
+            best = None
+            for i, e in enumerate(node.entries):
+                if dists[i] <= e.radius:
+                    if best is None or dists[i] < dists[best]:
+                        best = i
+            if best is None:
+                best = min(
+                    range(len(node.entries)),
+                    key=lambda i: dists[i] - node.entries[i].radius,
+                )
+                node.entries[best].radius = dists[best]
+                self._write(page_id, node)
+            chosen = node.entries[best]
+            parent_obj = chosen.obj
+            page_id = chosen.child_page
+            node = self.read_node(page_id)
+
+    def _update_path_vectors(self, path, vec) -> None:
+        """Grow MBBs (pivot mode) along the descent path after an insert."""
+        if not self.track_vectors or vec is None:
+            return
+        for idx in range(len(path) - 1):
+            page_id, node, _parent = path[idx]
+            next_page = path[idx + 1][0]  # the child we descended into
+            changed = False
+            for e in node.entries:
+                if not node.is_leaf and e.child_page == next_page:
+                    if e.mbb_lows is None:
+                        e.mbb_lows = np.array(vec, dtype=np.float64)
+                        e.mbb_highs = np.array(vec, dtype=np.float64)
+                        changed = True
+                    else:
+                        new_lows = np.minimum(e.mbb_lows, vec)
+                        new_highs = np.maximum(e.mbb_highs, vec)
+                        if not (
+                            np.array_equal(new_lows, e.mbb_lows)
+                            and np.array_equal(new_highs, e.mbb_highs)
+                        ):
+                            e.mbb_lows, e.mbb_highs = new_lows, new_highs
+                            changed = True
+            if changed:
+                self._write(page_id, node)
+
+    # -- split ------------------------------------------------------------------
+
+    def _split(self, path) -> None:
+        """Split the overflowing tail node of ``path``, propagating upward."""
+        level = len(path) - 1
+        while level >= 0:
+            page_id, node, _parent = path[level]
+            if len(node) <= self.capacity:
+                return
+            promoted = self._promote_and_partition(node)
+            (obj1, group1, radius1), (obj2, group2, radius2) = promoted
+            left = MNode(is_leaf=node.is_leaf, entries=group1)
+            right = MNode(is_leaf=node.is_leaf, entries=group2)
+            right_page = self.pager.allocate()
+            self._write(page_id, left)
+            self._write(right_page, right)
+            self._reindex_leaf(page_id, left)
+            self._reindex_leaf(right_page, right)
+
+            e1 = self._make_routing(obj1, radius1, page_id, left)
+            e2 = self._make_routing(obj2, radius2, right_page, right)
+
+            if level == 0:
+                new_root = MNode(is_leaf=False, entries=[e1, e2])
+                self.root_page = self.pager.allocate()
+                self._write(self.root_page, new_root)
+                self.height += 1
+                return
+            parent_page, parent, grand_obj = path[level - 1]
+            pos = next(
+                i for i, e in enumerate(parent.entries) if e.child_page == page_id
+            )
+            old = parent.entries[pos]
+            for e in (e1, e2):
+                e.parent_dist = (
+                    self.space.d(e.obj, grand_obj) if grand_obj is not None else 0.0
+                )
+            parent.entries[pos : pos + 1] = [e1, e2]
+            self._write(parent_page, parent)
+            level -= 1
+
+    def _promote_and_partition(self, node: MNode):
+        """Sampled mM_RAD promotion + generalized-hyperplane partition.
+
+        Candidate pairs are evaluated without mutating the entries; only the
+        winning partition's parent distances are applied.
+        """
+        entries = node.entries
+        n = len(entries)
+        pair_candidates: set[tuple[int, int]] = set()
+        max_pairs = min(8, n * (n - 1) // 2)
+        while len(pair_candidates) < max_pairs:
+            i, j = self._rng.integers(0, n, size=2)
+            if i != j:
+                pair_candidates.add((min(int(i), int(j)), max(int(i), int(j))))
+        best = None
+        for i, j in pair_candidates:
+            split = self._evaluate_partition(entries, i, j)
+            score = max(split[0][2], split[1][2])  # the larger covering radius
+            if best is None or score < best[0]:
+                best = (score, (i, j), split)
+        _, (i, j), split = best
+        result = []
+        for promoted_idx, assignment, radius in split:
+            group = []
+            for k, dist in assignment:
+                entries[k].parent_dist = dist
+                group.append(entries[k])
+            result.append((entries[promoted_idx].obj, group, radius))
+        return result
+
+    def _evaluate_partition(self, entries, i: int, j: int):
+        """Hyperplane partition for promoted pair (i, j), without mutation.
+
+        Returns two triples (promoted_index, [(entry_index, dist)], radius).
+        """
+        obj1, obj2 = entries[i].obj, entries[j].obj
+        group1: list[tuple[int, float]] = []
+        group2: list[tuple[int, float]] = []
+        radius1 = radius2 = 0.0
+        for k, e in enumerate(entries):
+            d1 = 0.0 if k == i else self.space.d(e.obj, obj1)
+            d2 = 0.0 if k == j else self.space.d(e.obj, obj2)
+            child_radius = 0.0 if isinstance(e, MLeafEntry) else e.radius
+            if d1 <= d2:
+                group1.append((k, d1))
+                radius1 = max(radius1, d1 + child_radius)
+            else:
+                group2.append((k, d2))
+                radius2 = max(radius2, d2 + child_radius)
+        return (i, group1, radius1), (j, group2, radius2)
+
+    def _make_routing(self, obj, radius: float, child_page: int, child: MNode):
+        entry = MRoutingEntry(
+            routing_id=-1,
+            obj=obj,
+            radius=radius,
+            parent_dist=0.0,
+            child_page=child_page,
+        )
+        if self.track_vectors:
+            vecs = [
+                e.vec if isinstance(e, MLeafEntry) else None for e in child.entries
+            ]
+            lows_list, highs_list = [], []
+            for e in child.entries:
+                if isinstance(e, MLeafEntry):
+                    if e.vec is not None:
+                        lows_list.append(np.asarray(e.vec))
+                        highs_list.append(np.asarray(e.vec))
+                else:
+                    if e.mbb_lows is not None:
+                        lows_list.append(e.mbb_lows)
+                        highs_list.append(e.mbb_highs)
+            if lows_list:
+                entry.mbb_lows = np.minimum.reduce(lows_list)
+                entry.mbb_highs = np.maximum.reduce(highs_list)
+        return entry
+
+    def _reindex_leaf(self, page_id: int, node: MNode) -> None:
+        if node.is_leaf:
+            for e in node.entries:
+                self.leaf_of[e.object_id] = page_id
+
+    # -- deletion -----------------------------------------------------------------
+
+    def delete(self, object_id: int) -> bool:
+        """Directory-assisted lazy delete (radii stay conservative)."""
+        leaf_page = self.leaf_of.pop(object_id, None)
+        if leaf_page is None:
+            return False
+        node = self.read_node(leaf_page)
+        node.entries = [e for e in node.entries if e.object_id != object_id]
+        self._write(leaf_page, node)
+        self._size -= 1
+        return True
+
+    # -- object fetch (CPT) ----------------------------------------------------------
+
+    def fetch_object(self, object_id: int):
+        """Load one object from its leaf page (counted page access)."""
+        leaf_page = self.leaf_of.get(object_id)
+        if leaf_page is None:
+            raise KeyError(f"object {object_id} is not in the tree")
+        node = self.read_node(leaf_page)
+        for e in node.entries:
+            if e.object_id == object_id:
+                return e.obj
+        raise KeyError(f"object {object_id} missing from its leaf page")
+
+    # -- queries ------------------------------------------------------------------------
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        """MRQ(q, r) with the M-tree's parent-distance prefilter."""
+        results: list[int] = []
+        # stack holds (page_id, d(q, parent routing object) or None)
+        stack: list[tuple[int, float | None]] = [(self.root_page, None)]
+        while stack:
+            page_id, d_parent = stack.pop()
+            node = self.read_node(page_id)
+            if node.is_leaf:
+                for e in node.entries:
+                    if d_parent is not None and abs(d_parent - e.parent_dist) > radius:
+                        continue  # pruned without a distance computation
+                    d = self.space.d(query_obj, e.obj)
+                    if d <= radius:
+                        results.append(e.object_id)
+            else:
+                for e in node.entries:
+                    if (
+                        d_parent is not None
+                        and abs(d_parent - e.parent_dist) > radius + e.radius
+                    ):
+                        continue
+                    d = self.space.d(query_obj, e.obj)
+                    if d <= radius + e.radius:
+                        stack.append((e.child_page, d))
+        return results
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        """MkNNQ(q, k), best-first by ball lower bound."""
+        heap_entries = KnnHeap(k)
+        counter = itertools.count()
+        pq: list[tuple[float, int, int, float | None]] = [
+            (0.0, next(counter), self.root_page, None)
+        ]
+        while pq:
+            bound, _, page_id, d_parent = heapq.heappop(pq)
+            if bound > heap_entries.radius:
+                break
+            node = self.read_node(page_id)
+            if node.is_leaf:
+                for e in node.entries:
+                    r = heap_entries.radius
+                    if d_parent is not None and abs(d_parent - e.parent_dist) > r:
+                        continue
+                    d = self.space.d(query_obj, e.obj)
+                    heap_entries.consider(e.object_id, d)
+            else:
+                for e in node.entries:
+                    r = heap_entries.radius
+                    if (
+                        d_parent is not None
+                        and abs(d_parent - e.parent_dist) > r + e.radius
+                    ):
+                        continue
+                    d = self.space.d(query_obj, e.obj)
+                    lower = max(0.0, d - e.radius)
+                    if lower <= heap_entries.radius:
+                        heapq.heappush(pq, (lower, next(counter), e.child_page, d))
+        return heap_entries.neighbors()
+
+    # -- iteration / diagnostics ----------------------------------------------------------
+
+    def iter_leaf_entries(self) -> Iterator[tuple[int, MLeafEntry]]:
+        """Yield (leaf_page_id, entry) for every stored object."""
+        stack = [self.root_page]
+        while stack:
+            page_id = stack.pop()
+            node = self.read_node(page_id)
+            if node.is_leaf:
+                for e in node.entries:
+                    yield page_id, e
+            else:
+                stack.extend(e.child_page for e in node.entries)
+
+    def check_invariants(self) -> None:
+        count = self._check_node(self.root_page, None)
+        assert count == self._size, "size counter out of sync"
+
+    def _check_node(self, page_id: int, parent_ball) -> int:
+        node = self.read_node(page_id)
+        total = 0
+        if node.is_leaf:
+            for e in node.entries:
+                if parent_ball is not None:
+                    parent_obj, radius = parent_ball
+                    d = self.space.distance(e.obj, parent_obj)  # uncounted check
+                    assert d <= radius + 1e-9, "leaf object outside covering radius"
+                    assert abs(d - e.parent_dist) < 1e-9, "stale parent distance"
+                total += 1
+            return total
+        for e in node.entries:
+            if parent_ball is not None:
+                parent_obj, radius = parent_ball
+                d = self.space.distance(e.obj, parent_obj)
+                assert d - 1e-9 <= radius + e.radius, "routing ball escapes parent"
+            total += self._check_node(e.child_page, (e.obj, e.radius))
+        return total

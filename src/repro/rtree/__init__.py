@@ -1,0 +1,6 @@
+"""Paged R-tree substrate (OmniR-tree)."""
+
+from .geometry import Rect
+from .rtree import RInternalNode, RLeafNode, RTree
+
+__all__ = ["Rect", "RInternalNode", "RLeafNode", "RTree"]

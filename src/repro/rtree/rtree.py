@@ -1,0 +1,447 @@
+"""Paged R-tree over points in pivot space (the OmniR-tree's engine).
+
+Leaves store (point, payload) entries -- the point is a mapped vector I(o),
+the payload an object id or RAF pointer.  Internal nodes store child page ids
+with their MBBs.  Supported operations:
+
+* STR (sort-tile-recursive) bulk load -- the construction path,
+* insert with least-margin-enlargement choose-subtree and quadratic split,
+* delete with condense-and-reinsert,
+* rectangle range search (SR(q) intersection, Lemma 1),
+* best-first incremental nearest search under the L-infinity mindist, which
+  lower-bounds the metric distance d(q, o) (drives MkNNQ).
+
+All node traffic flows through the shared :class:`~repro.storage.pager.Pager`
+and is therefore counted as page accesses.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..storage.pager import Pager
+from .geometry import Rect
+
+__all__ = ["RTree", "RLeafNode", "RInternalNode"]
+
+
+@dataclass
+class RLeafNode:
+    points: list = field(default_factory=list)  # np.ndarray per entry
+    payloads: list = field(default_factory=list)
+
+    is_leaf = True
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def mbb(self) -> Rect:
+        return Rect.bounding_points(np.asarray(self.points))
+
+
+@dataclass
+class RInternalNode:
+    children: list = field(default_factory=list)  # page ids
+    rects: list = field(default_factory=list)  # Rect per child
+
+    is_leaf = False
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def mbb(self) -> Rect:
+        return Rect.union_of(self.rects)
+
+
+class RTree:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        pager: Pager,
+        dims: int,
+        leaf_capacity: int | None = None,
+        internal_capacity: int | None = None,
+    ):
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        self.pager = pager
+        self.dims = dims
+        point_bytes = 8 * dims + 24
+        self.leaf_capacity = leaf_capacity or max(
+            4, (pager.page_size - 64) // point_bytes
+        )
+        self.internal_capacity = internal_capacity or max(
+            4, (pager.page_size - 64) // (2 * 8 * dims + 32)
+        )
+        self.root_page = pager.allocate()
+        self.height = 1
+        self._size = 0
+        pager.write(self.root_page, RLeafNode())
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _min_fill(self, capacity: int) -> int:
+        return max(1, int(capacity * 0.4))
+
+    # -- bulk load (STR) ----------------------------------------------------
+
+    def bulk_load(self, points, payloads) -> None:
+        """Sort-Tile-Recursive packing of ``points`` (requires empty tree)."""
+        if self._size:
+            raise RuntimeError("bulk_load requires an empty tree")
+        points = np.asarray(points, dtype=np.float64)
+        payloads = list(payloads)
+        if points.ndim != 2 or points.shape[1] != self.dims:
+            raise ValueError(f"points must be n x {self.dims}")
+        if len(points) != len(payloads):
+            raise ValueError("points and payloads must align")
+        if len(points) == 0:
+            return
+        self.pager.free(self.root_page)
+
+        order = self._str_order(points, self.leaf_capacity)
+        level: list[tuple[int, Rect]] = []
+        for chunk in self._chunks(order, self.leaf_capacity):
+            node = RLeafNode(
+                points=[points[i] for i in chunk],
+                payloads=[payloads[i] for i in chunk],
+            )
+            page = self.pager.allocate()
+            self.pager.write(page, node)
+            level.append((page, node.mbb()))
+        self.height = 1
+        while len(level) > 1:
+            centers = np.asarray(
+                [(rect.lows + rect.highs) / 2.0 for _, rect in level]
+            )
+            order = self._str_order(centers, self.internal_capacity)
+            next_level = []
+            for chunk in self._chunks(order, self.internal_capacity):
+                node = RInternalNode(
+                    children=[level[i][0] for i in chunk],
+                    rects=[level[i][1] for i in chunk],
+                )
+                page = self.pager.allocate()
+                self.pager.write(page, node)
+                next_level.append((page, node.mbb()))
+            level = next_level
+            self.height += 1
+        self.root_page = level[0][0]
+        self._size = len(points)
+
+    @staticmethod
+    def _chunks(order: np.ndarray, size: int) -> Iterator[list[int]]:
+        for i in range(0, len(order), size):
+            yield [int(j) for j in order[i : i + size]]
+
+    @staticmethod
+    def _str_order(points: np.ndarray, capacity: int) -> np.ndarray:
+        """STR ordering: sort by dim 0, slice, sort slices by dim 1, ..."""
+        n, dims = points.shape
+        n_leaves = max(1, math.ceil(n / capacity))
+        order = np.argsort(points[:, 0], kind="stable")
+        if dims == 1 or n_leaves == 1:
+            return order
+        slices = max(1, math.ceil(n_leaves ** (1.0 / dims)))
+        slice_size = max(1, math.ceil(n / slices))
+        pieces = []
+        for i in range(0, n, slice_size):
+            piece = order[i : i + slice_size]
+            inner = points[piece][:, 1 % dims]
+            pieces.append(piece[np.argsort(inner, kind="stable")])
+        return np.concatenate(pieces)
+
+    # -- insert -------------------------------------------------------------
+
+    def insert(self, point, payload) -> None:
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.dims,):
+            raise ValueError(f"point must have {self.dims} dims")
+        path = self._choose_leaf(point)
+        page_id, node = path[-1]
+        node.points.append(point)
+        node.payloads.append(payload)
+        self._size += 1
+        self._handle_overflow(path)
+
+    def _choose_leaf(self, point) -> list[tuple[int, Any]]:
+        path = []
+        page_id = self.root_page
+        node = self.pager.read(page_id)
+        path.append((page_id, node))
+        while not node.is_leaf:
+            best, best_cost, best_margin = 0, float("inf"), float("inf")
+            for i, rect in enumerate(node.rects):
+                cost = rect.enlargement(point)
+                margin = rect.margin()
+                if cost < best_cost or (cost == best_cost and margin < best_margin):
+                    best, best_cost, best_margin = i, cost, margin
+            page_id = node.children[best]
+            node = self.pager.read(page_id)
+            path.append((page_id, node))
+        return path
+
+    def _handle_overflow(self, path: list[tuple[int, Any]]) -> None:
+        # write the modified leaf, splitting as needed, then fix parents
+        child_split: tuple[int, Rect, int, Rect] | None = None
+        for level in range(len(path) - 1, -1, -1):
+            page_id, node = path[level]
+            if child_split is not None:
+                left_page, left_rect, right_page, right_rect = child_split
+                pos = node.children.index(left_page)
+                node.rects[pos] = left_rect
+                node.children.append(right_page)
+                node.rects.append(right_rect)
+                child_split = None
+            capacity = self.leaf_capacity if node.is_leaf else self.internal_capacity
+            if len(node) <= capacity:
+                self.pager.write(page_id, node)
+                self._refresh_parent_rects(path, level)
+                return
+            child_split = self._split(page_id, node)
+        if child_split is not None:
+            left_page, left_rect, right_page, right_rect = child_split
+            new_root = RInternalNode(
+                children=[left_page, right_page], rects=[left_rect, right_rect]
+            )
+            self.root_page = self.pager.allocate()
+            self.pager.write(self.root_page, new_root)
+            self.height += 1
+
+    def _refresh_parent_rects(self, path: list[tuple[int, Any]], level: int) -> None:
+        child_page, child = path[level]
+        rect = child.mbb()
+        for upper in range(level - 1, -1, -1):
+            parent_page, parent = path[upper]
+            pos = parent.children.index(child_page)
+            if parent.rects[pos].contains_rect(rect) and rect.contains_rect(
+                parent.rects[pos]
+            ):
+                return
+            parent.rects[pos] = rect
+            self.pager.write(parent_page, parent)
+            child_page, rect = parent_page, parent.mbb()
+
+    def _split(self, page_id: int, node) -> tuple[int, Rect, int, Rect]:
+        """Quadratic split (Guttman); returns (left page, rect, right page, rect)."""
+        if node.is_leaf:
+            rects = [Rect.from_point(p) for p in node.points]
+            entries = list(zip(node.points, node.payloads))
+        else:
+            rects = list(node.rects)
+            entries = list(zip(node.children, node.rects))
+        seed_a, seed_b = self._pick_seeds(rects)
+        groups: tuple[list[int], list[int]] = ([seed_a], [seed_b])
+        group_rects = [rects[seed_a], rects[seed_b]]
+        remaining = [i for i in range(len(entries)) if i not in (seed_a, seed_b)]
+        capacity = self.leaf_capacity if node.is_leaf else self.internal_capacity
+        min_fill = self._min_fill(capacity)
+        while remaining:
+            # force-assign when one group must take everything left
+            for g in (0, 1):
+                if len(groups[g]) + len(remaining) == min_fill:
+                    groups[g].extend(remaining)
+                    for i in remaining:
+                        group_rects[g] = group_rects[g].expanded(rects[i])
+                    remaining = []
+                    break
+            if not remaining:
+                break
+            # pick the entry with the greatest preference difference
+            best_i, best_diff, best_g = remaining[0], -1.0, 0
+            for i in remaining:
+                d0 = group_rects[0].expanded(rects[i]).margin() - group_rects[0].margin()
+                d1 = group_rects[1].expanded(rects[i]).margin() - group_rects[1].margin()
+                diff = abs(d0 - d1)
+                if diff > best_diff:
+                    best_i, best_diff, best_g = i, diff, 0 if d0 < d1 else 1
+            remaining.remove(best_i)
+            groups[best_g].append(best_i)
+            group_rects[best_g] = group_rects[best_g].expanded(rects[best_i])
+
+        right_page = self.pager.allocate()
+        if node.is_leaf:
+            left = RLeafNode(
+                points=[entries[i][0] for i in groups[0]],
+                payloads=[entries[i][1] for i in groups[0]],
+            )
+            right = RLeafNode(
+                points=[entries[i][0] for i in groups[1]],
+                payloads=[entries[i][1] for i in groups[1]],
+            )
+        else:
+            left = RInternalNode(
+                children=[entries[i][0] for i in groups[0]],
+                rects=[entries[i][1] for i in groups[0]],
+            )
+            right = RInternalNode(
+                children=[entries[i][0] for i in groups[1]],
+                rects=[entries[i][1] for i in groups[1]],
+            )
+        self.pager.write(page_id, left)
+        self.pager.write(right_page, right)
+        return page_id, left.mbb(), right_page, right.mbb()
+
+    @staticmethod
+    def _pick_seeds(rects: list[Rect]) -> tuple[int, int]:
+        best = (0, 1 if len(rects) > 1 else 0)
+        best_waste = -float("inf")
+        for i, j in itertools.combinations(range(len(rects)), 2):
+            waste = rects[i].expanded(rects[j]).margin() - rects[i].margin() - rects[j].margin()
+            if waste > best_waste:
+                best_waste, best = waste, (i, j)
+        return best
+
+    # -- delete -----------------------------------------------------------------
+
+    def delete(self, point, payload) -> bool:
+        """Remove the entry matching (point, payload); condense + reinsert."""
+        point = np.asarray(point, dtype=np.float64)
+        found = self._find_entry(self.root_page, point, payload, parents=[])
+        if found is None:
+            return False
+        path = found
+        leaf_page, leaf = path[-1]
+        for i, (p, pl) in enumerate(zip(leaf.points, leaf.payloads)):
+            if pl == payload and np.array_equal(p, point):
+                del leaf.points[i]
+                del leaf.payloads[i]
+                break
+        self._size -= 1
+        self.pager.write(leaf_page, leaf)
+        self._condense(path)
+        return True
+
+    def _find_entry(self, page_id: int, point, payload, parents):
+        node = self.pager.read(page_id)
+        here = parents + [(page_id, node)]
+        if node.is_leaf:
+            for p, pl in zip(node.points, node.payloads):
+                if pl == payload and np.array_equal(p, point):
+                    return here
+            return None
+        for child, rect in zip(node.children, node.rects):
+            if rect.contains_point(point):
+                result = self._find_entry(child, point, payload, here)
+                if result is not None:
+                    return result
+        return None
+
+    def _condense(self, path: list[tuple[int, Any]]) -> None:
+        orphans: list[tuple[np.ndarray, Any]] = []
+        for level in range(len(path) - 1, 0, -1):
+            page_id, node = path[level]
+            parent_page, parent = path[level - 1]
+            capacity = self.leaf_capacity if node.is_leaf else self.internal_capacity
+            if len(node) < self._min_fill(capacity):
+                pos = parent.children.index(page_id)
+                del parent.children[pos]
+                del parent.rects[pos]
+                orphans.extend(self._collect_entries(node))
+                self.pager.free(page_id)
+                self.pager.write(parent_page, parent)
+            else:
+                self.pager.write(page_id, node)
+                self._refresh_parent_rects(path, level)
+                break
+        # shrink root if needed
+        root = self.pager.read(self.root_page)
+        if not root.is_leaf and len(root.children) == 1:
+            old = self.root_page
+            self.root_page = root.children[0]
+            self.pager.free(old)
+            self.height -= 1
+        elif not root.is_leaf and len(root.children) == 0:
+            self.pager.write(self.root_page, RLeafNode())
+            self.height = 1
+        for point, payload in orphans:
+            self._size -= 1  # reinsert re-increments
+            self.insert(point, payload)
+
+    def _collect_entries(self, node) -> list[tuple[np.ndarray, Any]]:
+        if node.is_leaf:
+            return list(zip(node.points, node.payloads))
+        collected = []
+        for child in node.children:
+            collected.extend(self._collect_entries(self.pager.read(child)))
+            self.pager.free(child)
+        return collected
+
+    # -- queries -------------------------------------------------------------------
+
+    def search_rect(self, rect: Rect) -> list[tuple[np.ndarray, Any]]:
+        """All (point, payload) entries whose point lies inside ``rect``."""
+        results: list[tuple[np.ndarray, Any]] = []
+        stack = [self.root_page]
+        while stack:
+            node = self.pager.read(stack.pop())
+            if node.is_leaf:
+                for point, payload in zip(node.points, node.payloads):
+                    if rect.contains_point(point):
+                        results.append((point, payload))
+            else:
+                for child, child_rect in zip(node.children, node.rects):
+                    if rect.intersects(child_rect):
+                        stack.append(child)
+        return results
+
+    def nearest_linf(self, point) -> Iterator[tuple[float, np.ndarray, Any]]:
+        """Best-first enumeration of entries by L-infinity mindist to ``point``.
+
+        Yields (mindist, entry_point, payload) in nondecreasing mindist
+        order; the caller stops consuming once its search radius is beaten,
+        so node reads are lazy and counted only when popped.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        counter = itertools.count()
+        heap: list[tuple[float, int, bool, Any]] = []
+        heapq.heappush(heap, (0.0, next(counter), False, self.root_page))
+        while heap:
+            dist, _, is_entry, payload = heapq.heappop(heap)
+            if is_entry:
+                entry_point, entry_payload = payload
+                yield dist, entry_point, entry_payload
+                continue
+            node = self.pager.read(payload)
+            if node.is_leaf:
+                for p, pl in zip(node.points, node.payloads):
+                    d = float(np.abs(p - point).max()) if p.size else 0.0
+                    heapq.heappush(heap, (d, next(counter), True, (p, pl)))
+            else:
+                for child, rect in zip(node.children, node.rects):
+                    heapq.heappush(
+                        heap,
+                        (rect.min_dist_linf(point), next(counter), False, child),
+                    )
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        count = self._check_node(self.root_page)[0]
+        assert count == self._size, "size counter out of sync"
+
+    def _check_node(self, page_id: int) -> tuple[int, Rect, int]:
+        node = self.pager.read(page_id)
+        if node.is_leaf:
+            if not node.points:
+                return 0, Rect([0.0] * self.dims, [0.0] * self.dims), 1
+            return len(node.points), node.mbb(), 1
+        assert len(node.children) == len(node.rects)
+        total = 0
+        depths = set()
+        for child, rect in zip(node.children, node.rects):
+            child_count, child_mbb, child_depth = self._check_node(child)
+            if child_count:
+                assert rect.contains_rect(child_mbb), "child MBB not contained"
+            total += child_count
+            depths.add(child_depth)
+        assert len(depths) == 1, "unbalanced R-tree"
+        return total, node.mbb(), depths.pop() + 1

@@ -1,0 +1,6 @@
+"""Space-filling curves used by the SPB-tree."""
+
+from .hilbert import HilbertCurve
+from .zorder import ZOrderCurve
+
+__all__ = ["HilbertCurve", "ZOrderCurve"]

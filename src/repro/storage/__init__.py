@@ -1,0 +1,13 @@
+"""Simulated disk substrate: page store, buffer pool, random access file."""
+
+from .pager import DEFAULT_PAGE_SIZE, BufferPool, Pager, PageStore
+from .raf import RandomAccessFile, RecordPointer
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "BufferPool",
+    "Pager",
+    "PageStore",
+    "RandomAccessFile",
+    "RecordPointer",
+]

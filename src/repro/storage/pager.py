@@ -1,0 +1,226 @@
+"""Simulated disk: a page store with access counting and a buffer pool.
+
+The paper's external indexes are evaluated by page accesses (PA) on 4 KB
+pages (40 KB for CPT / PM-tree on the high-dimensional datasets) with a
+128 KB LRU cache for MkNNQ.  We reproduce that substrate:
+
+* :class:`PageStore` keeps pages as pickled bytes ("the disk").  Every read
+  or write of a page increments the shared :class:`~repro.core.counters.
+  CostCounters`, unless the page is served by the buffer pool.
+* :class:`BufferPool` is an LRU write-back cache in front of the store.
+  Its capacity is expressed in bytes, like the paper's 128 KB cache.
+
+Indexes never touch pickled bytes directly -- they read and write Python
+node objects; serialisation happens at the store boundary so that reported
+storage sizes are real serialised sizes, and page-capacity decisions can use
+measured byte sizes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from typing import Any
+
+from ..core.counters import CostCounters
+
+__all__ = ["PageStore", "BufferPool", "Pager", "DEFAULT_PAGE_SIZE"]
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class PageStore:
+    """Fixed-page-size backing store with PA counting.
+
+    Args:
+        page_size: logical page size in bytes; a node larger than one page
+            occupies ``ceil(size / page_size)`` pages and costs that many
+            accesses (the paper's large-page configurations are modelled by
+            passing 40960).
+        counters: shared cost counters (same object as the metric space's).
+    """
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        counters: CostCounters | None = None,
+    ):
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self.counters = counters if counters is not None else CostCounters()
+        self._pages: dict[int, bytes] = {}
+        self._next_id = 0
+
+    def allocate(self) -> int:
+        """Reserve a new page id (no I/O counted)."""
+        page_id = self._next_id
+        self._next_id += 1
+        self._pages[page_id] = b""
+        return page_id
+
+    def write(self, page_id: int, node: Any) -> None:
+        """Serialise ``node`` into the page, counting write accesses."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} was never allocated")
+        blob = pickle.dumps(node, protocol=pickle.HIGHEST_PROTOCOL)
+        self._pages[page_id] = blob
+        self.counters.add_page_write(self.pages_spanned(len(blob)))
+
+    def read(self, page_id: int) -> Any:
+        """Deserialise the page content, counting read accesses."""
+        try:
+            blob = self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"page {page_id} was never allocated") from None
+        if not blob:
+            raise KeyError(f"page {page_id} was allocated but never written")
+        self.counters.add_page_read(self.pages_spanned(len(blob)))
+        return pickle.loads(blob)
+
+    def free(self, page_id: int) -> None:
+        self._pages.pop(page_id, None)
+
+    def pages_spanned(self, nbytes: int) -> int:
+        """How many physical pages a node of ``nbytes`` occupies (>= 1)."""
+        return max(1, -(-nbytes // self.page_size))
+
+    def page_bytes(self, page_id: int) -> int:
+        """Serialised size of one page's content."""
+        return len(self._pages.get(page_id, b""))
+
+    def total_bytes(self) -> int:
+        """Total stored bytes, rounded up to whole pages (disk footprint)."""
+        return sum(
+            self.pages_spanned(len(blob)) * self.page_size
+            for blob in self._pages.values()
+            if blob
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for blob in self._pages.values() if blob)
+
+
+class BufferPool:
+    """Byte-budgeted LRU write-back cache over a :class:`PageStore`.
+
+    Reads served from the pool cost no page access; misses read through.
+    Writes are buffered (dirty) and flushed on eviction or :meth:`flush`.
+    A ``capacity_bytes`` of 0 disables caching entirely (every access goes
+    to the store), which is how construction-time PA is measured.
+    """
+
+    def __init__(self, store: PageStore, capacity_bytes: int = 128 * 1024):
+        self.store = store
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[int, tuple[Any, int, bool]] = OrderedDict()
+        self._used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _node_bytes(self, node: Any) -> int:
+        return len(pickle.dumps(node, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def read(self, page_id: int) -> Any:
+        if page_id in self._entries:
+            node, nbytes, dirty = self._entries.pop(page_id)
+            self._entries[page_id] = (node, nbytes, dirty)
+            self.hits += 1
+            return node
+        self.misses += 1
+        node = self.store.read(page_id)
+        self._admit(page_id, node, dirty=False)
+        return node
+
+    def write(self, page_id: int, node: Any) -> None:
+        if page_id in self._entries:
+            _, old_bytes, _ = self._entries.pop(page_id)
+            self._used_bytes -= old_bytes
+        self._admit(page_id, node, dirty=True)
+
+    def _admit(self, page_id: int, node: Any, dirty: bool) -> None:
+        nbytes = self._node_bytes(node)
+        if self.capacity_bytes <= 0 or nbytes > self.capacity_bytes:
+            # cannot hold it: write through / serve through
+            if dirty:
+                self.store.write(page_id, node)
+            return
+        self._entries[page_id] = (node, nbytes, dirty)
+        self._used_bytes += nbytes
+        while self._used_bytes > self.capacity_bytes and self._entries:
+            victim_id, (victim, victim_bytes, victim_dirty) = self._entries.popitem(
+                last=False
+            )
+            self._used_bytes -= victim_bytes
+            if victim_dirty:
+                self.store.write(victim_id, victim)
+
+    def flush(self) -> None:
+        """Write all dirty pages back to the store (keeps them cached)."""
+        for page_id, (node, nbytes, dirty) in list(self._entries.items()):
+            if dirty:
+                self.store.write(page_id, node)
+                self._entries[page_id] = (node, nbytes, False)
+
+    def drop(self) -> None:
+        """Flush, then empty the pool (used between benchmark phases)."""
+        self.flush()
+        self._entries.clear()
+        self._used_bytes = 0
+
+    def invalidate(self, page_id: int) -> None:
+        """Forget a cached page without writing it back (after free)."""
+        entry = self._entries.pop(page_id, None)
+        if entry is not None:
+            self._used_bytes -= entry[1]
+
+
+class Pager:
+    """Store + buffer pool facade handed to disk-based indexes.
+
+    One pager per index.  ``set_cache_bytes`` switches between the paper's
+    configurations: 0 during construction (all accesses hit "disk") and
+    128 KB during MkNNQ batches.
+    """
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        counters: CostCounters | None = None,
+        cache_bytes: int = 0,
+    ):
+        self.store = PageStore(page_size=page_size, counters=counters)
+        self.pool = BufferPool(self.store, capacity_bytes=cache_bytes)
+
+    @property
+    def page_size(self) -> int:
+        return self.store.page_size
+
+    @property
+    def counters(self) -> CostCounters:
+        return self.store.counters
+
+    def set_cache_bytes(self, capacity_bytes: int) -> None:
+        """Resize the buffer pool (flushes and drops current contents)."""
+        self.pool.drop()
+        self.pool.capacity_bytes = capacity_bytes
+
+    def allocate(self) -> int:
+        return self.store.allocate()
+
+    def read(self, page_id: int) -> Any:
+        return self.pool.read(page_id)
+
+    def write(self, page_id: int, node: Any) -> None:
+        self.pool.write(page_id, node)
+
+    def free(self, page_id: int) -> None:
+        self.pool.invalidate(page_id)
+        self.store.free(page_id)
+
+    def flush(self) -> None:
+        self.pool.flush()
+
+    def disk_bytes(self) -> int:
+        self.pool.flush()
+        return self.store.total_bytes()

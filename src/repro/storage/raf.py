@@ -1,0 +1,108 @@
+"""Random Access File: the separate object store of the Omni / M-index / SPB.
+
+The Omni-family, M-index and SPB-tree keep the real objects (optionally with
+their pre-computed pivot distances) out of the index structure, in a
+sequential record file addressed by (page, slot) pointers.  Reading a record
+costs one page access unless the page is cached -- the paper's duplicate-RAF-
+access discussion for MkNNQ is exactly about this.
+
+Records are grouped into pages greedily in insertion order, mirroring the
+sequential layout the paper describes; M-index and SPB-tree pass records in
+cluster/SFC order so that proximate objects share pages.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from .pager import Pager
+
+__all__ = ["RecordPointer", "RandomAccessFile"]
+
+
+@dataclass(frozen=True)
+class RecordPointer:
+    """Stable address of one record: page id + slot within the page."""
+
+    page_id: int
+    slot: int
+
+
+class RandomAccessFile:
+    """Append-organised record file over a :class:`~repro.storage.pager.Pager`.
+
+    Args:
+        pager: page allocator/IO with PA counting (shared with the index).
+        fill_factor: fraction of the page size to fill before opening a new
+            page; < 1 leaves slack so updated records can be rewritten in
+            place without overflowing.
+    """
+
+    def __init__(self, pager: Pager, fill_factor: float = 0.9):
+        if not 0 < fill_factor <= 1:
+            raise ValueError(f"fill_factor must be in (0, 1], got {fill_factor}")
+        self.pager = pager
+        self.fill_factor = fill_factor
+        self._open_page_id: int | None = None
+        self._open_records: list[Any] = []
+        self._open_bytes = 0
+        self._count = 0
+
+    def _record_bytes(self, record: Any) -> int:
+        return len(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def _budget(self) -> int:
+        return int(self.pager.page_size * self.fill_factor)
+
+    def append(self, record: Any) -> RecordPointer:
+        """Write one record, returning its pointer."""
+        nbytes = self._record_bytes(record)
+        if (
+            self._open_page_id is None
+            or (self._open_bytes + nbytes > self._budget() and self._open_records)
+        ):
+            self._seal_open_page()
+            self._open_page_id = self.pager.allocate()
+            self._open_records = []
+            self._open_bytes = 0
+        self._open_records.append(record)
+        self._open_bytes += nbytes
+        self._count += 1
+        pointer = RecordPointer(self._open_page_id, len(self._open_records) - 1)
+        self.pager.write(self._open_page_id, list(self._open_records))
+        return pointer
+
+    def append_many(self, records: Iterable[Any]) -> list[RecordPointer]:
+        return [self.append(record) for record in records]
+
+    def _seal_open_page(self) -> None:
+        if self._open_page_id is not None and self._open_records:
+            self.pager.write(self._open_page_id, list(self._open_records))
+
+    def read(self, pointer: RecordPointer) -> Any:
+        """Fetch one record (one page access on cache miss)."""
+        records = self.pager.read(pointer.page_id)
+        try:
+            return records[pointer.slot]
+        except (IndexError, TypeError):
+            raise KeyError(f"no record at {pointer}") from None
+
+    def update(self, pointer: RecordPointer, record: Any) -> None:
+        """Rewrite a record in place."""
+        records = self.pager.read(pointer.page_id)
+        if pointer.slot >= len(records):
+            raise KeyError(f"no record at {pointer}")
+        records = list(records)
+        records[pointer.slot] = record
+        self.pager.write(pointer.page_id, records)
+        if pointer.page_id == self._open_page_id:
+            self._open_records = records
+
+    def mark_deleted(self, pointer: RecordPointer) -> None:
+        """Tombstone a record (slot positions must stay stable)."""
+        self.update(pointer, None)
+
+    def __len__(self) -> int:
+        return self._count

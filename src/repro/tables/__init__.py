@@ -1,0 +1,8 @@
+"""Pivot-based tables: AESA, LAESA, EPT, EPT*, CPT (paper Section 3)."""
+
+from .aesa import AESA
+from .cpt import CPT
+from .ept import EPT, EPTStar
+from .laesa import LAESA
+
+__all__ = ["AESA", "CPT", "EPT", "EPTStar", "LAESA"]

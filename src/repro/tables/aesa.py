@@ -1,0 +1,90 @@
+"""AESA: the full O(n^2) distance table (Vidal 1986).
+
+Stores the distance between *every* pair of objects.  Queries then need very
+few distance computations: pick an unverified object (initially arbitrary,
+afterwards the one with the smallest lower bound), compute its true distance,
+and use its table row to tighten the lower bound of everyone else.
+
+The paper calls AESA "a theoretical metric index" because of the quadratic
+storage -- it is included here as the compdists lower-bound reference and for
+small-dataset use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.index import MetricIndex, UnsupportedOperation
+from ..core.metric_space import MetricSpace
+from ..core.queries import KnnHeap, Neighbor
+
+__all__ = ["AESA"]
+
+
+class AESA(MetricIndex):
+    """Approximating and Eliminating Search Algorithm."""
+
+    name = "AESA"
+
+    def __init__(self, space: MetricSpace, table: np.ndarray):
+        super().__init__(space)
+        self.table = table
+
+    @classmethod
+    def build(cls, space: MetricSpace) -> "AESA":
+        """Compute the n x n distance table (n(n-1)/2 computations)."""
+        n = len(space)
+        table = np.zeros((n, n), dtype=np.float64)
+        dataset = space.dataset
+        for i in range(n):
+            if i + 1 < n:
+                row = space.d_many(dataset[i], dataset.gather(range(i + 1, n)))
+                table[i, i + 1 :] = row
+                table[i + 1 :, i] = row
+        return cls(space, table)
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        n = len(self.space)
+        lower = np.zeros(n, dtype=np.float64)
+        alive = np.ones(n, dtype=bool)
+        results: list[int] = []
+        while True:
+            candidates = np.flatnonzero(alive)
+            if candidates.size == 0:
+                return sorted(results)
+            pick = int(candidates[np.argmin(lower[candidates])])
+            if lower[pick] > radius:
+                return sorted(results)
+            alive[pick] = False
+            d = self.space.d_id(query_obj, pick)
+            if d <= radius:
+                results.append(pick)
+            # eliminate/approximate with pick's table row
+            lower = np.maximum(lower, np.abs(self.table[pick] - d))
+            alive &= lower <= radius
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        n = len(self.space)
+        heap = KnnHeap(k)
+        lower = np.zeros(n, dtype=np.float64)
+        alive = np.ones(n, dtype=bool)
+        while True:
+            candidates = np.flatnonzero(alive)
+            if candidates.size == 0:
+                return heap.neighbors()
+            pick = int(candidates[np.argmin(lower[candidates])])
+            if lower[pick] > heap.radius:
+                return heap.neighbors()
+            alive[pick] = False
+            d = self.space.d_id(query_obj, pick)
+            heap.consider(pick, d)
+            lower = np.maximum(lower, np.abs(self.table[pick] - d))
+
+    def insert(self, obj) -> int:
+        raise UnsupportedOperation("AESA tables are static (O(n) insert cost)")
+
+    def storage_bytes(self) -> dict[str, int]:
+        objects = sum(
+            self.space.dataset.object_nbytes(i) for i in range(len(self.space))
+        )
+        return {"memory": int(self.table.nbytes) + objects, "disk": 0}

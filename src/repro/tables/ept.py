@@ -1,0 +1,285 @@
+"""EPT and EPT*: Extreme Pivot Tables (Ruiz et al. 2013 + the paper's PSA).
+
+EPT picks *different pivots for different objects*: it draws ``l`` groups of
+``m`` random pivots; within each group an object is assigned the pivot p that
+maximises |d(o, p) - mu_p| (the "extreme" pivot, Fig. 4 of the paper).  Each
+object therefore stores ``l`` (pivot, distance) pairs, and a query pays
+``m * l`` distance computations up front to know d(q, p) for every group
+pivot.  The group size m is estimated from the paper's Equation (1) cost
+model.
+
+EPT* (the paper's first contribution, Section 3.2) replaces the random
+groups with PSA (Algorithm 1): per object, greedily pick from an HF
+candidate set the pivots maximising E[D(q,o)/d(q,o)].  Construction is far
+more expensive -- exactly as Table 4 reports -- but queries prune better
+(Fig. 14).
+
+MRQ/MkNNQ processing is identical to LAESA's except that the lower bound of
+object o uses o's own pivots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.index import MetricIndex
+from ..core.metric_space import MetricSpace
+from ..core.pivot_selection import hf, psa
+from ..core.queries import KnnHeap, Neighbor
+
+__all__ = ["EPT", "EPTStar"]
+
+
+class _ExtremePivotTableBase(MetricIndex):
+    """Shared query machinery: per-object pivot ids + distances."""
+
+    def __init__(
+        self,
+        space: MetricSpace,
+        pivot_ids: list[int],
+        pivot_idx: np.ndarray,
+        pivot_dist: np.ndarray,
+    ):
+        super().__init__(space)
+        self.pivot_ids = pivot_ids  # global candidate/pivot object ids
+        self._row_ids = np.arange(pivot_idx.shape[0], dtype=np.intp)
+        self._pivot_idx = pivot_idx.astype(np.int32)  # n x l, into pivot_ids
+        self._pivot_dist = pivot_dist.astype(np.float64)  # n x l
+
+    def _query_pivot_dists(self, query_obj) -> np.ndarray:
+        """d(q, p) for every pivot the table references (m*l or |CP| comps)."""
+        pivots = self.space.dataset.gather(self.pivot_ids)
+        return self.space.d_many(query_obj, pivots)
+
+    def _lower_bounds(self, qdists: np.ndarray) -> np.ndarray:
+        return np.abs(qdists[self._pivot_idx] - self._pivot_dist).max(axis=1)
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        qdists = self._query_pivot_dists(query_obj)
+        lower = self._lower_bounds(qdists)
+        results: list[int] = []
+        for i in np.flatnonzero(lower <= radius):
+            object_id = int(self._row_ids[i])
+            d = self.space.d_id(query_obj, object_id)
+            if d <= radius:
+                results.append(object_id)
+        return sorted(results)
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        qdists = self._query_pivot_dists(query_obj)
+        lower = self._lower_bounds(qdists)
+        heap = KnnHeap(k)
+        for i in range(len(self._row_ids)):  # storage order, as in the paper
+            if lower[i] > heap.radius:
+                continue
+            object_id = int(self._row_ids[i])
+            heap.consider(object_id, self.space.d_id(query_obj, object_id))
+        return heap.neighbors()
+
+    def delete(self, object_id: int) -> None:
+        """Sequential-scan delete, like LAESA."""
+        position = -1
+        for i in range(len(self._row_ids)):
+            if self._row_ids[i] == object_id:
+                position = i
+                break
+        if position < 0:
+            raise KeyError(f"object {object_id} is not in the table")
+        keep = np.ones(len(self._row_ids), dtype=bool)
+        keep[position] = False
+        self._row_ids = self._row_ids[keep]
+        self._pivot_idx = self._pivot_idx[keep]
+        self._pivot_dist = self._pivot_dist[keep]
+
+    def _append_row(self, object_id: int, idx_row, dist_row) -> None:
+        self._row_ids = np.concatenate([self._row_ids, [object_id]])
+        self._pivot_idx = np.concatenate(
+            [self._pivot_idx, np.asarray(idx_row, dtype=np.int32).reshape(1, -1)]
+        )
+        self._pivot_dist = np.concatenate(
+            [self._pivot_dist, np.asarray(dist_row, dtype=np.float64).reshape(1, -1)]
+        )
+
+    def storage_bytes(self) -> dict[str, int]:
+        objects = sum(
+            self.space.dataset.object_nbytes(int(i)) for i in self._row_ids
+        )
+        # each cell stores the pivot reference *and* the distance (the paper
+        # notes this overhead relative to LAESA)
+        table = int(self._pivot_dist.nbytes) + int(self._pivot_idx.nbytes)
+        return {"memory": table + 8 * len(self.pivot_ids) + objects, "disk": 0}
+
+
+class EPT(_ExtremePivotTableBase):
+    """Extreme Pivot Table with random groups (the 2013 original)."""
+
+    name = "EPT"
+
+    def __init__(self, space, pivot_ids, pivot_idx, pivot_dist, group_size: int, mu):
+        super().__init__(space, pivot_ids, pivot_idx, pivot_dist)
+        self.group_size = group_size
+        self._mu = mu  # mean d(o, p) per pivot column, for insert-time picks
+
+    @classmethod
+    def build(
+        cls,
+        space: MetricSpace,
+        n_groups: int = 5,
+        group_size: int | None = None,
+        seed: int = 0,
+        sample_size: int = 256,
+    ) -> "EPT":
+        """Draw ``n_groups`` random groups and assign extreme pivots.
+
+        ``group_size`` (m) defaults to the Equation (1) estimate: the m
+        minimising  m*l + n * (1 - Pr(|X - Y| > r))^l  on sampled
+        distances, with r set to a small quantile of the pairwise distances.
+        """
+        rng = np.random.default_rng(seed)
+        n = len(space)
+        l = n_groups
+        if group_size is None:
+            group_size = cls._estimate_group_size(space, l, rng)
+        m = max(1, min(group_size, n // max(1, l)))
+
+        pivot_ids: list[int] = []
+        pivot_idx = np.zeros((n, l), dtype=np.int32)
+        pivot_dist = np.zeros((n, l), dtype=np.float64)
+        mu_columns: list[float] = []
+        for j in range(l):
+            group = [int(i) for i in rng.choice(n, size=m, replace=False)]
+            # full distance columns: the dominant build cost of EPT (Table 4)
+            columns = np.stack(
+                [
+                    space.d_many(space.dataset[p], space.dataset.objects)
+                    for p in group
+                ],
+                axis=1,
+            )  # n x m
+            mus = columns.mean(axis=0)
+            extremeness = np.abs(columns - mus)
+            choice = extremeness.argmax(axis=1)  # per object: extreme pivot
+            base = len(pivot_ids)
+            pivot_ids.extend(group)
+            mu_columns.extend(float(v) for v in mus)
+            pivot_idx[:, j] = base + choice
+            pivot_dist[:, j] = columns[np.arange(n), choice]
+        return cls(
+            space, pivot_ids, pivot_idx, pivot_dist, m, np.asarray(mu_columns)
+        )
+
+    @staticmethod
+    def _estimate_group_size(space: MetricSpace, l: int, rng) -> int:
+        """Equation (1): pick m from sampled distance distributions."""
+        n = len(space)
+        sample = min(200, n)
+        ids = [int(i) for i in rng.choice(n, size=sample, replace=False)]
+        half = sample // 2
+        dists = space.pairwise_ids(ids[:half], ids[half:])
+        flat = np.sort(dists.ravel())
+        radius = float(flat[max(0, int(0.05 * len(flat)) - 1)])
+        # Pr(|X - Y| > r) for a random pivot: X, Y two independent distances
+        x = dists[: half // 2].ravel()
+        y = dists[half // 2 :].ravel()
+        size = min(len(x), len(y))
+        prune_prob = float(np.mean(np.abs(x[:size] - y[:size]) > radius))
+        best_m, best_cost = 1, float("inf")
+        for m in (1, 2, 4, 8, 16, 32):
+            # with m pivots per group the extreme pivot prunes roughly like
+            # the best of m draws
+            group_prob = 1.0 - (1.0 - prune_prob) ** m
+            cost = m * l + n * (1.0 - group_prob) ** l
+            if cost < best_cost:
+                best_m, best_cost = m, cost
+        return best_m
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        """Re-assign extreme pivots for the new object.
+
+        As the paper discusses (Table 6), EPT pays a high estimation cost on
+        insert: besides the m*l pivot distances it refreshes the mu_p
+        estimates against a sample so the extremeness criterion stays
+        calibrated.
+        """
+        if object_id is None:
+            object_id = self.space.dataset.add(obj)
+        rng = np.random.default_rng(object_id)
+        n_pivots = len(self.pivot_ids)
+        sample_size = min(512, len(self.space))
+        sample_ids = [int(i) for i in rng.choice(len(self.space), size=sample_size, replace=False)]
+        # the estimation cost: refresh mu for every group pivot
+        refreshed = self.space.pairwise_ids(self.pivot_ids, sample_ids)
+        self._mu = refreshed.mean(axis=1)
+        dists = self.space.d_many(
+            obj, self.space.dataset.gather(self.pivot_ids)
+        )
+        l = self._pivot_idx.shape[1]
+        m = n_pivots // l
+        idx_row, dist_row = [], []
+        for j in range(l):
+            lo, hi = j * m, (j + 1) * m
+            extremeness = np.abs(dists[lo:hi] - self._mu[lo:hi])
+            pick = lo + int(extremeness.argmax())
+            idx_row.append(pick)
+            dist_row.append(float(dists[pick]))
+        self._append_row(int(object_id), idx_row, dist_row)
+        return int(object_id)
+
+
+class EPTStar(_ExtremePivotTableBase):
+    """EPT*: per-object pivots chosen by PSA (Algorithm 1)."""
+
+    name = "EPT*"
+
+    def __init__(self, space, pivot_ids, pivot_idx, pivot_dist, sample_ids):
+        super().__init__(space, pivot_ids, pivot_idx, pivot_dist)
+        self._sample_ids = sample_ids  # query proxies reused for inserts
+
+    @classmethod
+    def build(
+        cls,
+        space: MetricSpace,
+        n_pivots_per_object: int = 5,
+        candidate_scale: int = 40,
+        sample_size: int = 64,
+        seed: int = 0,
+    ) -> "EPTStar":
+        """Run PSA over the whole dataset (deliberately expensive)."""
+        pivot_idx, pivot_dist, candidates = psa(
+            space,
+            n_pivots_per_object,
+            candidate_scale=candidate_scale,
+            sample_size=sample_size,
+            seed=seed,
+        )
+        rng = np.random.default_rng(seed)
+        sample_ids = [
+            int(i)
+            for i in rng.choice(len(space), size=min(sample_size, len(space)), replace=False)
+        ]
+        return cls(space, candidates, pivot_idx, pivot_dist, sample_ids)
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        """PSA for a single object: |CP| + |S| distances plus the greedy scan."""
+        if object_id is None:
+            object_id = self.space.dataset.add(obj)
+        cand_objs = self.space.dataset.gather(self.pivot_ids)
+        cand_d = self.space.d_many(obj, cand_objs)  # d(o, p_c)
+        sample_objs = self.space.dataset.gather(self._sample_ids)
+        sample_d = self.space.d_many(obj, sample_objs)  # d(o, q_s)
+        denom = np.maximum(sample_d, 1e-12)
+        # cand_sample[c, s] = d(p_c, q_s): pivots vs proxies (counted)
+        cand_sample = self.space.pairwise_ids(self.pivot_ids, self._sample_ids)
+        ratios = np.abs(cand_sample - cand_d[:, None]) / denom[None, :]
+        l = self._pivot_idx.shape[1]
+        current = np.zeros(len(self._sample_ids), dtype=np.float64)
+        used: list[int] = []
+        for _ in range(l):
+            scores = np.maximum(current[None, :], ratios).mean(axis=1)
+            if used:
+                scores[used] = -1.0
+            best = int(np.argmax(scores))
+            used.append(best)
+            current = np.maximum(current, ratios[best])
+        self._append_row(int(object_id), used, cand_d[used])
+        return int(object_id)

@@ -1,0 +1,8 @@
+"""Pivot-based trees: BKT, FQT, FQA, VPT, MVPT (paper Section 4)."""
+
+from .bkt import BKT
+from .fqa import FQA
+from .fqt import FQT
+from .mvpt import MVPT, VPT
+
+__all__ = ["BKT", "FQA", "FQT", "MVPT", "VPT"]

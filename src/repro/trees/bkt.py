@@ -1,0 +1,227 @@
+"""BKT: the Burkhard-Keller tree (1973), for discrete distance functions.
+
+A pivot is chosen *at random* for the root (the paper keeps BKT's random
+pivots even in the equal-footing study, because per-subtree pivots are
+inherent to the structure); objects at distance i go to the i-th subtree,
+recursively.  For large distance domains, children cover equal-width
+*ranges* of distance values, stored with each child (the paper's
+modification to avoid empty subtrees).
+
+The tree is unbalanced; only identifiers live in the tree, objects stay in a
+separate table (another of the paper's stated implementation choices).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.index import MetricIndex
+from ..core.metric_space import MetricSpace
+from ..core.queries import KnnHeap, Neighbor
+from .common import interval_gap, require_discrete
+
+__all__ = ["BKT"]
+
+
+@dataclass
+class _BktLeaf:
+    ids: list = field(default_factory=list)
+
+    is_leaf = True
+
+
+@dataclass
+class _BktNode:
+    pivot_id: int
+    # children as parallel lists: inclusive distance interval per child
+    lows: list = field(default_factory=list)
+    highs: list = field(default_factory=list)
+    children: list = field(default_factory=list)
+
+    is_leaf = False
+
+
+class BKT(MetricIndex):
+    """Burkhard-Keller tree with range-bucketed children."""
+
+    name = "BKT"
+
+    def __init__(self, space: MetricSpace, root, leaf_size: int, n_buckets: int, seed: int):
+        super().__init__(space)
+        self.root = root
+        self.leaf_size = leaf_size
+        self.n_buckets = n_buckets
+        self._rng = np.random.default_rng(seed)
+
+    @classmethod
+    def build(
+        cls,
+        space: MetricSpace,
+        leaf_size: int = 16,
+        n_buckets: int = 16,
+        seed: int = 0,
+    ) -> "BKT":
+        require_discrete(space, "BKT")
+        rng = np.random.default_rng(seed)
+        index = cls(space, None, leaf_size, n_buckets, seed)
+        index._rng = rng
+        index.root = index._build_node(list(range(len(space))))
+        return index
+
+    def _build_node(self, ids: list[int]):
+        if len(ids) <= self.leaf_size:
+            return _BktLeaf(ids=list(ids))
+        pivot_pos = int(self._rng.integers(0, len(ids)))
+        pivot_id = ids[pivot_pos]
+        rest = ids[:pivot_pos] + ids[pivot_pos + 1 :]
+        dists = self.space.d_ids(self.space.dataset[pivot_id], rest)
+        node = _BktNode(pivot_id=pivot_id)
+        lo, hi = float(dists.min()), float(dists.max())
+        width = max(1.0, np.ceil((hi - lo + 1) / self.n_buckets))
+        buckets: dict[int, list[int]] = {}
+        bucket_bounds: dict[int, tuple[float, float]] = {}
+        for object_id, d in zip(rest, dists):
+            b = int((d - lo) // width)
+            buckets.setdefault(b, []).append(object_id)
+            blo, bhi = bucket_bounds.get(b, (float("inf"), -float("inf")))
+            bucket_bounds[b] = (min(blo, float(d)), max(bhi, float(d)))
+        for b in sorted(buckets):
+            child_ids = buckets[b]
+            if len(child_ids) == len(rest):
+                # no separation achieved (all objects equidistant): stop here
+                node.lows.append(bucket_bounds[b][0])
+                node.highs.append(bucket_bounds[b][1])
+                node.children.append(_BktLeaf(ids=child_ids))
+                continue
+            node.lows.append(bucket_bounds[b][0])
+            node.highs.append(bucket_bounds[b][1])
+            node.children.append(self._build_node(child_ids))
+        return node
+
+    # -- queries -------------------------------------------------------------
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        results: list[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for object_id in node.ids:
+                    if self.space.d_id(query_obj, object_id) <= radius:
+                        results.append(object_id)
+                continue
+            if node.pivot_id < 0:  # tombstoned pivot: no pruning possible
+                stack.extend(node.children)
+                continue
+            d = self.space.d_id(query_obj, node.pivot_id)
+            if d <= radius:
+                results.append(node.pivot_id)
+            for lo, hi, child in zip(node.lows, node.highs, node.children):
+                if interval_gap(d, lo, hi) <= radius:
+                    stack.append(child)
+        return sorted(results)
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        heap = KnnHeap(k)
+        counter = itertools.count()
+        pq: list[tuple[float, int, object]] = [(0.0, next(counter), self.root)]
+        while pq:
+            bound, _, node = heapq.heappop(pq)
+            if bound > heap.radius:
+                break
+            if node.is_leaf:
+                for object_id in node.ids:
+                    heap.consider(object_id, self.space.d_id(query_obj, object_id))
+                continue
+            if node.pivot_id < 0:  # tombstoned pivot: no pruning possible
+                for child in node.children:
+                    heapq.heappush(pq, (bound, next(counter), child))
+                continue
+            d = self.space.d_id(query_obj, node.pivot_id)
+            heap.consider(node.pivot_id, d)
+            for lo, hi, child in zip(node.lows, node.highs, node.children):
+                child_bound = max(bound, interval_gap(d, lo, hi))
+                if child_bound <= heap.radius:
+                    heapq.heappush(pq, (child_bound, next(counter), child))
+        return heap.neighbors()
+
+    # -- maintenance ------------------------------------------------------------
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        """Descend by pivot distances, extending a child interval if needed."""
+        if object_id is None:
+            object_id = self.space.dataset.add(obj)
+        node = self.root
+        while not node.is_leaf:
+            if node.pivot_id < 0:
+                # tombstoned pivot: queries descend all children of this node
+                # unconditionally, so routing is free to pick any child
+                node = node.children[0]
+                continue
+            d = self.space.d(obj, self.space.dataset[node.pivot_id])
+            best, best_gap = -1, float("inf")
+            for i in range(len(node.children)):
+                gap = interval_gap(d, node.lows[i], node.highs[i])
+                if gap < best_gap:
+                    best, best_gap = i, gap
+            if best < 0:
+                node.lows.append(d)
+                node.highs.append(d)
+                node.children.append(_BktLeaf())
+                best = len(node.children) - 1
+            node.lows[best] = min(node.lows[best], d)
+            node.highs[best] = max(node.highs[best], d)
+            node = node.children[best]
+        node.ids.append(int(object_id))
+        return int(object_id)
+
+    def delete(self, object_id: int) -> None:
+        """Descend by distances; intervals stay conservative (lazy delete)."""
+        if not 0 <= object_id < len(self.space.dataset):
+            raise KeyError(f"object {object_id} is not in the tree")
+        obj = self.space.dataset[object_id]
+        if self._delete_from(self.root, object_id, obj):
+            return
+        raise KeyError(f"object {object_id} is not in the tree")
+
+    def _delete_from(self, node, object_id: int, obj) -> bool:
+        if node.is_leaf:
+            if object_id in node.ids:
+                node.ids.remove(object_id)
+                return True
+            return False
+        if node.pivot_id == object_id:
+            # pivots anchor their subtree: tombstone by re-pointing the pivot
+            # to the nearest remaining object would change distances, so BKT
+            # marks it removed instead (classic approach)
+            node.pivot_id = -1
+            return True
+        d = self.space.d(obj, self.space.dataset[node.pivot_id]) if node.pivot_id >= 0 else None
+        for i, child in enumerate(node.children):
+            if d is not None and interval_gap(d, node.lows[i], node.highs[i]) > 0:
+                continue
+            if self._delete_from(child, object_id, obj):
+                return True
+        return False
+
+    # -- accounting ---------------------------------------------------------------
+
+    def storage_bytes(self) -> dict[str, int]:
+        structure = self._node_bytes(self.root)
+        objects = sum(
+            self.space.dataset.object_nbytes(i) for i in range(len(self.space))
+        )
+        return {"memory": structure + objects, "disk": 0}
+
+    def _node_bytes(self, node) -> int:
+        if node.is_leaf:
+            return 8 * len(node.ids) + 16
+        total = 8 + 16  # pivot id + header
+        total += 16 * len(node.children)  # interval bounds
+        for child in node.children:
+            total += 8 + self._node_bytes(child)
+        return total

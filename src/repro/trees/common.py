@@ -1,0 +1,38 @@
+"""Shared pieces of the pivot-based tree indexes (paper Section 4).
+
+All four trees prune subtrees with the same one-pivot form of Lemma 1: a
+subtree whose objects have d(o, p) inside [lo, hi] can be skipped when
+[lo, hi] misses [d(q,p) - r, d(q,p) + r].  Equivalently
+``interval_gap(d(q,p), lo, hi)`` is a lower bound of d(q, o) for every o in
+the subtree; best-first MkNNQ orders subtrees by the maximum such gap
+accumulated along the path from the root.
+"""
+
+from __future__ import annotations
+
+__all__ = ["interval_gap", "require_discrete"]
+
+
+def interval_gap(query_to_pivot: float, lo: float, hi: float) -> float:
+    """Lower bound of |d(q,p) - d(o,p)| when d(o,p) is within [lo, hi]."""
+    if query_to_pivot < lo:
+        return lo - query_to_pivot
+    if query_to_pivot > hi:
+        return query_to_pivot - hi
+    return 0.0
+
+
+def require_discrete(space, index_name: str) -> None:
+    """BKT/FQT/FQA are defined for discrete distance functions only.
+
+    The paper leaves LA and Color blank in Tables 4 and 6 for exactly this
+    reason; we raise instead of silently mis-indexing.
+    """
+    from ..core.index import UnsupportedOperation
+
+    if not space.is_discrete:
+        raise UnsupportedOperation(
+            f"{index_name} requires a discrete distance function; "
+            f"{space.distance.name} is continuous (wrap it in "
+            "DiscreteMetricAdapter to ceil distances)"
+        )

@@ -1,0 +1,155 @@
+"""FQA: the Fixed Queries Array (Chavez et al. 2001).
+
+The FQA linearises an FQT: each object is represented by the tuple of its
+(discretised) distances to the l level pivots, and the tuples are kept in
+one lexicographically sorted array.  Subtrees of the conceptual FQT
+correspond to contiguous runs of the array, found by binary search.
+
+Storing b bits per coordinate compresses the signature matrix; the price is
+that a stored value v only tells us d(o, p) lies in the bucket [v*w,
+(v+1)*w), so the Lemma 1 lower bound works on bucket bounds (the same
+discretisation trade-off the SPB-tree makes, Section 5.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.index import MetricIndex
+from ..core.metric_space import MetricSpace
+from ..core.queries import KnnHeap, Neighbor
+from .common import require_discrete
+
+__all__ = ["FQA"]
+
+
+class FQA(MetricIndex):
+    """Fixed Queries Array: sorted discretised signature matrix."""
+
+    name = "FQA"
+
+    def __init__(
+        self,
+        space: MetricSpace,
+        pivot_ids,
+        signatures: np.ndarray,
+        row_ids: np.ndarray,
+        width: float,
+    ):
+        super().__init__(space)
+        self.pivot_ids = [int(p) for p in pivot_ids]
+        self._signatures = signatures  # n x l unsigned buckets, lex-sorted
+        self._row_ids = row_ids
+        self._width = width
+
+    @classmethod
+    def build(
+        cls, space: MetricSpace, pivot_ids, bits_per_pivot: int = 8
+    ) -> "FQA":
+        require_discrete(space, "FQA")
+        columns = [
+            space.d_many(space.dataset[int(p)], space.dataset.objects)
+            for p in pivot_ids
+        ]
+        matrix = np.stack(columns, axis=1)
+        max_value = float(matrix.max()) if matrix.size else 1.0
+        levels = (1 << bits_per_pivot) - 1
+        width = max(1.0, np.ceil((max_value + 1) / levels))
+        signatures = np.minimum((matrix // width).astype(np.uint32), levels)
+        order = np.lexsort(signatures.T[::-1])  # lexicographic by column 0,1,...
+        return cls(
+            space,
+            pivot_ids,
+            signatures[order],
+            np.arange(len(space), dtype=np.intp)[order],
+            width,
+        )
+
+    # -- bounds -----------------------------------------------------------------
+
+    def _lower_bounds(self, query_dists: np.ndarray) -> np.ndarray:
+        """Lemma 1 over bucket intervals [v*w, (v+1)*w)."""
+        lows = self._signatures * self._width
+        highs = lows + self._width  # exclusive upper bucket edge
+        below = lows - query_dists  # positive when bucket entirely above d(q,p)
+        above = query_dists - highs  # positive when bucket entirely below
+        gaps = np.maximum(np.maximum(below, above), 0.0)
+        return gaps.max(axis=1) if gaps.size else np.zeros(0)
+
+    # -- queries -------------------------------------------------------------------
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        query_dists = np.asarray(
+            [self.space.d_id(query_obj, p) for p in self.pivot_ids]
+        )
+        lower = self._lower_bounds(query_dists)
+        results: list[int] = []
+        for i in np.flatnonzero(lower <= radius):
+            object_id = int(self._row_ids[i])
+            if self.space.d_id(query_obj, object_id) <= radius:
+                results.append(object_id)
+        return sorted(results)
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        query_dists = np.asarray(
+            [self.space.d_id(query_obj, p) for p in self.pivot_ids]
+        )
+        lower = self._lower_bounds(query_dists)
+        heap = KnnHeap(k)
+        # visit candidates in ascending lower-bound order (the array's sorted
+        # runs make this the FQA's natural traversal)
+        for i in np.argsort(lower, kind="stable"):
+            if lower[i] > heap.radius:
+                break
+            object_id = int(self._row_ids[i])
+            heap.consider(object_id, self.space.d_id(query_obj, object_id))
+        return heap.neighbors()
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        """l distance computations + sorted insertion."""
+        if object_id is None:
+            object_id = self.space.dataset.add(obj)
+        dists = np.asarray(
+            [self.space.d(obj, self.space.dataset[p]) for p in self.pivot_ids]
+        )
+        levels = np.iinfo(self._signatures.dtype).max
+        signature = np.minimum((dists // self._width).astype(np.uint32), levels)
+        # binary search for the lexicographic position
+        position = self._lex_position(signature)
+        self._signatures = np.insert(self._signatures, position, signature, axis=0)
+        self._row_ids = np.insert(self._row_ids, position, int(object_id))
+        return int(object_id)
+
+    def _lex_position(self, signature: np.ndarray) -> int:
+        lo, hi = 0, len(self._row_ids)
+        sig_tuple = tuple(signature.tolist())
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if tuple(self._signatures[mid].tolist()) < sig_tuple:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def delete(self, object_id: int) -> None:
+        positions = np.flatnonzero(self._row_ids == object_id)
+        if positions.size == 0:
+            raise KeyError(f"object {object_id} is not in the array")
+        self._signatures = np.delete(self._signatures, positions[0], axis=0)
+        self._row_ids = np.delete(self._row_ids, positions[0])
+
+    # -- accounting -----------------------------------------------------------------------
+
+    def storage_bytes(self) -> dict[str, int]:
+        objects = sum(
+            self.space.dataset.object_nbytes(int(i)) for i in self._row_ids
+        )
+        return {
+            "memory": int(self._signatures.nbytes)
+            + int(self._row_ids.nbytes)
+            + 8 * len(self.pivot_ids)
+            + objects,
+            "disk": 0,
+        }

@@ -1,0 +1,193 @@
+"""FQT: the Fixed Queries Tree (Baeza-Yates et al. 1994).
+
+Like BKT but every node at tree level i uses the *same* pivot p_i -- which
+is what lets the study give FQT the shared pivot set.  A query therefore
+computes at most one distance per level (|P| total for the descent), and
+with well-chosen pivots FQT is expected to beat BKT (Section 4.2).
+
+Children again cover equal-width ranges of distance values for large
+domains; leaves hold object id buckets after the last pivot level.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.index import MetricIndex
+from ..core.metric_space import MetricSpace
+from ..core.queries import KnnHeap, Neighbor
+from .common import interval_gap, require_discrete
+
+__all__ = ["FQT"]
+
+
+@dataclass
+class _FqtLeaf:
+    ids: list = field(default_factory=list)
+
+    is_leaf = True
+
+
+@dataclass
+class _FqtNode:
+    level: int
+    lows: list = field(default_factory=list)
+    highs: list = field(default_factory=list)
+    children: list = field(default_factory=list)
+
+    is_leaf = False
+
+
+class FQT(MetricIndex):
+    """Fixed Queries Tree over a shared per-level pivot set."""
+
+    name = "FQT"
+
+    def __init__(self, space: MetricSpace, pivot_ids, root, n_buckets: int):
+        super().__init__(space)
+        self.pivot_ids = [int(p) for p in pivot_ids]
+        self.root = root
+        self.n_buckets = n_buckets
+
+    @classmethod
+    def build(
+        cls, space: MetricSpace, pivot_ids, n_buckets: int = 16
+    ) -> "FQT":
+        require_discrete(space, "FQT")
+        index = cls(space, pivot_ids, None, n_buckets)
+        index.root = index._build_node(list(range(len(space))), level=0)
+        return index
+
+    def _build_node(self, ids: list[int], level: int):
+        if level >= len(self.pivot_ids) or len(ids) <= 1:
+            return _FqtLeaf(ids=list(ids))
+        pivot_obj = self.space.dataset[self.pivot_ids[level]]
+        dists = self.space.d_ids(pivot_obj, ids)
+        node = _FqtNode(level=level)
+        lo, hi = float(dists.min()), float(dists.max())
+        width = max(1.0, np.ceil((hi - lo + 1) / self.n_buckets))
+        buckets: dict[int, list[int]] = {}
+        bounds: dict[int, tuple[float, float]] = {}
+        for object_id, d in zip(ids, dists):
+            b = int((d - lo) // width)
+            buckets.setdefault(b, []).append(object_id)
+            blo, bhi = bounds.get(b, (float("inf"), -float("inf")))
+            bounds[b] = (min(blo, float(d)), max(bhi, float(d)))
+        for b in sorted(buckets):
+            node.lows.append(bounds[b][0])
+            node.highs.append(bounds[b][1])
+            node.children.append(self._build_node(buckets[b], level + 1))
+        return node
+
+    # -- queries ---------------------------------------------------------------
+
+    def _query_level_dists(self, query_obj) -> np.ndarray:
+        """d(q, p_i) for every level pivot -- computed lazily in searches."""
+        return np.full(len(self.pivot_ids), np.nan)
+
+    def _level_dist(self, cache: np.ndarray, query_obj, level: int) -> float:
+        if np.isnan(cache[level]):
+            cache[level] = self.space.d_id(query_obj, self.pivot_ids[level])
+        return float(cache[level])
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        results: list[int] = []
+        cache = self._query_level_dists(query_obj)
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for object_id in node.ids:
+                    if self.space.d_id(query_obj, object_id) <= radius:
+                        results.append(object_id)
+                continue
+            d = self._level_dist(cache, query_obj, node.level)
+            for lo, hi, child in zip(node.lows, node.highs, node.children):
+                if interval_gap(d, lo, hi) <= radius:
+                    stack.append(child)
+        return sorted(results)
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        heap = KnnHeap(k)
+        cache = self._query_level_dists(query_obj)
+        counter = itertools.count()
+        pq: list[tuple[float, int, object]] = [(0.0, next(counter), self.root)]
+        while pq:
+            bound, _, node = heapq.heappop(pq)
+            if bound > heap.radius:
+                break
+            if node.is_leaf:
+                for object_id in node.ids:
+                    heap.consider(object_id, self.space.d_id(query_obj, object_id))
+                continue
+            d = self._level_dist(cache, query_obj, node.level)
+            for lo, hi, child in zip(node.lows, node.highs, node.children):
+                child_bound = max(bound, interval_gap(d, lo, hi))
+                if child_bound <= heap.radius:
+                    heapq.heappush(pq, (child_bound, next(counter), child))
+        return heap.neighbors()
+
+    # -- maintenance -------------------------------------------------------------
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        """One distance per level; child intervals stretch as needed."""
+        if object_id is None:
+            object_id = self.space.dataset.add(obj)
+        node = self.root
+        if node.is_leaf:
+            node.ids.append(int(object_id))
+            return int(object_id)
+        while not node.is_leaf:
+            d = self.space.d(obj, self.space.dataset[self.pivot_ids[node.level]])
+            best, best_gap = -1, float("inf")
+            for i in range(len(node.children)):
+                gap = interval_gap(d, node.lows[i], node.highs[i])
+                if gap < best_gap:
+                    best, best_gap = i, gap
+            node.lows[best] = min(node.lows[best], d)
+            node.highs[best] = max(node.highs[best], d)
+            node = node.children[best]
+        node.ids.append(int(object_id))
+        return int(object_id)
+
+    def delete(self, object_id: int) -> None:
+        if not 0 <= object_id < len(self.space.dataset):
+            raise KeyError(f"object {object_id} is not in the tree")
+        obj = self.space.dataset[object_id]
+        if not self._delete_from(self.root, object_id, obj):
+            raise KeyError(f"object {object_id} is not in the tree")
+
+    def _delete_from(self, node, object_id: int, obj) -> bool:
+        if node.is_leaf:
+            if object_id in node.ids:
+                node.ids.remove(object_id)
+                return True
+            return False
+        d = self.space.d(obj, self.space.dataset[self.pivot_ids[node.level]])
+        for i, child in enumerate(node.children):
+            if interval_gap(d, node.lows[i], node.highs[i]) > 0:
+                continue
+            if self._delete_from(child, object_id, obj):
+                return True
+        return False
+
+    # -- accounting ----------------------------------------------------------------
+
+    def storage_bytes(self) -> dict[str, int]:
+        structure = self._node_bytes(self.root)
+        objects = sum(
+            self.space.dataset.object_nbytes(i) for i in range(len(self.space))
+        )
+        return {"memory": structure + 8 * len(self.pivot_ids) + objects, "disk": 0}
+
+    def _node_bytes(self, node) -> int:
+        if node.is_leaf:
+            return 8 * len(node.ids) + 16
+        total = 24 + 16 * len(node.children)
+        for child in node.children:
+            total += 8 + self._node_bytes(child)
+        return total

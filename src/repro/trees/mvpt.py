@@ -1,0 +1,208 @@
+"""VPT and MVPT: (multi-way) vantage point trees (Yianilos 1993; Bozkaya &
+Ozsoyoglu 1997).
+
+VPT splits on the median distance to the level's pivot; MVPT generalises to
+m-way splits on m-1 quantiles (the paper defaults m = 5 -- larger m gives
+more compact subtrees per level but fewer pivot levels overall, Section 4.3).
+
+Following the paper's equal-footing protocol, nodes at the same level share
+the same pivot, taken from the common pivot set; the tree height is thus at
+most |P|.  Nodes store only the split values (plus tight child bounds), not
+the per-object distances -- the source of the trees' higher search compdists
+in Figures 16-17.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.index import MetricIndex
+from ..core.metric_space import MetricSpace
+from ..core.queries import KnnHeap, Neighbor
+from .common import interval_gap
+
+__all__ = ["MVPT", "VPT"]
+
+
+@dataclass
+class _MvptLeaf:
+    ids: list = field(default_factory=list)
+
+    is_leaf = True
+
+
+@dataclass
+class _MvptNode:
+    level: int
+    lows: list = field(default_factory=list)  # tight per-child bounds
+    highs: list = field(default_factory=list)
+    children: list = field(default_factory=list)
+
+    is_leaf = False
+
+
+class MVPT(MetricIndex):
+    """m-ary vantage point tree with shared per-level pivots."""
+
+    name = "MVPT"
+
+    def __init__(self, space: MetricSpace, pivot_ids, arity: int, leaf_size: int):
+        super().__init__(space)
+        if arity < 2:
+            raise ValueError(f"arity must be >= 2, got {arity}")
+        self.pivot_ids = [int(p) for p in pivot_ids]
+        self.arity = arity
+        self.leaf_size = leaf_size
+        self.root = None
+
+    @classmethod
+    def build(
+        cls, space: MetricSpace, pivot_ids, arity: int = 5, leaf_size: int = 16
+    ) -> "MVPT":
+        index = cls(space, pivot_ids, arity, leaf_size)
+        index.root = index._build_node(list(range(len(space))), level=0)
+        return index
+
+    def _build_node(self, ids: list[int], level: int):
+        if level >= len(self.pivot_ids) or len(ids) <= self.leaf_size:
+            return _MvptLeaf(ids=list(ids))
+        pivot_obj = self.space.dataset[self.pivot_ids[level]]
+        dists = self.space.d_ids(pivot_obj, ids)
+        quantiles = np.quantile(dists, np.linspace(0, 1, self.arity + 1)[1:-1])
+        node = _MvptNode(level=level)
+        assignments = np.searchsorted(quantiles, dists, side="left")
+        for child_idx in range(self.arity):
+            mask = assignments == child_idx
+            child_ids = [ids[i] for i in np.flatnonzero(mask)]
+            if not child_ids:
+                continue
+            child_dists = dists[mask]
+            node.lows.append(float(child_dists.min()))
+            node.highs.append(float(child_dists.max()))
+            node.children.append(self._build_node(child_ids, level + 1))
+        if len(node.children) <= 1:
+            # the pivot cannot separate these objects; stop splitting
+            return _MvptLeaf(ids=list(ids))
+        return node
+
+    # -- queries ----------------------------------------------------------------
+
+    def _level_dist(self, cache: np.ndarray, query_obj, level: int) -> float:
+        if np.isnan(cache[level]):
+            cache[level] = self.space.d_id(query_obj, self.pivot_ids[level])
+        return float(cache[level])
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        results: list[int] = []
+        cache = np.full(len(self.pivot_ids), np.nan)
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for object_id in node.ids:
+                    if self.space.d_id(query_obj, object_id) <= radius:
+                        results.append(object_id)
+                continue
+            d = self._level_dist(cache, query_obj, node.level)
+            for lo, hi, child in zip(node.lows, node.highs, node.children):
+                if interval_gap(d, lo, hi) <= radius:
+                    stack.append(child)
+        return sorted(results)
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        heap = KnnHeap(k)
+        cache = np.full(len(self.pivot_ids), np.nan)
+        counter = itertools.count()
+        pq: list[tuple[float, int, object]] = [(0.0, next(counter), self.root)]
+        while pq:
+            bound, _, node = heapq.heappop(pq)
+            if bound > heap.radius:
+                break
+            if node.is_leaf:
+                for object_id in node.ids:
+                    heap.consider(object_id, self.space.d_id(query_obj, object_id))
+                continue
+            d = self._level_dist(cache, query_obj, node.level)
+            for lo, hi, child in zip(node.lows, node.highs, node.children):
+                child_bound = max(bound, interval_gap(d, lo, hi))
+                if child_bound <= heap.radius:
+                    heapq.heappush(pq, (child_bound, next(counter), child))
+        return heap.neighbors()
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        """One distance per level; bounds stretch to cover the new object."""
+        if object_id is None:
+            object_id = self.space.dataset.add(obj)
+        node = self.root
+        while not node.is_leaf:
+            d = self.space.d(obj, self.space.dataset[self.pivot_ids[node.level]])
+            best, best_gap = 0, float("inf")
+            for i in range(len(node.children)):
+                gap = interval_gap(d, node.lows[i], node.highs[i])
+                if gap < best_gap:
+                    best, best_gap = i, gap
+            node.lows[best] = min(node.lows[best], d)
+            node.highs[best] = max(node.highs[best], d)
+            node = node.children[best]
+        node.ids.append(int(object_id))
+        return int(object_id)
+
+    def delete(self, object_id: int) -> None:
+        if not 0 <= object_id < len(self.space.dataset):
+            raise KeyError(f"object {object_id} is not in the tree")
+        obj = self.space.dataset[object_id]
+        if not self._delete_from(self.root, object_id, obj):
+            raise KeyError(f"object {object_id} is not in the tree")
+
+    def _delete_from(self, node, object_id: int, obj) -> bool:
+        if node.is_leaf:
+            if object_id in node.ids:
+                node.ids.remove(object_id)
+                return True
+            return False
+        d = self.space.d(obj, self.space.dataset[self.pivot_ids[node.level]])
+        for i, child in enumerate(node.children):
+            if interval_gap(d, node.lows[i], node.highs[i]) > 0:
+                continue
+            if self._delete_from(child, object_id, obj):
+                return True
+        return False
+
+    # -- accounting -----------------------------------------------------------------
+
+    def storage_bytes(self) -> dict[str, int]:
+        structure = self._node_bytes(self.root)
+        objects = sum(
+            self.space.dataset.object_nbytes(i) for i in range(len(self.space))
+        )
+        return {"memory": structure + 8 * len(self.pivot_ids) + objects, "disk": 0}
+
+    def _node_bytes(self, node) -> int:
+        if node.is_leaf:
+            return 8 * len(node.ids) + 16
+        total = 24 + 16 * len(node.children)
+        for child in node.children:
+            total += 8 + self._node_bytes(child)
+        return total
+
+
+class VPT(MVPT):
+    """Binary vantage point tree: MVPT with arity 2 (median split)."""
+
+    name = "VPT"
+
+    @classmethod
+    def build(
+        cls, space: MetricSpace, pivot_ids, arity: int = 2, leaf_size: int = 16
+    ) -> "VPT":
+        if arity != 2:
+            raise ValueError("VPT is binary; use MVPT for m-way splits")
+        index = cls(space, pivot_ids, 2, leaf_size)
+        index.root = index._build_node(list(range(len(space))), level=0)
+        return index

@@ -1,0 +1,112 @@
+"""Shared fixtures: small datasets, pivots, and index builders.
+
+Index construction is the slow part of the suite, so built indexes are
+cached per (dataset, index) in session scope; query tests share them.
+Tests that mutate an index build their own copies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CostCounters,
+    MetricSpace,
+    make_color,
+    make_la,
+    make_synthetic,
+    make_words,
+    select_pivots,
+)
+from repro.bench.runner import build_index
+
+N_SMALL = 400
+N_PIVOTS = 4
+
+DATASET_MAKERS = {
+    "LA": lambda: make_la(N_SMALL, seed=11),
+    "Words": lambda: make_words(N_SMALL, seed=11),
+    "Color": lambda: make_color(200, seed=11),
+    "Synthetic": lambda: make_synthetic(N_SMALL, seed=11),
+}
+
+# a radius with moderate selectivity per dataset family (pre-calibrated to
+# keep fixtures deterministic and cheap)
+RADIUS = {"LA": 900.0, "Words": 5.0, "Color": 9000.0, "Synthetic": 2500.0}
+
+CONTINUOUS_INDEXES = (
+    "AESA",
+    "LAESA",
+    "EPT",
+    "EPT*",
+    "CPT",
+    "VPT",
+    "MVPT",
+    "PM-tree",
+    "Omni-seq",
+    "OmniB+",
+    "OmniR-tree",
+    "M-index",
+    "M-index*",
+    "SPB-tree",
+)
+DISCRETE_ONLY_INDEXES = ("BKT", "FQT", "FQA")
+DISCRETE_DATASETS = ("Words", "Synthetic")
+
+
+def indexes_for(dataset_name: str) -> tuple[str, ...]:
+    """Index names applicable to a dataset (paper Tables 4/6 blanks)."""
+    if dataset_name in DISCRETE_DATASETS:
+        return CONTINUOUS_INDEXES + DISCRETE_ONLY_INDEXES
+    return CONTINUOUS_INDEXES
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    return {name: maker() for name, maker in DATASET_MAKERS.items()}
+
+
+@pytest.fixture(scope="session")
+def pivots(datasets):
+    out = {}
+    for name, dataset in datasets.items():
+        out[name] = select_pivots(
+            MetricSpace(dataset), N_PIVOTS, strategy="hfi", seed=3
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def built_indexes(datasets, pivots):
+    """Lazy cache of built indexes: call with (dataset_name, index_name)."""
+    cache: dict[tuple[str, str], object] = {}
+
+    def get(dataset_name: str, index_name: str):
+        key = (dataset_name, index_name)
+        if key not in cache:
+            space = MetricSpace(datasets[dataset_name], CostCounters())
+            cache[key] = build_index(
+                index_name,
+                space,
+                pivots[dataset_name],
+                workload_name=dataset_name,
+                seed=5,
+                **({"maxnum": 64} if index_name in ("M-index", "M-index*") else {}),
+            )
+        return cache[key]
+
+    return get
+
+
+def fresh_index(datasets, pivots, dataset_name: str, index_name: str):
+    """A brand-new index instance for mutation tests."""
+    space = MetricSpace(datasets[dataset_name], CostCounters())
+    kwargs = {"maxnum": 64} if index_name in ("M-index", "M-index*") else {}
+    return build_index(
+        index_name,
+        space,
+        pivots[dataset_name],
+        workload_name=dataset_name,
+        seed=5,
+        **kwargs,
+    )

@@ -1,0 +1,126 @@
+"""Benchmark harness: workloads, calibration, runner, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MetricSpace, brute_force_range
+from repro.bench import (
+    calibrate_radius,
+    format_markdown,
+    format_ranking,
+    format_table,
+    human_bytes,
+    make_workload,
+    measure_build,
+    run_knn_queries,
+    run_range_queries,
+    run_updates,
+    sample_queries,
+    shared_pivots,
+)
+
+
+@pytest.fixture(scope="module")
+def words_workload():
+    return make_workload("Words", n=500, n_queries=4, selectivities=(0.16,))
+
+
+@pytest.fixture(scope="module")
+def words_pivots(words_workload):
+    return shared_pivots(words_workload, 4, seed=1)
+
+
+class TestWorkloads:
+    def test_make_workload_unknown(self):
+        with pytest.raises(ValueError):
+            make_workload("Nope")
+
+    def test_queries_sampled_from_dataset(self, words_workload):
+        members = set(words_workload.dataset.objects)
+        assert all(q in members for q in words_workload.queries)
+
+    def test_radius_calibration_hits_selectivity(self, words_workload):
+        dataset = words_workload.dataset
+        radius = words_workload.radius_for(0.16)
+        space = MetricSpace(dataset)
+        fractions = [
+            len(brute_force_range(space, q, radius)) / len(dataset)
+            for q in words_workload.queries
+        ]
+        mean = sum(fractions) / len(fractions)
+        assert 0.02 < mean < 0.6  # rough but sane around 16%
+
+    def test_calibrate_radius_validation(self, words_workload):
+        with pytest.raises(ValueError):
+            calibrate_radius(words_workload.dataset, 0.0)
+
+    def test_sample_queries_deterministic(self, words_workload):
+        a = sample_queries(words_workload.dataset, 5, seed=3)
+        b = sample_queries(words_workload.dataset, 5, seed=3)
+        assert a == b
+
+
+class TestRunner:
+    def test_measure_build_counts(self, words_workload, words_pivots):
+        result = measure_build("LAESA", words_workload, words_pivots)
+        # LAESA's build is exactly the pivot mapping: |P| * n computations
+        assert result.compdists == 4 * 500
+        assert result.memory_bytes > 0
+        assert result.seconds >= 0
+
+    def test_query_runs_average(self, words_workload, words_pivots):
+        result = measure_build("SPB-tree", words_workload, words_pivots)
+        radius = words_workload.radius_for(0.16)
+        range_cost = run_range_queries(result.index, words_workload.queries, radius)
+        assert range_cost.compdists > 0
+        assert range_cost.page_accesses > 0
+        knn_cost = run_knn_queries(result.index, words_workload.queries, 5)
+        assert knn_cost.compdists > 0
+
+    def test_knn_cache_reduces_pa(self, words_workload, words_pivots):
+        result = measure_build("SPB-tree", words_workload, words_pivots)
+        cached = run_knn_queries(result.index, words_workload.queries, 5)
+        uncached = run_knn_queries(
+            result.index, words_workload.queries, 5, cache_bytes=0
+        )
+        assert cached.page_accesses <= uncached.page_accesses
+
+    def test_run_updates(self, words_workload, words_pivots):
+        result = measure_build("MVPT", words_workload, words_pivots)
+        cost = run_updates(result.index, [3, 8, 21])
+        assert cost.compdists > 0
+        # the index still answers correctly afterwards
+        q = words_workload.queries[0]
+        space = MetricSpace(words_workload.dataset)
+        assert result.index.range_query(q, 4.0) == brute_force_range(space, q, 4.0)
+
+
+class TestReporting:
+    ROWS = [
+        {"Index": "A", "compdists": 120.0, "PA": 3.5},
+        {"Index": "B", "compdists": 80.0, "PA": 12.0},
+    ]
+
+    def test_format_table(self):
+        text = format_table(self.ROWS, title="T", first_column="Index")
+        assert "T" in text and "compdists" in text
+        lines = text.splitlines()
+        assert lines[1].startswith("Index")
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_format_markdown(self):
+        md = format_markdown(self.ROWS, first_column="Index")
+        assert md.startswith("| Index |")
+        assert md.splitlines()[1] == "|---|---|---|"
+
+    def test_format_ranking(self):
+        line = format_ranking({"A": 10.0, "B": 2.0}, "PA")
+        assert line.startswith("PA: 1. B")
+
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(2048) == "2.0 KB"
+        assert human_bytes(3 * 1024 * 1024) == "3.0 MB"

@@ -1,0 +1,260 @@
+"""B+-tree substrate: ordering, duplicates, deletes, bulk load, augmentation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import Augmentation, BPlusTree
+from repro.storage import Pager
+
+
+def make_tree(page_size=512, **kwargs) -> BPlusTree:
+    return BPlusTree(Pager(page_size=page_size), **kwargs)
+
+
+class TestBasicOps:
+    def test_insert_search(self):
+        tree = make_tree()
+        tree.insert(5, "five")
+        tree.insert(3, "three")
+        assert tree.search(5) == ["five"]
+        assert tree.search(4) == []
+
+    def test_sorted_iteration(self):
+        tree = make_tree()
+        keys = random.Random(0).sample(range(10_000), 800)
+        for k in keys:
+            tree.insert(k, k * 2)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        tree.check_invariants()
+
+    def test_duplicates(self):
+        tree = make_tree(page_size=256)
+        for i in range(100):
+            tree.insert(7, i)
+        assert sorted(tree.search(7)) == list(range(100))
+        tree.check_invariants()
+
+    def test_range_scan(self):
+        tree = make_tree()
+        for k in range(0, 1000, 3):
+            tree.insert(k, k)
+        got = [k for k, _ in tree.range_scan(100, 200)]
+        assert got == [k for k in range(0, 1000, 3) if 100 <= k <= 200]
+
+    def test_range_scan_empty_interval(self):
+        tree = make_tree()
+        tree.insert(1, 1)
+        assert list(tree.range_scan(5, 2)) == []
+
+    def test_tuple_keys(self):
+        """The M-index keys by ((path...), distance) tuples."""
+        tree = make_tree()
+        tree.insert(((0,), 3.5), "a")
+        tree.insert(((0, 1), 1.0), "b")
+        tree.insert(((0,), 1.5), "c")
+        keys = [k for k, _ in tree.items()]
+        assert keys == sorted(keys)
+        got = [v for _, v in tree.range_scan(((0,), 0.0), ((0,), 10.0))]
+        assert got == ["c", "a"]
+
+
+class TestDelete:
+    def test_delete_by_key_and_value(self):
+        tree = make_tree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1, "a")
+        assert tree.search(1) == ["b"]
+        assert not tree.delete(1, "a")
+
+    def test_delete_missing(self):
+        tree = make_tree()
+        tree.insert(1, "a")
+        assert not tree.delete(2)
+
+    def test_mass_delete_keeps_invariants(self):
+        tree = make_tree(page_size=256)
+        rng = random.Random(1)
+        keys = [rng.randint(0, 500) for _ in range(1500)]
+        for i, k in enumerate(keys):
+            tree.insert(k, i)
+        order = list(enumerate(keys))
+        rng.shuffle(order)
+        for i, k in order[:1200]:
+            assert tree.delete(k, i)
+        tree.check_invariants()
+        remaining = sorted(k for i, k in order[1200:])
+        assert [k for k, _ in tree.items()] == remaining
+
+    def test_delete_to_empty(self):
+        tree = make_tree(page_size=256)
+        for i in range(300):
+            tree.insert(i, i)
+        for i in range(300):
+            assert tree.delete(i, i)
+        assert list(tree.items()) == []
+        assert len(tree) == 0
+        tree.insert(5, 5)  # still usable
+        assert tree.search(5) == [5]
+
+    def test_duplicate_walk_delete(self):
+        """Duplicates spanning many leaves are still deletable by value."""
+        tree = make_tree(page_size=256)
+        for i in range(400):
+            tree.insert(9, i)
+        for i in range(0, 400, 7):
+            assert tree.delete(9, i)
+        assert len(tree.search(9)) == 400 - len(range(0, 400, 7))
+
+
+class TestBulkLoad:
+    def test_bulk_matches_inserts(self):
+        items = [(k, str(k)) for k in range(0, 2000, 2)]
+        bulk = make_tree()
+        bulk.bulk_load(items)
+        bulk.check_invariants()
+        assert list(bulk.items()) == items
+
+    def test_bulk_requires_sorted(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.bulk_load([(2, "b"), (1, "a")])
+
+    def test_bulk_requires_empty(self):
+        tree = make_tree()
+        tree.insert(1, 1)
+        with pytest.raises(RuntimeError):
+            tree.bulk_load([(2, 2)])
+
+    def test_bulk_then_mutate(self):
+        tree = make_tree(page_size=256)
+        tree.bulk_load([(k, k) for k in range(500)])
+        for k in range(500, 700):
+            tree.insert(k, k)
+        for k in range(0, 500, 3):
+            assert tree.delete(k, k)
+        tree.check_invariants()
+        want = sorted(set(range(700)) - set(range(0, 500, 3)))
+        assert [k for k, _ in tree.items()] == want
+
+    def test_bulk_empty(self):
+        tree = make_tree()
+        tree.bulk_load([])
+        assert list(tree.items()) == []
+
+
+class TestAugmentation:
+    """The SPB-tree's MBB maintenance rides on these summaries."""
+
+    @staticmethod
+    def _minmax_augmentation():
+        return Augmentation(
+            from_entry=lambda key, value: (key, key),
+            merge=lambda xs: (min(x[0] for x in xs), max(x[1] for x in xs)),
+        )
+
+    def _assert_summaries(self, tree):
+        """Every internal aux must equal the true (min, max) of its subtree."""
+
+        def check(page_id):
+            node = tree.read_node(page_id)
+            if node.is_leaf:
+                if not node.keys:
+                    return None
+                return (min(node.keys), max(node.keys))
+            result = None
+            for child, aux in zip(node.children, node.aux):
+                truth = check(child)
+                if truth is not None:
+                    assert aux == truth, f"stale aux {aux} != {truth}"
+                    result = (
+                        truth
+                        if result is None
+                        else (min(result[0], truth[0]), max(result[1], truth[1]))
+                    )
+            return result
+
+        check(tree.root_page)
+
+    def test_bulk_load_summaries(self):
+        tree = BPlusTree(
+            Pager(page_size=256), augmentation=self._minmax_augmentation()
+        )
+        tree.bulk_load([(k, k) for k in range(500)])
+        self._assert_summaries(tree)
+
+    def test_insert_maintains_summaries(self):
+        tree = BPlusTree(
+            Pager(page_size=256), augmentation=self._minmax_augmentation()
+        )
+        rng = random.Random(2)
+        for _ in range(600):
+            tree.insert(rng.randint(0, 10_000), 0)
+        self._assert_summaries(tree)
+
+    def test_delete_keeps_summaries_conservative(self):
+        tree = BPlusTree(
+            Pager(page_size=256), augmentation=self._minmax_augmentation()
+        )
+        keys = list(range(400))
+        tree.bulk_load([(k, k) for k in keys])
+        rng = random.Random(3)
+        rng.shuffle(keys)
+        for k in keys[:300]:
+            tree.delete(k, k)
+
+        # summaries must still *cover* the remaining keys (may be stale-wide)
+        def check(page_id, keys_below):
+            node = tree.read_node(page_id)
+            if node.is_leaf:
+                return list(node.keys)
+            collected = []
+            for child, aux in zip(node.children, node.aux):
+                child_keys = check(child, keys_below)
+                if child_keys and aux is not None:
+                    assert aux[0] <= min(child_keys)
+                    assert aux[1] >= max(child_keys)
+                collected.extend(child_keys)
+            return collected
+
+        check(tree.root_page, None)
+
+
+class TestPropertyBased:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["ins", "del"]), st.integers(0, 60)),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sorted_list_model(self, ops):
+        tree = make_tree(page_size=256)
+        model: list[tuple[int, int]] = []
+        serial = 0
+        for op, key in ops:
+            if op == "ins":
+                tree.insert(key, serial)
+                model.append((key, serial))
+                serial += 1
+            else:
+                victims = [v for k, v in model if k == key]
+                expected = bool(victims)
+                got = tree.delete(key)
+                assert got == expected
+                if victims:
+                    # the tree deletes the first stored duplicate; the model
+                    # only tracks the multiset, so remove any one
+                    removed = None
+                    for i, (k, v) in enumerate(model):
+                        if k == key:
+                            removed = i
+                            break
+                    model.pop(removed)
+        assert sorted(k for k, _ in model) == [k for k, _ in tree.items()]
+        tree.check_invariants()

@@ -1,0 +1,83 @@
+"""ASCII charts and the QueryStats accumulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CostCounters, Measurement, QueryStats
+from repro.bench.charts import ascii_chart, series_from_rows
+
+
+class TestSeriesFromRows:
+    ROWS = [
+        {"Index": "A", "k": 5, "Compdists": 10.0},
+        {"Index": "A", "k": 20, "Compdists": 30.0},
+        {"Index": "B", "k": 20, "Compdists": 15.0},
+        {"Index": "B", "k": 5, "Compdists": 12.0},
+    ]
+
+    def test_grouping_and_sorting(self):
+        series = series_from_rows(self.ROWS, "k", "Compdists")
+        assert set(series) == {"A", "B"}
+        assert series["B"] == [(5.0, 12.0), (20.0, 15.0)]  # sorted by x
+
+    def test_custom_label_key(self):
+        rows = [{"Dataset": "LA", "k": 1, "PA": 2.0}]
+        series = series_from_rows(rows, "k", "PA", label_key="Dataset")
+        assert series == {"LA": [(1.0, 2.0)]}
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        series = {"A": [(0, 0), (10, 10)], "B": [(0, 10), (10, 0)]}
+        chart = ascii_chart(series, title="T", width=20, height=8)
+        assert chart.startswith("T")
+        assert "*" in chart and "o" in chart
+        assert "legend: * A   o B" in chart
+
+    def test_empty(self):
+        assert "(no data)" in ascii_chart({}, title="x")
+
+    def test_constant_series(self):
+        chart = ascii_chart({"A": [(0, 5), (1, 5)]}, width=10, height=4)
+        assert "*" in chart
+
+    def test_log_scale(self):
+        series = {"A": [(1, 1.0), (2, 1000.0)]}
+        chart = ascii_chart(series, log_y=True, width=20, height=6)
+        assert "[log y]" in chart
+        assert "1,000" in chart or "1000" in chart
+
+    def test_axis_labels_reflect_range(self):
+        chart = ascii_chart({"A": [(3, 7), (9, 42)]}, width=20, height=5)
+        assert "42" in chart and "7" in chart
+        assert "3" in chart and "9" in chart
+
+
+class TestQueryStats:
+    def test_record_and_averages(self):
+        stats = QueryStats()
+        counters = CostCounters()
+        with counters.measure() as m1:
+            counters.add_distances(10)
+            counters.add_page_read(4)
+        stats.record(m1)
+        with counters.measure() as m2:
+            counters.add_distances(20)
+        stats.record(m2)
+        assert stats.queries == 2
+        assert stats.mean_compdists == 15.0
+        assert stats.mean_page_accesses == 2.0
+        assert stats.mean_cpu_seconds >= 0
+
+    def test_empty_stats(self):
+        stats = QueryStats()
+        assert stats.mean_compdists == 0.0
+        assert stats.mean_page_accesses == 0.0
+        assert stats.mean_cpu_seconds == 0.0
+
+    def test_as_dict(self):
+        stats = QueryStats()
+        stats.record(Measurement())
+        d = stats.as_dict()
+        assert set(d) == {"queries", "compdists", "page_accesses", "cpu_seconds"}

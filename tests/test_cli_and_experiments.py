@@ -1,0 +1,142 @@
+"""CLI commands and the shared experiment functions (micro scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    default_workloads,
+    exp_ablation_mvpt_arity,
+    exp_fig14_ept,
+    exp_fig16_range,
+    exp_fig18_pivots,
+    exp_table2_datasets,
+    exp_table4_construction,
+    exp_table5_ranking,
+    exp_table6_updates,
+    exp_table7_ranking,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def micro_workloads():
+    return default_workloads(n=150, color_n=100, n_queries=2)
+
+
+class TestExperimentFunctions:
+    INDEXES = ("LAESA", "MVPT", "SPB-tree")
+
+    def test_table2(self, micro_workloads):
+        rows = exp_table2_datasets(micro_workloads)
+        assert {r["Dataset"] for r in rows} == {"LA", "Words", "Color", "Synthetic"}
+
+    def test_table4_and_5(self, micro_workloads):
+        workloads = {"Words": micro_workloads["Words"]}
+        rows, built = exp_table4_construction(workloads, self.INDEXES)
+        assert len(rows) == 3
+        assert set(built["Words"]) == set(self.INDEXES)
+        ranking = exp_table5_ranking(rows)
+        assert "Compdists" in ranking and len(ranking["Compdists"]) == 3
+
+    def test_table6_and_7(self, micro_workloads):
+        workloads = {"Words": micro_workloads["Words"]}
+        rows = exp_table6_updates(workloads, self.INDEXES, n_updates=3)
+        assert len(rows) == 3
+        ranking = exp_table7_ranking(rows)
+        assert all(len(scores) == 3 for scores in ranking.values())
+
+    def test_fig14(self, micro_workloads):
+        workloads = {"LA": micro_workloads["LA"]}
+        rows = exp_fig14_ept(workloads, ks=(2, 5))
+        assert {r["Index"] for r in rows} == {"EPT", "EPT*"}
+        assert len(rows) == 4
+
+    def test_fig16_discrete_indexes_included_only_where_legal(self, micro_workloads):
+        workloads = {
+            "LA": micro_workloads["LA"],
+            "Words": micro_workloads["Words"],
+        }
+        rows = exp_fig16_range(
+            workloads, ("LAESA", "FQT"), selectivities=(0.16,)
+        )
+        la_indexes = {r["Index"] for r in rows if r["Dataset"] == "LA"}
+        words_indexes = {r["Index"] for r in rows if r["Dataset"] == "Words"}
+        assert "FQT" not in la_indexes  # continuous metric: FQT skipped
+        assert "FQT" in words_indexes
+
+    def test_fig18_skips_mindex_at_one_pivot(self, micro_workloads):
+        workloads = {"LA": micro_workloads["LA"]}
+        rows = exp_fig18_pivots(
+            workloads, ("LAESA", "M-index*"), pivot_counts=(1, 3), k=3
+        )
+        at_one = {r["Index"] for r in rows if r["|P|"] == 1}
+        at_three = {r["Index"] for r in rows if r["|P|"] == 3}
+        assert at_one == {"LAESA"}
+        assert at_three == {"LAESA", "M-index*"}
+
+    def test_ablation_rows(self, micro_workloads):
+        rows = exp_ablation_mvpt_arity(micro_workloads["Words"], arities=(2, 5))
+        assert [r["m"] for r in rows] == [2, 5]
+
+
+class TestCli:
+    def test_indexes_command(self, capsys):
+        assert main(["indexes"]) == 0
+        out = capsys.readouterr().out
+        assert "SPB-tree" in out and "MVPT" in out
+
+    def test_stats_command(self, capsys):
+        assert main(["stats", "Words", "--n", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "edit" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--dataset", "Words", "--n", "200", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "MRQ" in out and "MkNNQ" in out
+
+    def test_compare_command(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "--dataset",
+                    "Words",
+                    "--n",
+                    "200",
+                    "--queries",
+                    "2",
+                    "--indexes",
+                    "LAESA",
+                    "MVPT",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "LAESA" in out and "MVPT" in out
+
+    def test_compare_unknown_index(self, capsys):
+        assert main(["compare", "--indexes", "NoSuch", "--n", "150"]) == 2
+
+    def test_compare_skips_discrete_on_continuous(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "--dataset",
+                    "LA",
+                    "--n",
+                    "150",
+                    "--queries",
+                    "1",
+                    "--indexes",
+                    "BKT",
+                    "LAESA",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "skipping BKT" in out

@@ -1,0 +1,285 @@
+"""Core framework: counters, datasets, metric space, queries, mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostCounters,
+    Dataset,
+    EditDistance,
+    KnnHeap,
+    L2,
+    MetricSpace,
+    Neighbor,
+    PivotMapping,
+    brute_force_knn,
+    brute_force_range,
+    dataset_statistics,
+    make_color,
+    make_la,
+    make_synthetic,
+    make_uniform,
+    make_words,
+)
+
+
+class TestCounters:
+    def test_accumulation(self):
+        c = CostCounters()
+        c.add_distances(3)
+        c.add_page_read(2)
+        c.add_page_write()
+        snap = c.snapshot()
+        assert snap.distance_computations == 3
+        assert snap.page_reads == 2
+        assert snap.page_writes == 1
+        assert snap.page_accesses == 3
+
+    def test_measure_block(self):
+        c = CostCounters()
+        with c.measure() as m:
+            c.add_distances(10)
+            c.add_page_read(4)
+        assert m.compdists == 10
+        assert m.page_accesses == 4
+        assert m.cpu_seconds >= 0
+
+    def test_reset(self):
+        c = CostCounters()
+        c.add_distances(5)
+        c.reset()
+        assert c.distance_computations == 0
+
+    def test_snapshot_subtraction(self):
+        c = CostCounters()
+        a = c.snapshot()
+        c.add_distances(7)
+        b = c.snapshot()
+        assert (b - a).distance_computations == 7
+
+
+class TestDataset:
+    def test_vector_dataset(self):
+        data = np.arange(12, dtype=np.float64).reshape(4, 3)
+        ds = Dataset(data, L2, name="t")
+        assert len(ds) == 4
+        assert ds.is_vector
+        assert np.array_equal(ds[1], [3, 4, 5])
+        assert np.array_equal(ds.gather([0, 2]), data[[0, 2]])
+
+    def test_list_dataset(self):
+        ds = Dataset(["ab", "cd"], EditDistance())
+        assert not ds.is_vector
+        assert ds[0] == "ab"
+        assert ds.gather([1]) == ["cd"]
+
+    def test_add_vector(self):
+        ds = Dataset(np.zeros((2, 3)), L2)
+        new_id = ds.add([1.0, 2.0, 3.0])
+        assert new_id == 2
+        assert len(ds) == 3
+        with pytest.raises(ValueError):
+            ds.add([1.0, 2.0])
+
+    def test_add_string(self):
+        ds = Dataset(["a"], EditDistance())
+        assert ds.add("bc") == 1
+        assert ds[1] == "bc"
+
+    def test_subset(self):
+        ds = make_uniform(20, dim=2, seed=1)
+        sub = ds.subset([3, 5, 7])
+        assert len(sub) == 3
+        assert np.array_equal(sub[0], ds[3])
+
+    def test_object_nbytes(self):
+        ds = Dataset(np.zeros((2, 3)), L2)
+        assert ds.object_nbytes(0) == 24
+        ws = Dataset(["abc"], EditDistance())
+        assert ws.object_nbytes(0) == 3
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "maker,name,distance",
+        [
+            (make_la, "LA", "L2"),
+            (make_words, "Words", "edit"),
+            (make_color, "Color", "L1"),
+            (make_synthetic, "Synthetic", "Linf"),
+        ],
+    )
+    def test_names_and_metrics(self, maker, name, distance):
+        ds = maker(100, seed=0)
+        assert ds.name == name
+        assert ds.distance.name == distance
+        assert len(ds) == 100
+
+    def test_la_domain(self):
+        ds = make_la(500, seed=1)
+        assert ds.objects.min() >= 0 and ds.objects.max() <= 10_000
+        assert ds.objects.shape[1] == 2
+
+    def test_words_lengths(self):
+        ds = make_words(500, seed=1)
+        lengths = [len(w) for w in ds]
+        assert min(lengths) >= 1 and max(lengths) <= 34
+        assert len(set(ds.objects)) == 500  # no duplicates
+
+    def test_color_shape_and_domain(self):
+        ds = make_color(100, seed=1)
+        assert ds.objects.shape == (100, 282)
+        assert ds.objects.min() >= -255 and ds.objects.max() <= 255
+
+    def test_synthetic_integer_values(self):
+        ds = make_synthetic(100, seed=1)
+        assert np.array_equal(ds.objects, np.rint(ds.objects))
+        assert ds.distance.is_discrete
+
+    def test_determinism(self):
+        a, b = make_la(50, seed=9), make_la(50, seed=9)
+        assert np.array_equal(a.objects, b.objects)
+
+    def test_statistics_columns(self):
+        stats = dataset_statistics(make_synthetic(300, seed=2), sample_pairs=2000)
+        row = stats.row()
+        assert row["Dataset"] == "Synthetic"
+        assert row["Cardinality"] == 300
+        assert float(row["Int. Dim."]) > 0
+        assert row["Dis. Measure"] == "Linf"
+
+    def test_statistics_needs_two(self):
+        with pytest.raises(ValueError):
+            dataset_statistics(Dataset(np.zeros((1, 2)), L2))
+
+
+class TestMetricSpace:
+    def setup_method(self):
+        self.ds = make_uniform(50, dim=3, seed=4)
+        self.counters = CostCounters()
+        self.space = MetricSpace(self.ds, self.counters)
+
+    def test_counts_single(self):
+        self.space.d(self.ds[0], self.ds[1])
+        assert self.counters.distance_computations == 1
+
+    def test_counts_batch(self):
+        self.space.d_many(self.ds[0], self.ds.objects)
+        assert self.counters.distance_computations == 50
+
+    def test_counts_ids(self):
+        self.space.d_ids(self.ds[0], [1, 2, 3])
+        assert self.counters.distance_computations == 3
+
+    def test_counts_pairwise(self):
+        self.space.pairwise_ids([0, 1], [2, 3, 4])
+        assert self.counters.distance_computations == 6
+
+    def test_empty_batch(self):
+        out = self.space.d_ids(self.ds[0], [])
+        assert out.size == 0
+        assert self.counters.distance_computations == 0
+
+    def test_batch_matches_scalar(self):
+        batch = self.space.d_many(self.ds[0], self.ds.objects)
+        scalar = [self.ds.distance(self.ds[0], self.ds[i]) for i in range(50)]
+        assert np.allclose(batch, scalar)
+
+
+class TestKnnHeap:
+    def test_radius_infinite_until_full(self):
+        h = KnnHeap(3)
+        h.consider(0, 5.0)
+        assert h.radius == float("inf")
+        h.consider(1, 2.0)
+        h.consider(2, 7.0)
+        assert h.radius == 7.0
+
+    def test_tightening(self):
+        h = KnnHeap(2)
+        h.consider(0, 5.0)
+        h.consider(1, 4.0)
+        h.consider(2, 1.0)  # evicts 5.0
+        assert h.radius == 4.0
+        assert [n.object_id for n in h.neighbors()] == [2, 1]
+
+    def test_rejects_worse(self):
+        h = KnnHeap(1)
+        h.consider(0, 1.0)
+        assert not h.consider(1, 2.0)
+        assert h.ids() == [0]
+
+    def test_ordered_output(self):
+        h = KnnHeap(4)
+        for i, d in enumerate([3.0, 1.0, 4.0, 2.0]):
+            h.consider(i, d)
+        assert h.distances() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KnnHeap(0)
+
+    def test_neighbor_ordering(self):
+        assert Neighbor(1.0, 5) < Neighbor(2.0, 1)
+        assert Neighbor(1.0, 1) < Neighbor(1.0, 2)
+
+
+class TestBruteForce:
+    def test_range_and_knn_agree(self):
+        ds = make_uniform(100, dim=2, seed=5)
+        space = MetricSpace(ds)
+        q = ds[0]
+        nn = brute_force_knn(space, q, 10)
+        r = nn[-1].distance
+        ids = brute_force_range(space, q, r)
+        assert set(n.object_id for n in nn) <= set(ids)
+
+
+class TestPivotMapping:
+    def test_matrix_shape_and_values(self):
+        ds = make_uniform(30, dim=2, seed=6)
+        space = MetricSpace(ds)
+        pm = PivotMapping(space, [0, 5])
+        assert pm.matrix.shape == (30, 2)
+        assert pm.matrix[0, 0] == 0.0  # pivot to itself
+        assert pm.matrix[7, 1] == pytest.approx(ds.distance(ds[7], ds[5]))
+
+    def test_build_cost_counted(self):
+        ds = make_uniform(30, dim=2, seed=6)
+        counters = CostCounters()
+        PivotMapping(MetricSpace(ds, counters), [0, 5, 9])
+        assert counters.distance_computations == 90
+
+    def test_map_query_counts(self):
+        ds = make_uniform(30, dim=2, seed=6)
+        counters = CostCounters()
+        pm = PivotMapping(MetricSpace(ds, counters), [0, 5])
+        counters.reset()
+        vec = pm.map_query(ds[3])
+        assert counters.distance_computations == 2
+        assert vec.shape == (2,)
+
+    def test_requires_pivots(self):
+        ds = make_uniform(10, dim=2, seed=6)
+        with pytest.raises(ValueError):
+            PivotMapping(MetricSpace(ds), [])
+
+    def test_append(self):
+        ds = make_uniform(10, dim=2, seed=6)
+        pm = PivotMapping(MetricSpace(ds), [0, 1])
+        row = pm.append([1.0, 2.0])
+        assert row == 10
+        assert pm.matrix.shape == (11, 2)
+        with pytest.raises(ValueError):
+            pm.append([1.0, 2.0, 3.0])
+
+    def test_max_distance_bound(self):
+        ds = make_uniform(30, dim=2, seed=6)
+        pm = PivotMapping(MetricSpace(ds), [0, 5])
+        bound = pm.max_distance_bound()
+        true_max = max(
+            ds.distance(ds[i], ds[j]) for i in range(30) for j in range(30)
+        )
+        assert bound >= true_max

@@ -1,0 +1,178 @@
+"""Distance functions: exactness, vectorised agreement, metric axioms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DiscreteMetricAdapter,
+    EditDistance,
+    HammingDistance,
+    L1,
+    L2,
+    LInf,
+    LPDistance,
+    QuadraticFormDistance,
+)
+
+VECTORS = st.lists(
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False), min_size=1, max_size=6
+)
+WORDS = st.text(alphabet="abcdefg", max_size=12)
+
+
+class TestLPDistance:
+    def test_l2_pythagoras(self):
+        assert L2([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_l1_manhattan(self):
+        assert L1([1, 2], [4, 6]) == pytest.approx(7.0)
+
+    def test_linf_chebyshev(self):
+        assert LInf([0, 0], [3, 4]) == pytest.approx(4.0)
+
+    def test_general_p(self):
+        d = LPDistance(3)
+        assert d([0], [2]) == pytest.approx(2.0)
+        assert d([0, 0], [1, 1]) == pytest.approx(2 ** (1 / 3))
+
+    def test_p_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            LPDistance(0.5)
+
+    def test_inf_string_accepted(self):
+        assert math.isinf(LPDistance("inf").p)
+
+    @pytest.mark.parametrize("dist", [L1, L2, LInf, LPDistance(3)])
+    def test_one_to_many_matches_scalar(self, dist):
+        rng = np.random.default_rng(0)
+        q = rng.uniform(-5, 5, size=4)
+        mat = rng.uniform(-5, 5, size=(20, 4))
+        batch = dist.one_to_many(q, mat)
+        scalar = [dist(q, row) for row in mat]
+        assert np.allclose(batch, scalar)
+
+    @pytest.mark.parametrize("dist", [L1, L2, LInf])
+    def test_pairwise_matches_scalar(self, dist):
+        rng = np.random.default_rng(1)
+        xs = rng.uniform(-5, 5, size=(5, 3))
+        ys = rng.uniform(-5, 5, size=(7, 3))
+        mat = dist.pairwise(xs, ys)
+        for i in range(5):
+            for j in range(7):
+                assert mat[i, j] == pytest.approx(dist(xs[i], ys[j]))
+
+    @given(a=VECTORS, b=VECTORS, c=VECTORS)
+    @settings(max_examples=100, deadline=None)
+    def test_metric_axioms_l2(self, a, b, c):
+        size = min(len(a), len(b), len(c))
+        a, b, c = a[:size], b[:size], c[:size]
+        dab, dba = L2(a, b), L2(b, a)
+        assert dab == pytest.approx(dba)  # symmetry
+        assert dab >= 0  # non-negativity
+        assert L2(a, a) == pytest.approx(0.0)  # identity
+        assert L2(a, c) <= dab + L2(b, c) + 1e-7  # triangle inequality
+
+
+class TestEditDistance:
+    def setup_method(self):
+        self.d = EditDistance()
+
+    def test_paper_example(self):
+        # MRQ("defoliate", 1) = {"defoliates", "defoliated"} in Section 2.1
+        assert self.d("defoliate", "defoliates") == 1
+        assert self.d("defoliate", "defoliated") == 1
+        assert self.d("defoliate", "defoliation") == 3  # e -> ion
+        assert self.d("defoliate", "citrate") == 6
+
+    def test_empty_strings(self):
+        assert self.d("", "") == 0
+        assert self.d("", "abc") == 3
+        assert self.d("abc", "") == 3
+
+    def test_is_discrete(self):
+        assert self.d.is_discrete
+
+    @given(a=WORDS, b=WORDS)
+    @settings(max_examples=150, deadline=None)
+    def test_symmetry_and_bounds(self, a, b):
+        dab = self.d(a, b)
+        assert dab == self.d(b, a)
+        assert dab <= max(len(a), len(b))
+        assert dab >= abs(len(a) - len(b))
+        assert dab.is_integer()
+
+    @given(a=WORDS, b=WORDS, c=WORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert self.d(a, c) <= self.d(a, b) + self.d(b, c)
+
+    def test_one_to_many(self):
+        words = ["cat", "cart", "dog", ""]
+        out = self.d.one_to_many("cat", words)
+        assert out.tolist() == [0.0, 1.0, 3.0, 3.0]
+
+
+class TestHammingDistance:
+    def test_basic(self):
+        d = HammingDistance()
+        assert d("karolin", "kathrin") == 3
+        assert d([1, 0, 1], [0, 0, 1]) == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            HammingDistance()("ab", "abc")
+
+    def test_vectorised(self):
+        d = HammingDistance()
+        mat = np.array([[1, 0], [1, 1], [0, 0]])
+        assert d.one_to_many(np.array([1, 0]), mat).tolist() == [0.0, 1.0, 1.0]
+
+
+class TestQuadraticForm:
+    def test_identity_matrix_is_l2(self):
+        d = QuadraticFormDistance(np.eye(3))
+        assert d([0, 0, 0], [1, 2, 2]) == pytest.approx(3.0)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            QuadraticFormDistance(np.array([[1.0, 0.5], [0.0, 1.0]]))
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(ValueError):
+            QuadraticFormDistance(np.array([[1.0, 0.0], [0.0, -1.0]]))
+
+    def test_one_to_many(self):
+        rng = np.random.default_rng(2)
+        basis = rng.normal(size=(3, 3))
+        matrix = basis @ basis.T + 3 * np.eye(3)
+        d = QuadraticFormDistance(matrix)
+        q = rng.normal(size=3)
+        mat = rng.normal(size=(10, 3))
+        assert np.allclose(d.one_to_many(q, mat), [d(q, row) for row in mat])
+
+
+class TestDiscreteAdapter:
+    def test_ceils(self):
+        d = DiscreteMetricAdapter(L2)
+        assert d([0, 0], [1, 1]) == 2.0  # ceil(1.414)
+        assert d.is_discrete
+
+    def test_preserves_triangle(self):
+        d = DiscreteMetricAdapter(L2)
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            a, b, c = rng.uniform(0, 10, size=(3, 2))
+            assert d(a, c) <= d(a, b) + d(b, c)
+
+    def test_batch_matches_scalar(self):
+        d = DiscreteMetricAdapter(L2)
+        rng = np.random.default_rng(4)
+        q = rng.uniform(0, 10, size=3)
+        mat = rng.uniform(0, 10, size=(8, 3))
+        assert np.array_equal(d.one_to_many(q, mat), [d(q, r) for r in mat])

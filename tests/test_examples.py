@@ -1,0 +1,54 @@
+"""Examples must stay runnable: execute the fast ones, import-check the rest."""
+
+from __future__ import annotations
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_all_examples_exist():
+    names = {p.name for p in ALL_EXAMPLES}
+    assert {
+        "quickstart.py",
+        "spell_checker.py",
+        "geo_search.py",
+        "multimedia_retrieval.py",
+        "knn_classifier.py",
+        "index_selection.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_examples_compile(path):
+    source = path.read_text()
+    compile(source, str(path), "exec")
+
+
+def test_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "defoliates" in result.stdout
+    assert "defoliated" in result.stdout
+
+
+def test_knn_classifier_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "knn_classifier.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "hold-out accuracy" in result.stdout

@@ -1,0 +1,278 @@
+"""Detailed behaviour of the external indexes (paper Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostCounters,
+    MIndex,
+    MIndexStar,
+    MetricSpace,
+    OmniBPlusTree,
+    OmniRTree,
+    OmniSequentialFile,
+    PMTree,
+    SPBTree,
+    brute_force_range,
+    make_la,
+    make_words,
+    select_pivots,
+)
+
+
+@pytest.fixture(scope="module")
+def la():
+    return make_la(500, seed=81)
+
+
+@pytest.fixture(scope="module")
+def la_pivots(la):
+    return select_pivots(MetricSpace(la), 4, strategy="hfi", seed=1)
+
+
+class TestPMTreeDetail:
+    def test_leaf_entries_carry_vectors(self, la, la_pivots):
+        index = PMTree.build(
+            MetricSpace(la, CostCounters()), la_pivots, page_size=4096
+        )
+        for _, entry in index.mtree.iter_leaf_entries():
+            assert entry.vec is not None
+            assert entry.vec.shape == (len(la_pivots),)
+
+    def test_routing_mbbs_cover_subtrees(self, la, la_pivots):
+        index = PMTree.build(
+            MetricSpace(la, CostCounters()), la_pivots, page_size=4096
+        )
+        tree = index.mtree
+
+        def check(page_id):
+            node = tree.read_node(page_id)
+            if node.is_leaf:
+                vecs = [e.vec for e in node.entries]
+                if not vecs:
+                    return None
+                return np.min(vecs, axis=0), np.max(vecs, axis=0)
+            lows, highs = [], []
+            for e in node.entries:
+                child_box = check(e.child_page)
+                if child_box is None:
+                    continue
+                assert e.mbb_lows is not None
+                assert np.all(e.mbb_lows <= child_box[0] + 1e-9)
+                assert np.all(e.mbb_highs >= child_box[1] - 1e-9)
+                lows.append(e.mbb_lows)
+                highs.append(e.mbb_highs)
+            if not lows:
+                return None
+            return np.min(lows, axis=0), np.max(highs, axis=0)
+
+        check(tree.root_page)
+
+    def test_box_pruning_reduces_compdists(self, la, la_pivots):
+        """PM-tree (ball+box) should verify fewer than the plain M-tree."""
+        from repro import MTreeIndex
+
+        pm = PMTree.build(MetricSpace(la, CostCounters()), la_pivots, page_size=4096)
+        mt = MTreeIndex.build(MetricSpace(la, CostCounters()), page_size=4096, seed=0)
+        costs = {}
+        for name, index in (("pm", pm), ("mt", mt)):
+            counters = index.space.counters
+            counters.reset()
+            for qi in (3, 70, 140):
+                index.range_query(la[qi], 400.0)
+            costs[name] = counters.distance_computations
+        assert costs["pm"] <= costs["mt"]
+
+
+class TestOmniDetail:
+    def test_sequential_scans_every_vector_page(self, la, la_pivots):
+        index = OmniSequentialFile.build(MetricSpace(la, CostCounters()), la_pivots)
+        counters = index.space.counters
+        counters.reset()
+        index.range_query(la[0], 100.0)
+        assert counters.page_reads >= len(index._vector_pages)
+
+    def test_bplus_one_tree_per_pivot(self, la, la_pivots):
+        index = OmniBPlusTree.build(MetricSpace(la, CostCounters()), la_pivots)
+        assert len(index.trees) == len(la_pivots)
+        for j, tree in enumerate(index.trees):
+            keys = [k for k, _ in tree.items()]
+            assert keys == sorted(keys)
+            assert len(keys) == len(la)
+
+    def test_rtree_leaf_count(self, la, la_pivots):
+        index = OmniRTree.build(MetricSpace(la, CostCounters()), la_pivots)
+        assert len(index.rtree) == len(la)
+        index.rtree.check_invariants()
+
+    def test_raf_fetch_costs_pages(self, la, la_pivots):
+        index = OmniRTree.build(MetricSpace(la, CostCounters()), la_pivots)
+        counters = index.space.counters
+        counters.reset()
+        index._fetch(42)
+        assert counters.page_reads == 1
+
+    @pytest.mark.parametrize(
+        "cls", [OmniSequentialFile, OmniBPlusTree, OmniRTree]
+    )
+    def test_family_agreement(self, la, la_pivots, cls):
+        index = cls.build(MetricSpace(la, CostCounters()), la_pivots)
+        q = la[17]
+        assert index.range_query(q, 600.0) == brute_force_range(
+            MetricSpace(la), q, 600.0
+        )
+
+
+class TestMIndexDetail:
+    def _build(self, dataset, pivots, star=False, maxnum=48):
+        cls = MIndexStar if star else MIndex
+        return cls.build(MetricSpace(dataset, CostCounters()), pivots, maxnum=maxnum)
+
+    def test_cluster_paths_partition_dataset(self, la, la_pivots):
+        index = self._build(la, la_pivots)
+        total = 0
+        for leaf in self._leaves(index.root):
+            members = list(
+                index.btree.range_scan(
+                    (leaf.path, -float("inf")), (leaf.path, float("inf"))
+                )
+            )
+            assert len(members) == leaf.count
+            total += leaf.count
+        assert total == len(la)
+
+    def _leaves(self, node):
+        if node.is_leaf:
+            yield node
+            return
+        for child in node.children.values():
+            yield from self._leaves(child)
+
+    def test_keys_use_first_path_pivot(self, la, la_pivots):
+        index = self._build(la, la_pivots)
+        mapping = index.mapping
+        for key, (object_id, _ptr) in index.btree.items():
+            path, dist = key
+            assert dist == pytest.approx(float(mapping.vector(object_id)[path[0]]))
+
+    def test_nearest_pivot_assignment(self, la, la_pivots):
+        index = self._build(la, la_pivots)
+        mapping = index.mapping
+        for key, (object_id, _ptr) in index.btree.items():
+            path, _ = key
+            vec = mapping.vector(object_id)
+            assert path[0] == int(np.argmin(vec))
+
+    def test_maxnum_respected_after_build(self, la, la_pivots):
+        index = self._build(la, la_pivots, maxnum=32)
+        for leaf in self._leaves(index.root):
+            if len(leaf.path) < len(la_pivots):
+                assert leaf.count <= 32
+
+    def test_star_validation_skips_work_at_large_radius(self, la, la_pivots):
+        plain = self._build(la, la_pivots, star=False)
+        star = self._build(la, la_pivots, star=True)
+        q = la[3]
+        radius = 6000.0  # most of the dataset qualifies
+        costs = {}
+        for name, index in (("plain", plain), ("star", star)):
+            counters = index.space.counters
+            counters.reset()
+            a = index.range_query(q, radius)
+            costs[name] = (counters.distance_computations, a)
+        assert costs["plain"][1] == costs["star"][1]
+        assert costs["star"][0] <= costs["plain"][0]
+
+    def test_insert_splits_cluster(self, la, la_pivots):
+        index = self._build(la, la_pivots, maxnum=600)  # one fat cluster
+        pre_leaves = sum(1 for _ in self._leaves(index.root))
+        index.maxnum = 32  # force the next inserts to split
+        for i in range(5):
+            index.delete(i)
+            index.insert(la[i], object_id=i)
+        post_leaves = sum(1 for _ in self._leaves(index.root))
+        assert post_leaves >= pre_leaves
+        q = la[2]
+        assert index.range_query(q, 700.0) == brute_force_range(
+            MetricSpace(la), q, 700.0
+        )
+
+
+class TestSPBTreeDetail:
+    def test_raf_in_key_order(self, la, la_pivots):
+        index = SPBTree.build(MetricSpace(la, CostCounters()), la_pivots)
+        pages_in_key_order = [
+            index._pointers[object_id].page_id
+            for _, (object_id, _ptr) in index.btree.items()
+        ]
+        # RAF pages must be non-decreasing when walked in key order
+        assert pages_in_key_order == sorted(pages_in_key_order)
+
+    def test_validation_avoids_raf_reads(self, la, la_pivots):
+        index = SPBTree.build(MetricSpace(la, CostCounters()), la_pivots)
+        counters = index.space.counters
+        q = la[3]
+        radius = 9000.0  # nearly everything validates via Lemma 4
+        counters.reset()
+        result = index.range_query(q, radius)
+        want = brute_force_range(MetricSpace(la), q, radius)
+        assert result == want
+        # far fewer computations than answers: validation did the work
+        assert counters.distance_computations < len(want) / 2
+
+    def test_mbb_aux_covers_leaf_cells(self, la, la_pivots):
+        index = SPBTree.build(MetricSpace(la, CostCounters()), la_pivots)
+
+        def check(page_id):
+            node = index.btree.read_node(page_id)
+            if node.is_leaf:
+                cells = [index.curve.decode(k) for k in node.keys]
+                if not cells:
+                    return None
+                arr = np.asarray(cells)
+                return arr.min(axis=0), arr.max(axis=0)
+            for child, aux in zip(node.children, node.aux):
+                box = check(child)
+                if box is None or aux is None:
+                    continue
+                lows, highs = np.asarray(aux[0]), np.asarray(aux[1])
+                assert np.all(lows <= box[0]) and np.all(highs >= box[1])
+            return None
+
+        check(index.btree.root_page)
+
+    def test_clipped_cell_never_validates(self, la, la_pivots):
+        index = SPBTree.build(MetricSpace(la, CostCounters()), la_pivots)
+        clipped = np.full(len(la_pivots), index.curve.max_coordinate)
+        assert index._cell_upper_bound(np.zeros(len(la_pivots)), clipped) == float(
+            "inf"
+        )
+
+    def test_eps_covers_max_distance(self, la, la_pivots):
+        index = SPBTree.build(MetricSpace(la, CostCounters()), la_pivots)
+        max_cell = index._grid_cell(index.mapping.matrix.max(axis=0))
+        assert max_cell.max() <= index.curve.max_coordinate
+
+
+class TestWordsExternal:
+    """String objects through every external index (serialisation paths)."""
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda s, p: PMTree.build(s, p, page_size=4096),
+            lambda s, p: OmniRTree.build(s, p),
+            lambda s, p: MIndexStar.build(s, p, maxnum=48),
+            lambda s, p: SPBTree.build(s, p),
+        ],
+    )
+    def test_words_roundtrip(self, builder):
+        words = make_words(300, seed=82)
+        pivots = select_pivots(MetricSpace(words), 3, strategy="hfi", seed=1)
+        index = builder(MetricSpace(words, CostCounters()), pivots)
+        q = words[9]
+        assert index.range_query(q, 4.0) == brute_force_range(
+            MetricSpace(words), q, 4.0
+        )

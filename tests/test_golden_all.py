@@ -1,0 +1,120 @@
+"""The repo's central invariant: every index answers exactly like brute force.
+
+Parametrised over all (dataset family, index) combinations the paper
+evaluates, for both MRQ and MkNNQ, plus randomised radii/k and edge cases
+(r=0, k=1, k>n, query not in the dataset).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MetricSpace, brute_force_knn, brute_force_range
+
+from conftest import DATASET_MAKERS, RADIUS, indexes_for
+
+CASES = [
+    (dataset_name, index_name)
+    for dataset_name in DATASET_MAKERS
+    for index_name in indexes_for(dataset_name)
+]
+
+
+def _knn_distances(neighbors):
+    return [round(n.distance, 6) for n in neighbors]
+
+
+@pytest.mark.parametrize("dataset_name,index_name", CASES)
+class TestGoldenEquivalence:
+    def test_range_query(self, datasets, built_indexes, dataset_name, index_name):
+        dataset = datasets[dataset_name]
+        index = built_indexes(dataset_name, index_name)
+        reference = MetricSpace(dataset)
+        radius = RADIUS[dataset_name]
+        for qi in (0, len(dataset) // 3, len(dataset) - 1):
+            q = dataset[qi]
+            got = index.range_query(q, radius)
+            want = brute_force_range(reference, q, radius)
+            assert got == want, f"{index_name} on {dataset_name}, query {qi}"
+
+    def test_range_query_zero_radius(
+        self, datasets, built_indexes, dataset_name, index_name
+    ):
+        dataset = datasets[dataset_name]
+        index = built_indexes(dataset_name, index_name)
+        q = dataset[5]
+        got = index.range_query(q, 0.0)
+        want = brute_force_range(MetricSpace(dataset), q, 0.0)
+        assert got == want  # at least the object itself (plus exact twins)
+
+    def test_knn_query(self, datasets, built_indexes, dataset_name, index_name):
+        dataset = datasets[dataset_name]
+        index = built_indexes(dataset_name, index_name)
+        reference = MetricSpace(dataset)
+        for qi, k in ((1, 1), (7, 10), (11, 25)):
+            q = dataset[qi]
+            got = _knn_distances(index.knn_query(q, k))
+            want = _knn_distances(brute_force_knn(reference, q, k))
+            assert got == want, f"{index_name} on {dataset_name}, k={k}"
+
+    def test_knn_result_ids_have_correct_distances(
+        self, datasets, built_indexes, dataset_name, index_name
+    ):
+        dataset = datasets[dataset_name]
+        index = built_indexes(dataset_name, index_name)
+        q = dataset[3]
+        for n in index.knn_query(q, 5):
+            assert n.distance == pytest.approx(
+                dataset.distance(q, dataset[n.object_id]), abs=1e-9
+            )
+
+    def test_random_radii(self, datasets, built_indexes, dataset_name, index_name):
+        dataset = datasets[dataset_name]
+        index = built_indexes(dataset_name, index_name)
+        reference = MetricSpace(dataset)
+        rng = np.random.default_rng(hash((dataset_name, index_name)) % 2**32)
+        base = RADIUS[dataset_name]
+        for _ in range(3):
+            qi = int(rng.integers(0, len(dataset)))
+            radius = float(base * rng.uniform(0.1, 2.0))
+            if dataset.distance.is_discrete:
+                radius = float(np.floor(radius))
+            q = dataset[qi]
+            assert index.range_query(q, radius) == brute_force_range(
+                reference, q, radius
+            )
+
+
+@pytest.mark.parametrize("dataset_name", list(DATASET_MAKERS))
+class TestQueryEdgeCases:
+    """Edge cases run on one representative per category (fast)."""
+
+    REPRESENTATIVES = ("LAESA", "MVPT", "SPB-tree")
+
+    def test_k_larger_than_dataset(self, datasets, built_indexes, dataset_name):
+        dataset = datasets[dataset_name]
+        for index_name in self.REPRESENTATIVES:
+            index = built_indexes(dataset_name, index_name)
+            got = index.knn_query(dataset[0], len(dataset) + 50)
+            assert len(got) == len(dataset)
+
+    def test_foreign_query_object(self, datasets, built_indexes, dataset_name):
+        """Query objects need not be dataset members."""
+        dataset = datasets[dataset_name]
+        if dataset.is_vector:
+            q = np.asarray(dataset[0]) * 0.5 + np.asarray(dataset[1]) * 0.5
+            if dataset.distance.is_discrete:
+                q = np.rint(q)
+        else:
+            q = dataset[0] + "x"
+        reference = MetricSpace(dataset)
+        radius = RADIUS[dataset_name]
+        for index_name in self.REPRESENTATIVES:
+            index = built_indexes(dataset_name, index_name)
+            assert index.range_query(q, radius) == brute_force_range(
+                reference, q, radius
+            )
+            got = _knn_distances(index.knn_query(q, 7))
+            want = _knn_distances(brute_force_knn(reference, q, 7))
+            assert got == want

@@ -1,0 +1,56 @@
+"""Dataset persistence (save_dataset / load_dataset)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MetricSpace, brute_force_range, make_la, make_synthetic, make_words
+from repro.core import load_dataset, save_dataset
+
+
+class TestVectorRoundtrip:
+    def test_la(self, tmp_path):
+        dataset = make_la(120, seed=1)
+        path = tmp_path / "la.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.name == "LA"
+        assert loaded.distance.name == "L2"
+        assert np.array_equal(loaded.objects, dataset.objects)
+
+    def test_synthetic_keeps_discreteness(self, tmp_path):
+        dataset = make_synthetic(100, seed=1)
+        path = tmp_path / "syn.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.distance.is_discrete
+        assert loaded.distance.name == "Linf"
+
+    def test_queries_identical_after_roundtrip(self, tmp_path):
+        dataset = make_la(150, seed=2)
+        path = tmp_path / "la.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        q = dataset[3]
+        assert brute_force_range(MetricSpace(loaded), q, 800.0) == brute_force_range(
+            MetricSpace(dataset), q, 800.0
+        )
+
+
+class TestWordsRoundtrip:
+    def test_words(self, tmp_path):
+        dataset = make_words(80, seed=3)
+        path = tmp_path / "words.txt"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.name == "Words"
+        assert loaded.distance.name == "edit"
+        assert list(loaded.objects) == list(dataset.objects)
+
+    def test_header_parsing_defaults(self, tmp_path):
+        path = tmp_path / "bare.txt"
+        path.write_text("# hello\nalpha\nbeta\n")
+        loaded = load_dataset(path)
+        assert list(loaded.objects) == ["alpha", "beta"]
+        assert loaded.distance.name == "edit"

@@ -1,0 +1,239 @@
+"""Pivot filtering (Lemmas 1-4) and pivot selection strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MetricSpace, make_la, make_uniform, make_words
+from repro.core.pivot_filter import (
+    can_prune,
+    can_validate,
+    double_pivot_can_prune,
+    lower_bound,
+    lower_bound_many,
+    mbb_can_prune,
+    mbb_can_validate,
+    mbb_max_dist,
+    mbb_min_dist,
+    range_pivot_can_prune,
+    range_pivot_min_dist,
+    upper_bound,
+    upper_bound_many,
+)
+from repro.core.pivot_selection import hf, hfi, max_variance_pivots, psa, random_pivots, select_pivots
+
+
+def _setup(n=120, pivots=3, seed=0):
+    ds = make_uniform(n, dim=3, seed=seed)
+    space = MetricSpace(ds)
+    rng = np.random.default_rng(seed)
+    pivot_ids = rng.choice(n, size=pivots, replace=False)
+    q = ds[int(rng.integers(0, n))]
+    qd = np.asarray([ds.distance(q, ds[int(p)]) for p in pivot_ids])
+    mat = np.stack(
+        [
+            np.asarray([ds.distance(ds[i], ds[int(p)]) for p in pivot_ids])
+            for i in range(n)
+        ]
+    )
+    true = np.asarray([ds.distance(q, ds[i]) for i in range(n)])
+    return qd, mat, true
+
+
+class TestLemma1And4Bounds:
+    """The safety invariants: lower <= d(q,o) <= upper, always."""
+
+    def test_bounds_sandwich_truth(self):
+        qd, mat, true = _setup()
+        lows = lower_bound_many(qd, mat)
+        highs = upper_bound_many(qd, mat)
+        assert np.all(lows <= true + 1e-9)
+        assert np.all(highs >= true - 1e-9)
+
+    def test_scalar_versions_agree(self):
+        qd, mat, true = _setup()
+        for i in range(len(true)):
+            assert lower_bound(qd, mat[i]) == pytest.approx(
+                lower_bound_many(qd, mat)[i]
+            )
+            assert upper_bound(qd, mat[i]) == pytest.approx(
+                upper_bound_many(qd, mat)[i]
+            )
+
+    def test_prune_never_drops_answers(self):
+        qd, mat, true = _setup(seed=1)
+        for radius in (0.0, 50.0, 200.0, 800.0):
+            for i in range(len(true)):
+                if can_prune(qd, mat[i], radius):
+                    assert true[i] > radius
+
+    def test_validate_never_admits_non_answers(self):
+        qd, mat, true = _setup(seed=2)
+        for radius in (50.0, 200.0, 800.0):
+            for i in range(len(true)):
+                if can_validate(qd, mat[i], radius):
+                    assert true[i] <= radius
+
+    def test_empty_pivots(self):
+        assert lower_bound([], []) == 0.0
+        assert upper_bound([], []) == float("inf")
+
+
+class TestLemma2:
+    def test_range_pivot(self):
+        # ball region of radius 3 around p; q at distance 10 from p
+        assert range_pivot_can_prune(10.0, 3.0, 6.0)
+        assert not range_pivot_can_prune(10.0, 3.0, 7.0)
+        assert range_pivot_min_dist(10.0, 3.0) == 7.0
+        assert range_pivot_min_dist(2.0, 3.0) == 0.0
+
+    def test_range_pivot_safety_on_real_data(self):
+        ds = make_la(200, seed=3)
+        rng = np.random.default_rng(3)
+        p = ds[0]
+        members = [int(i) for i in rng.choice(200, size=50)]
+        region_radius = max(ds.distance(p, ds[i]) for i in members)
+        q = ds[7]
+        dqp = ds.distance(q, p)
+        for radius in (100.0, 500.0):
+            if range_pivot_can_prune(dqp, region_radius, radius):
+                for i in members:
+                    assert ds.distance(q, ds[i]) > radius
+
+
+class TestLemma3:
+    def test_double_pivot(self):
+        assert double_pivot_can_prune(10.0, 3.0, 3.0)
+        assert not double_pivot_can_prune(10.0, 3.0, 4.0)
+
+    def test_double_pivot_safety(self):
+        ds = make_la(300, seed=4)
+        pi, pj = ds[0], ds[1]
+        region = [
+            i
+            for i in range(2, 300)
+            if ds.distance(ds[i], pi) <= ds.distance(ds[i], pj)
+        ]
+        q = ds[5]
+        dqi, dqj = ds.distance(q, pi), ds.distance(q, pj)
+        for radius in (50.0, 400.0):
+            if double_pivot_can_prune(dqi, dqj, radius):
+                for i in region:
+                    assert ds.distance(q, ds[i]) > radius
+
+
+class TestMbbBounds:
+    def test_min_max_dist(self):
+        qd = np.array([5.0, 5.0])
+        assert mbb_min_dist(qd, [6.0, 0.0], [8.0, 4.0]) == 1.0
+        assert mbb_min_dist(qd, [4.0, 4.0], [6.0, 6.0]) == 0.0
+        assert mbb_max_dist(qd, [0.0, 0.0], [2.0, 3.0]) == 7.0
+
+    def test_prune_validate(self):
+        qd = np.array([5.0])
+        assert mbb_can_prune(qd, [10.0], [12.0], 4.9)
+        assert not mbb_can_prune(qd, [10.0], [12.0], 5.0)
+        assert mbb_can_validate(qd, [0.0], [1.0], 6.0)
+
+    def test_mbb_bounds_cover_members(self):
+        qd, mat, true = _setup(seed=5)
+        lows, highs = mat.min(axis=0), mat.max(axis=0)
+        lo = mbb_min_dist(qd, lows, highs)
+        hi = mbb_max_dist(qd, lows, highs)
+        assert lo <= true.min() + 1e-9
+        assert hi >= true.min() - 1e-9  # upper bound holds for each member
+        assert np.all(true >= lo - 1e-9)
+
+    @given(
+        qd=st.lists(st.floats(0, 100), min_size=2, max_size=4),
+        deltas=st.lists(st.floats(0, 50), min_size=2, max_size=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_point_box_consistency(self, qd, deltas):
+        size = min(len(qd), len(deltas))
+        qd = np.asarray(qd[:size])
+        point = np.asarray(deltas[:size])
+        # a degenerate box equals the point: min dist == lower bound formula
+        assert mbb_min_dist(qd, point, point) == pytest.approx(
+            float(np.abs(qd - point).max())
+        )
+
+
+class TestPivotSelection:
+    def setup_method(self):
+        self.space = MetricSpace(make_la(300, seed=6))
+
+    @pytest.mark.parametrize("strategy", ["random", "max_variance", "hf", "hfi"])
+    def test_distinct_pivots(self, strategy):
+        pivots = select_pivots(self.space, 5, strategy=strategy, seed=1)
+        assert len(pivots) == 5
+        assert len(set(pivots)) == 5
+        assert all(0 <= p < 300 for p in pivots)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            select_pivots(self.space, 3, strategy="nope")
+
+    def test_too_many_pivots(self):
+        with pytest.raises(ValueError):
+            random_pivots(self.space, 1000)
+
+    def test_hf_finds_outliers(self):
+        # HF should pick objects far apart: the first two foci should be
+        # farther from each other than a random pair on average
+        foci = hf(self.space, 2, seed=2)
+        ds = self.space.dataset
+        rng = np.random.default_rng(2)
+        random_mean = np.mean(
+            [
+                ds.distance(ds[int(a)], ds[int(b)])
+                for a, b in rng.integers(0, 300, size=(50, 2))
+            ]
+        )
+        assert ds.distance(ds[foci[0]], ds[foci[1]]) > random_mean
+
+    def test_hfi_beats_random_on_bound_quality(self):
+        ds = self.space.dataset
+        rng = np.random.default_rng(3)
+        pairs = rng.integers(0, 300, size=(200, 2))
+
+        def bound_quality(pivots):
+            total, count = 0.0, 0
+            for a, b in pairs:
+                true = ds.distance(ds[int(a)], ds[int(b)])
+                if true == 0:
+                    continue
+                lb = max(
+                    abs(
+                        ds.distance(ds[int(a)], ds[int(p)])
+                        - ds.distance(ds[int(b)], ds[int(p)])
+                    )
+                    for p in pivots
+                )
+                total += lb / true
+                count += 1
+            return total / count
+
+        hfi_pivots = hfi(self.space, 4, seed=4)
+        random_p = random_pivots(self.space, 4, seed=4)
+        assert bound_quality(hfi_pivots) >= bound_quality(random_p) * 0.95
+
+    def test_psa_shapes(self):
+        space = MetricSpace(make_words(80, seed=7))
+        idx, dist, candidates = psa(space, 3, candidate_scale=10, sample_size=16, seed=0)
+        assert idx.shape == (80, 3)
+        assert dist.shape == (80, 3)
+        assert idx.max() < len(candidates)
+        # stored distances must be the real distances
+        ds = space.dataset
+        for o in (0, 17, 42):
+            for j in range(3):
+                p = candidates[idx[o, j]]
+                assert dist[o, j] == pytest.approx(ds.distance(ds[o], ds[p]))
+
+    def test_max_variance_pivots(self):
+        pivots = max_variance_pivots(self.space, 3, seed=5)
+        assert len(set(pivots)) == 3

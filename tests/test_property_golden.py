@@ -1,0 +1,155 @@
+"""Property-based golden tests: random data, random queries, every index.
+
+Hypothesis drives small random vector datasets and query parameters; each
+drawn case must produce brute-force-identical answers.  This hunts corner
+cases the fixed-seed golden tests cannot (degenerate clusters, duplicate
+points, tiny radii, k = n, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CostCounters,
+    Dataset,
+    L2,
+    LInf,
+    MetricSpace,
+    brute_force_knn,
+    brute_force_range,
+    make_uniform,
+    select_pivots,
+)
+from repro.bench.runner import build_index
+
+FAST_INDEXES = ("LAESA", "EPT", "VPT", "MVPT", "OmniR-tree", "M-index*", "SPB-tree")
+
+
+@st.composite
+def vector_datasets(draw):
+    n = draw(st.integers(20, 60))
+    dim = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    kind = draw(st.sampled_from(["uniform", "clustered", "degenerate"]))
+    if kind == "uniform":
+        points = rng.uniform(0, 100, size=(n, dim))
+    elif kind == "clustered":
+        centers = rng.uniform(0, 100, size=(3, dim))
+        points = centers[rng.integers(0, 3, size=n)] + rng.normal(0, 2, size=(n, dim))
+    else:
+        # many duplicates and near-duplicates
+        base = rng.uniform(0, 10, size=(max(2, n // 5), dim))
+        points = base[rng.integers(0, len(base), size=n)]
+        points = points + rng.choice([0.0, 0.25], size=(n, 1))
+    return Dataset(points, L2, name="prop")
+
+
+@given(
+    data=vector_datasets(),
+    index_name=st.sampled_from(FAST_INDEXES),
+    query_seed=st.integers(0, 1000),
+    radius_scale=st.floats(0.0, 1.5),
+)
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_random_range_queries_match_brute_force(
+    data, index_name, query_seed, radius_scale
+):
+    space = MetricSpace(data, CostCounters())
+    n_pivots = min(3, len(data) - 1)
+    pivots = select_pivots(MetricSpace(data), n_pivots, strategy="hfi", seed=1)
+    kwargs = {"maxnum": 16} if index_name in ("M-index", "M-index*") else {}
+    index = build_index(index_name, space, pivots, seed=2, **kwargs)
+    rng = np.random.default_rng(query_seed)
+    q = data[int(rng.integers(0, len(data)))]
+    spread = float(np.ptp(np.asarray(data.objects))) or 1.0
+    radius = radius_scale * spread
+    reference = MetricSpace(data)
+    assert index.range_query(q, radius) == brute_force_range(reference, q, radius)
+
+
+@given(
+    data=vector_datasets(),
+    index_name=st.sampled_from(FAST_INDEXES),
+    k=st.integers(1, 70),
+)
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_random_knn_queries_match_brute_force(data, index_name, k):
+    space = MetricSpace(data, CostCounters())
+    n_pivots = min(3, len(data) - 1)
+    pivots = select_pivots(MetricSpace(data), n_pivots, strategy="hfi", seed=1)
+    kwargs = {"maxnum": 16} if index_name in ("M-index", "M-index*") else {}
+    index = build_index(index_name, space, pivots, seed=2, **kwargs)
+    q = data[0]
+    reference = MetricSpace(data)
+    got = [round(n.distance, 9) for n in index.knn_query(q, k)]
+    want = [round(n.distance, 9) for n in brute_force_knn(reference, q, k)]
+    assert got == want
+
+
+@given(
+    n=st.integers(20, 50),
+    seed=st.integers(0, 500),
+    ops_seed=st.integers(0, 500),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_update_sequences_stay_exact(n, seed, ops_seed):
+    """Interleaved deletes/reinserts on a disk index never corrupt answers."""
+    data = make_uniform(n, dim=2, seed=seed)
+    space = MetricSpace(data, CostCounters())
+    pivots = select_pivots(MetricSpace(data), 2, strategy="hfi", seed=1)
+    index = build_index("SPB-tree", space, pivots)
+    rng = np.random.default_rng(ops_seed)
+    deleted: set[int] = set()
+    for _ in range(12):
+        if deleted and rng.random() < 0.5:
+            victim = int(rng.choice(sorted(deleted)))
+            index.insert(data[victim], object_id=victim)
+            deleted.discard(victim)
+        else:
+            alive = sorted(set(range(n)) - deleted)
+            if not alive:
+                continue
+            victim = int(rng.choice(alive))
+            index.delete(victim)
+            deleted.add(victim)
+    q = data[0]
+    radius = 300.0
+    reference = MetricSpace(data)
+    want = [i for i in brute_force_range(reference, q, radius) if i not in deleted]
+    assert index.range_query(q, radius) == want
+
+
+@given(values=st.lists(st.integers(0, 50), min_size=5, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_discrete_trees_on_integer_lines(values):
+    """BKT/FQT/FQA on 1-d integer data under L-infinity (discrete)."""
+    points = np.asarray(values, dtype=np.float64).reshape(-1, 1)
+    from repro import DiscreteMetricAdapter
+
+    dist = DiscreteMetricAdapter(LInf)
+    data = Dataset(points, dist, name="ints")
+    reference = MetricSpace(data)
+    pivots = select_pivots(
+        MetricSpace(data), min(2, len(data) - 1) or 1, strategy="hfi", seed=0
+    )
+    for name in ("BKT", "FQT", "FQA"):
+        space = MetricSpace(data, CostCounters())
+        index = build_index(name, space, pivots, seed=3)
+        q = data[0]
+        for radius in (0.0, 2.0, 10.0):
+            assert index.range_query(q, radius) == brute_force_range(
+                reference, q, radius
+            ), name

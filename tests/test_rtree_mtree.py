@@ -1,0 +1,205 @@
+"""R-tree and M-tree substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CostCounters, MetricSpace, brute_force_knn, brute_force_range, make_la, make_words
+from repro.mtree import MTree
+from repro.rtree import Rect, RTree
+from repro.storage import Pager
+
+
+class TestRect:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            Rect([1.0], [0.0])
+        with pytest.raises(ValueError):
+            Rect([1.0, 2.0], [3.0])
+
+    def test_union_contains(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([2, 2], [3, 3])
+        u = Rect.union_of([a, b])
+        assert u.contains_rect(a) and u.contains_rect(b)
+        assert not a.intersects(b)
+        assert u.intersects(a)
+
+    def test_point_ops(self):
+        r = Rect([0, 0], [2, 2])
+        assert r.contains_point([1, 1])
+        assert not r.contains_point([3, 0])
+        assert r.expanded_point([5, 1]).highs[0] == 5
+
+    def test_min_dist_linf(self):
+        r = Rect([2, 2], [4, 4])
+        assert r.min_dist_linf([0, 3]) == 2.0
+        assert r.min_dist_linf([3, 3]) == 0.0
+        assert r.min_dist_linf([5, 6]) == 2.0
+
+    def test_margin_volume_enlargement(self):
+        r = Rect([0, 0], [2, 3])
+        assert r.margin() == 5.0
+        assert r.volume() == 6.0
+        assert r.enlargement([4, 0]) == 2.0
+        assert r.enlargement([1, 1]) == 0.0
+
+    def test_from_points(self):
+        r = Rect.bounding_points([[1, 5], [3, 2]])
+        assert r.lows.tolist() == [1, 2]
+        assert r.highs.tolist() == [3, 5]
+
+
+class TestRTree:
+    def _data(self, n=800, dims=3, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(0, 100, size=(n, dims))
+
+    def test_bulk_load_window_query(self):
+        pts = self._data()
+        tree = RTree(Pager(page_size=1024), dims=3)
+        tree.bulk_load(pts, range(len(pts)))
+        tree.check_invariants()
+        window = Rect([10] * 3, [40] * 3)
+        got = sorted(pl for _, pl in tree.search_rect(window))
+        want = [
+            i
+            for i in range(len(pts))
+            if np.all(pts[i] >= 10) and np.all(pts[i] <= 40)
+        ]
+        assert got == want
+
+    def test_insert_path_equivalent(self):
+        pts = self._data(300)
+        tree = RTree(Pager(page_size=512), dims=3)
+        for i, p in enumerate(pts):
+            tree.insert(p, i)
+        tree.check_invariants()
+        window = Rect([20] * 3, [60] * 3)
+        got = sorted(pl for _, pl in tree.search_rect(window))
+        want = [
+            i
+            for i in range(300)
+            if np.all(pts[i] >= 20) and np.all(pts[i] <= 60)
+        ]
+        assert got == want
+
+    def test_delete_and_condense(self):
+        pts = self._data(400, seed=1)
+        tree = RTree(Pager(page_size=512), dims=3)
+        tree.bulk_load(pts, range(400))
+        for i in range(0, 400, 2):
+            assert tree.delete(pts[i], i)
+        assert not tree.delete(pts[0], 0)  # already gone
+        tree.check_invariants()
+        assert len(tree) == 200
+
+    def test_nearest_order_and_completeness(self):
+        pts = self._data(500, seed=2)
+        tree = RTree(Pager(page_size=1024), dims=3)
+        tree.bulk_load(pts, range(500))
+        q = np.array([50.0, 50.0, 50.0])
+        stream = [next(tree.nearest_linf(q)) for _ in range(1)]  # restartable
+        it = tree.nearest_linf(q)
+        got = [next(it) for _ in range(20)]
+        dists = [g[0] for g in got]
+        assert dists == sorted(dists)
+        brute = np.sort(np.abs(pts - q).max(axis=1))[:20]
+        assert np.allclose(dists, brute)
+
+    def test_empty_tree(self):
+        tree = RTree(Pager(page_size=512), dims=2)
+        assert tree.search_rect(Rect([0, 0], [1, 1])) == []
+        assert list(tree.nearest_linf([0, 0])) == []
+
+    def test_dims_validation(self):
+        with pytest.raises(ValueError):
+            RTree(Pager(), dims=0)
+        tree = RTree(Pager(), dims=2)
+        with pytest.raises(ValueError):
+            tree.insert(np.zeros(3), 0)
+
+    def test_bulk_requires_empty_and_aligned(self):
+        tree = RTree(Pager(page_size=512), dims=2)
+        with pytest.raises(ValueError):
+            tree.bulk_load(np.zeros((2, 2)), [1])
+        tree.insert(np.zeros(2), 0)
+        with pytest.raises(RuntimeError):
+            tree.bulk_load(np.zeros((2, 2)), [0, 1])
+
+
+class TestMTree:
+    def _build(self, n=500, seed=0):
+        ds = make_la(n, seed=seed)
+        counters = CostCounters()
+        space = MetricSpace(ds, counters)
+        tree = MTree(space, Pager(page_size=1024, counters=counters), seed=seed)
+        for i in range(n):
+            tree.insert(i, ds[i])
+        return ds, tree, counters
+
+    def test_range_matches_brute_force(self):
+        ds, tree, _ = self._build()
+        tree.check_invariants()
+        for qi, radius in ((0, 300.0), (100, 900.0), (250, 50.0)):
+            got = sorted(tree.range_query(ds[qi], radius))
+            want = brute_force_range(MetricSpace(ds), ds[qi], radius)
+            assert got == want
+
+    def test_knn_matches_brute_force(self):
+        ds, tree, _ = self._build(seed=1)
+        for qi in (0, 33, 77):
+            got = [round(n.distance, 6) for n in tree.knn_query(ds[qi], 12)]
+            want = [
+                round(n.distance, 6)
+                for n in brute_force_knn(MetricSpace(ds), ds[qi], 12)
+            ]
+            assert got == want
+
+    def test_strings(self):
+        ds = make_words(300, seed=2)
+        space = MetricSpace(ds)
+        tree = MTree(space, Pager(page_size=2048), seed=2)
+        for i in range(300):
+            tree.insert(i, ds[i])
+        got = sorted(tree.range_query(ds[4], 4.0))
+        assert got == brute_force_range(MetricSpace(ds), ds[4], 4.0)
+
+    def test_delete(self):
+        ds, tree, _ = self._build(seed=3)
+        for i in range(0, 100):
+            assert tree.delete(i)
+        assert not tree.delete(0)
+        got = sorted(tree.range_query(ds[200], 800.0))
+        want = [
+            i for i in brute_force_range(MetricSpace(ds), ds[200], 800.0) if i >= 100
+        ]
+        assert got == want
+        assert len(tree) == 400
+
+    def test_fetch_object(self):
+        ds, tree, counters = self._build(seed=4)
+        counters.reset()
+        obj = tree.fetch_object(42)
+        assert np.array_equal(obj, ds[42])
+        assert counters.page_reads >= 1
+        with pytest.raises(KeyError):
+            tree.fetch_object(10_000)
+
+    def test_iter_leaf_entries(self):
+        ds, tree, _ = self._build(n=200, seed=5)
+        ids = sorted(e.object_id for _, e in tree.iter_leaf_entries())
+        assert ids == list(range(200))
+
+    def test_build_counts_costs(self):
+        _, _, counters = self._build(n=300, seed=6)
+        assert counters.distance_computations > 300  # descent + splits
+        assert counters.page_writes > 0
+
+    def test_track_vectors_requires_vec(self):
+        ds = make_la(10, seed=7)
+        space = MetricSpace(ds)
+        tree = MTree(space, Pager(page_size=1024), track_vectors=True)
+        with pytest.raises(ValueError):
+            tree.insert(0, ds[0])

@@ -1,0 +1,91 @@
+"""Space-filling curves: bijectivity, locality, bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc import HilbertCurve, ZOrderCurve
+
+
+@pytest.mark.parametrize("curve_cls", [HilbertCurve, ZOrderCurve])
+class TestCurveCommon:
+    def test_full_bijection_small(self, curve_cls):
+        curve = curve_cls(bits=3, dims=2)
+        seen = set()
+        for key in range(64):
+            coords = curve.decode(key)
+            assert curve.encode(coords) == key
+            seen.add(coords)
+        assert len(seen) == 64
+
+    def test_out_of_range_coordinate(self, curve_cls):
+        curve = curve_cls(bits=4, dims=2)
+        with pytest.raises(ValueError):
+            curve.encode((16, 0))
+        with pytest.raises(ValueError):
+            curve.encode((-1, 0))
+
+    def test_out_of_range_key(self, curve_cls):
+        curve = curve_cls(bits=2, dims=2)
+        with pytest.raises(ValueError):
+            curve.decode(16)
+        with pytest.raises(ValueError):
+            curve.decode(-1)
+
+    def test_dimension_mismatch(self, curve_cls):
+        curve = curve_cls(bits=4, dims=3)
+        with pytest.raises(ValueError):
+            curve.encode((1, 2))
+
+    def test_invalid_parameters(self, curve_cls):
+        with pytest.raises(ValueError):
+            curve_cls(bits=0, dims=2)
+        with pytest.raises(ValueError):
+            curve_cls(bits=4, dims=0)
+
+    def test_encode_many(self, curve_cls):
+        curve = curve_cls(bits=4, dims=2)
+        coords = np.array([[0, 0], [3, 7], [15, 15]])
+        keys = curve.encode_many(coords)
+        assert keys == [curve.encode(row) for row in coords]
+
+    @given(data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_random(self, curve_cls, data):
+        bits = data.draw(st.integers(1, 8))
+        dims = data.draw(st.integers(1, 4))
+        curve = curve_cls(bits=bits, dims=dims)
+        key = data.draw(st.integers(0, curve.max_key))
+        assert curve.encode(curve.decode(key)) == key
+
+
+class TestHilbertLocality:
+    def test_adjacent_keys_are_adjacent_cells(self):
+        """Consecutive Hilbert keys differ by exactly one grid step."""
+        curve = HilbertCurve(bits=4, dims=2)
+        prev = np.asarray(curve.decode(0))
+        for key in range(1, 256):
+            cur = np.asarray(curve.decode(key))
+            assert np.abs(cur - prev).sum() == 1
+            prev = cur
+
+    def test_hilbert_beats_zorder_on_mean_jump(self):
+        """The SPB-tree's reason for Hilbert: smaller neighbour jumps."""
+        h = HilbertCurve(bits=4, dims=2)
+        z = ZOrderCurve(bits=4, dims=2)
+
+        def mean_jump(curve):
+            coords = [np.asarray(curve.decode(k)) for k in range(256)]
+            return np.mean(
+                [np.abs(coords[i + 1] - coords[i]).sum() for i in range(255)]
+            )
+
+        assert mean_jump(h) < mean_jump(z)
+
+    def test_corner_cases(self):
+        curve = HilbertCurve(bits=5, dims=3)
+        assert curve.decode(0) is not None
+        assert curve.encode(curve.decode(curve.max_key)) == curve.max_key

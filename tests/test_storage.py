@@ -1,0 +1,215 @@
+"""Storage substrate: page store, buffer pool, pager, RAF."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.counters import CostCounters
+from repro.storage import BufferPool, Pager, PageStore, RandomAccessFile
+
+
+class TestPageStore:
+    def test_write_read_roundtrip(self):
+        store = PageStore(page_size=256)
+        page = store.allocate()
+        store.write(page, {"a": [1, 2, 3]})
+        assert store.read(page) == {"a": [1, 2, 3]}
+
+    def test_counts_accesses(self):
+        counters = CostCounters()
+        store = PageStore(page_size=256, counters=counters)
+        page = store.allocate()
+        store.write(page, "x")
+        store.read(page)
+        assert counters.page_writes == 1
+        assert counters.page_reads == 1
+
+    def test_oversized_node_spans_pages(self):
+        counters = CostCounters()
+        store = PageStore(page_size=64, counters=counters)
+        page = store.allocate()
+        store.write(page, list(range(200)))  # pickles to > 64 bytes
+        assert counters.page_writes > 1
+        counters.reset()
+        store.read(page)
+        assert counters.page_reads == store.pages_spanned(store.page_bytes(page))
+
+    def test_read_unallocated(self):
+        store = PageStore()
+        with pytest.raises(KeyError):
+            store.read(42)
+
+    def test_read_unwritten(self):
+        store = PageStore()
+        page = store.allocate()
+        with pytest.raises(KeyError):
+            store.read(page)
+
+    def test_free(self):
+        store = PageStore()
+        page = store.allocate()
+        store.write(page, "x")
+        store.free(page)
+        with pytest.raises(KeyError):
+            store.read(page)
+
+    def test_total_bytes_rounds_to_pages(self):
+        store = PageStore(page_size=100)
+        page = store.allocate()
+        store.write(page, "tiny")
+        assert store.total_bytes() == 100
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            PageStore(page_size=0)
+
+
+class TestBufferPool:
+    def _store(self):
+        counters = CostCounters()
+        return PageStore(page_size=256, counters=counters), counters
+
+    def test_read_hit_costs_nothing(self):
+        store, counters = self._store()
+        pool = BufferPool(store, capacity_bytes=4096)
+        page = store.allocate()
+        pool.write(page, "data")
+        counters.reset()
+        assert pool.read(page) == "data"
+        assert counters.page_reads == 0
+        assert pool.hits == 1
+
+    def test_miss_reads_through(self):
+        store, counters = self._store()
+        page = store.allocate()
+        store.write(page, "cold")
+        pool = BufferPool(store, capacity_bytes=4096)
+        counters.reset()
+        assert pool.read(page) == "cold"
+        assert counters.page_reads == 1
+        assert pool.misses == 1
+
+    def test_lru_eviction_writes_dirty(self):
+        store, counters = self._store()
+        pool = BufferPool(store, capacity_bytes=80)
+        pages = [store.allocate() for _ in range(6)]
+        counters.reset()
+        for i, page in enumerate(pages):
+            pool.write(page, f"value-{i}")
+        # small capacity: early pages evicted and flushed
+        assert counters.page_writes > 0
+        pool.flush()
+        for i, page in enumerate(pages):
+            assert store.read(page) == f"value-{i}"
+
+    def test_zero_capacity_is_write_through(self):
+        store, counters = self._store()
+        pool = BufferPool(store, capacity_bytes=0)
+        page = store.allocate()
+        counters.reset()
+        pool.write(page, "x")
+        assert counters.page_writes == 1
+        pool.read(page)
+        assert counters.page_reads == 1
+
+    def test_lru_order(self):
+        store, counters = self._store()
+        pool = BufferPool(store, capacity_bytes=2 * 30)
+        a, b, c = (store.allocate() for _ in range(3))
+        pool.write(a, "aaaa")
+        pool.write(b, "bbbb")
+        pool.read(a)  # a most recent
+        pool.write(c, "cccc")  # evicts b (least recent)
+        counters.reset()
+        pool.read(a)
+        assert counters.page_reads == 0
+
+    def test_invalidate(self):
+        store, counters = self._store()
+        pool = BufferPool(store, capacity_bytes=4096)
+        page = store.allocate()
+        store.write(page, "disk")
+        pool.write(page, "cached")
+        pool.invalidate(page)
+        assert pool.read(page) == "disk"  # dirty version dropped
+
+
+class TestPager:
+    def test_facade(self):
+        counters = CostCounters()
+        pager = Pager(page_size=256, counters=counters, cache_bytes=0)
+        page = pager.allocate()
+        pager.write(page, [1, 2])
+        assert pager.read(page) == [1, 2]
+        assert pager.disk_bytes() == 256
+
+    def test_set_cache_bytes_flushes(self):
+        pager = Pager(page_size=256, cache_bytes=4096)
+        page = pager.allocate()
+        pager.write(page, "buffered")
+        pager.set_cache_bytes(0)
+        assert pager.store.read(page) == "buffered"
+
+    def test_free_invalidates(self):
+        pager = Pager(page_size=256, cache_bytes=4096)
+        page = pager.allocate()
+        pager.write(page, "x")
+        pager.free(page)
+        with pytest.raises(KeyError):
+            pager.read(page)
+
+
+class TestRandomAccessFile:
+    def test_append_read(self):
+        raf = RandomAccessFile(Pager(page_size=256))
+        ptrs = [raf.append(("obj", i)) for i in range(20)]
+        for i, ptr in enumerate(ptrs):
+            assert raf.read(ptr) == ("obj", i)
+        assert len(raf) == 20
+
+    def test_records_grouped_into_pages(self):
+        pager = Pager(page_size=256)
+        raf = RandomAccessFile(pager)
+        ptrs = [raf.append(i) for i in range(50)]
+        pages = {p.page_id for p in ptrs}
+        assert 1 < len(pages) < 50  # grouped, but more than one page
+
+    def test_sequential_reads_share_page_accesses(self):
+        counters = CostCounters()
+        pager = Pager(page_size=512, counters=counters, cache_bytes=4096)
+        raf = RandomAccessFile(pager)
+        ptrs = [raf.append(i) for i in range(30)]
+        pager.set_cache_bytes(4096)  # warm cache cleared, fresh start
+        counters.reset()
+        for ptr in ptrs:
+            raf.read(ptr)
+        pages = {p.page_id for p in ptrs}
+        assert counters.page_reads == len(pages)
+
+    def test_update_and_tombstone(self):
+        raf = RandomAccessFile(Pager(page_size=256))
+        ptr = raf.append("old")
+        raf.update(ptr, "new")
+        assert raf.read(ptr) == "new"
+        raf.mark_deleted(ptr)
+        assert raf.read(ptr) is None
+
+    def test_bad_pointer(self):
+        raf = RandomAccessFile(Pager(page_size=256))
+        ptr = raf.append("x")
+        from repro.storage import RecordPointer
+
+        with pytest.raises(KeyError):
+            raf.read(RecordPointer(ptr.page_id, 99))
+
+    def test_fill_factor_validation(self):
+        with pytest.raises(ValueError):
+            RandomAccessFile(Pager(), fill_factor=0.0)
+
+    def test_oversized_record_gets_own_page(self):
+        pager = Pager(page_size=128)
+        raf = RandomAccessFile(pager)
+        small = raf.append("s")
+        big = raf.append("B" * 1000)
+        assert big.page_id != small.page_id
+        assert raf.read(big) == "B" * 1000

@@ -1,0 +1,88 @@
+"""Update correctness: delete + insert keeps every index's answers exact.
+
+Mirrors the paper's Table 6 update operation (delete a specific object, then
+insert it back) and additionally leaves objects deleted to verify they stop
+appearing in answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MetricSpace, UnsupportedOperation, brute_force_knn, brute_force_range
+
+from conftest import DATASET_MAKERS, RADIUS, fresh_index, indexes_for
+
+UPDATABLE_CASES = [
+    (dataset_name, index_name)
+    for dataset_name in ("LA", "Words")
+    for index_name in indexes_for(dataset_name)
+    if index_name != "AESA"  # static by design
+]
+
+
+@pytest.mark.parametrize("dataset_name,index_name", UPDATABLE_CASES)
+def test_delete_reinsert_roundtrip(datasets, pivots, dataset_name, index_name):
+    dataset = datasets[dataset_name]
+    index = fresh_index(datasets, pivots, dataset_name, index_name)
+    victims = (5, 17, 44, 123, 250)
+    for object_id in victims:
+        index.delete(object_id)
+        index.insert(dataset[object_id], object_id=object_id)
+    q = dataset[2]
+    radius = RADIUS[dataset_name]
+    assert index.range_query(q, radius) == brute_force_range(
+        MetricSpace(dataset), q, radius
+    )
+
+
+@pytest.mark.parametrize("dataset_name,index_name", UPDATABLE_CASES)
+def test_deleted_objects_disappear(datasets, pivots, dataset_name, index_name):
+    dataset = datasets[dataset_name]
+    index = fresh_index(datasets, pivots, dataset_name, index_name)
+    gone = {30, 31, 32, 99}
+    for object_id in gone:
+        index.delete(object_id)
+    q = dataset[2]
+    radius = RADIUS[dataset_name]
+    got = index.range_query(q, radius)
+    want = [
+        i for i in brute_force_range(MetricSpace(dataset), q, radius) if i not in gone
+    ]
+    assert got == want
+    knn_ids = {n.object_id for n in index.knn_query(q, 10)}
+    assert not (knn_ids & gone)
+
+
+@pytest.mark.parametrize("dataset_name", ["LA", "Words"])
+def test_delete_missing_raises(datasets, pivots, dataset_name):
+    for index_name in ("LAESA", "MVPT", "SPB-tree", "M-index*"):
+        index = fresh_index(datasets, pivots, dataset_name, index_name)
+        with pytest.raises(KeyError):
+            index.delete(999_999)
+
+
+def test_aesa_is_static(datasets, pivots):
+    index = fresh_index(datasets, pivots, "LA", "AESA")
+    with pytest.raises(UnsupportedOperation):
+        index.insert(datasets["LA"][0])
+
+
+@pytest.mark.parametrize("index_name", ["LAESA", "EPT*", "SPB-tree", "OmniR-tree"])
+def test_insert_fresh_object_gets_new_id(datasets, pivots, index_name):
+    """Inserting without an explicit id appends to the dataset."""
+    import numpy as np
+
+    from repro import CostCounters, make_la, select_pivots
+    from repro.bench.runner import build_index
+
+    dataset = make_la(120, seed=21)  # private dataset: test mutates it
+    space = MetricSpace(dataset, CostCounters())
+    pivots_local = select_pivots(MetricSpace(dataset), 3, strategy="hfi", seed=0)
+    index = build_index(index_name, space, pivots_local, workload_name="LA")
+    new_obj = np.array([1234.0, 5678.0])
+    new_id = index.insert(new_obj)
+    assert new_id == 120
+    assert len(dataset) == 121
+    hits = index.range_query(new_obj, 0.5)
+    assert new_id in hits
