@@ -1,4 +1,9 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures and helpers.
+
+Deliberately *not* named ``conftest.py``: a second top-level ``conftest``
+module used to shadow ``tests/conftest.py`` (both imported under the bare
+module name ``conftest``), breaking the unit suite.  Bench modules import
+the fixtures explicitly: ``from _bench_common import emit, workloads, ...``.
 
 Scale knobs (environment variables):
 
@@ -27,23 +32,39 @@ N_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "8"))
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+# Because the fixtures below are *imported* into each bench module, pytest
+# creates one FixtureDef per module and would re-instantiate them per
+# module despite session scope.  The caches therefore live at module level
+# in _bench_common (imported exactly once per pytest run), so workloads and
+# built indexes are genuinely shared across all bench files.
+_WORKLOADS_CACHE: dict | None = None
+_BUILT_CACHE: dict[str, dict] = {}
+
+
+def _session_workloads() -> dict:
+    global _WORKLOADS_CACHE
+    if _WORKLOADS_CACHE is None:
+        _WORKLOADS_CACHE = default_workloads(
+            n=BENCH_N, color_n=COLOR_N, n_queries=N_QUERIES
+        )
+    return _WORKLOADS_CACHE
+
 
 @pytest.fixture(scope="session")
 def workloads():
-    return default_workloads(n=BENCH_N, color_n=COLOR_N, n_queries=N_QUERIES)
+    return _session_workloads()
 
 
 @pytest.fixture(scope="session")
 def built_indexes(workloads):
     """All study indexes built once per dataset (lazy per workload)."""
-    cache: dict[str, dict] = {}
 
     def get(workload_name: str) -> dict:
-        if workload_name not in cache:
-            cache[workload_name] = build_all(
+        if workload_name not in _BUILT_CACHE:
+            _BUILT_CACHE[workload_name] = build_all(
                 workloads[workload_name], DEFAULT_INDEX_NAMES
             )
-        return cache[workload_name]
+        return _BUILT_CACHE[workload_name]
 
     return get
 

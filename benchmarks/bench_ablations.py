@@ -14,7 +14,7 @@ from repro.bench import (
     format_table,
 )
 
-from conftest import emit
+from _bench_common import built_indexes, emit, workloads  # noqa: F401  (fixtures)
 
 
 def test_ablation_pivot_selection(workloads, benchmark):

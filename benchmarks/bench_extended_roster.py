@@ -18,7 +18,7 @@ from repro.bench import (
     run_range_queries,
 )
 
-from conftest import emit
+from _bench_common import built_indexes, emit, workloads  # noqa: F401  (fixtures)
 
 ROSTER = (
     "AESA",

@@ -11,7 +11,7 @@ import pytest
 
 from repro.bench import format_table, measure_build, run_knn_queries, shared_pivots
 
-from conftest import emit
+from _bench_common import built_indexes, emit, workloads  # noqa: F401  (fixtures)
 
 KS = (5, 10, 20, 50, 100)
 

@@ -12,7 +12,7 @@ import pytest
 
 from repro.bench import ascii_chart, format_table, run_range_queries, series_from_rows
 
-from conftest import emit
+from _bench_common import built_indexes, emit, workloads  # noqa: F401  (fixtures)
 
 SELECTIVITIES = (0.04, 0.08, 0.16, 0.32, 0.64)
 

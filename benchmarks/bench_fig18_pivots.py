@@ -11,7 +11,7 @@ import pytest
 
 from repro.bench import build_all, format_table, run_knn_queries
 
-from conftest import emit
+from _bench_common import built_indexes, emit, workloads  # noqa: F401  (fixtures)
 
 PIVOT_COUNTS = (1, 3, 5, 7, 9)
 INDEXES = ("LAESA", "MVPT", "OmniR-tree", "M-index*", "SPB-tree")

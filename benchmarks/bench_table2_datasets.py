@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.bench import exp_table2_datasets, format_table
 from repro.core.dataset import dataset_statistics
 
-from conftest import emit
+from _bench_common import built_indexes, emit, workloads  # noqa: F401  (fixtures)
 
 
 def test_table2_dataset_statistics(workloads, benchmark):

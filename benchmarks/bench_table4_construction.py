@@ -20,7 +20,7 @@ from repro.bench import (
     shared_pivots,
 )
 
-from conftest import emit
+from _bench_common import built_indexes, emit, workloads  # noqa: F401  (fixtures)
 
 
 @pytest.fixture(scope="module")

@@ -16,7 +16,7 @@ from repro.bench import (
     run_updates,
 )
 
-from conftest import N_QUERIES, emit
+from _bench_common import N_QUERIES, built_indexes, emit, workloads  # noqa: F401  (fixtures)
 
 N_UPDATES = max(10, N_QUERIES)
 

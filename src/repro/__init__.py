@@ -55,7 +55,9 @@ from .core import (
     UnsupportedOperation,
     ShardedIndex,
     brute_force_knn,
+    brute_force_knn_many,
     brute_force_range,
+    brute_force_range_many,
     dataset_statistics,
     hf,
     hfi,
@@ -153,7 +155,9 @@ __all__ = [
     "UnsupportedOperation",
     "VPT",
     "brute_force_knn",
+    "brute_force_knn_many",
     "brute_force_range",
+    "brute_force_range_many",
     "dataset_statistics",
     "hf",
     "hfi",

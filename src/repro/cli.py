@@ -7,6 +7,8 @@ Commands:
 * ``stats``    -- Table 2-style statistics for one of the four workloads.
 * ``compare``  -- build several indexes on one workload and print the
                   paper-style cost comparison for MRQ and MkNNQ.
+* ``batch``    -- compare sequential vs batch (vectorized multi-query)
+                  throughput for the table indexes on one workload.
 * ``indexes``  -- list every available index with its category.
 """
 
@@ -17,9 +19,11 @@ import sys
 
 from . import ALL_INDEXES
 from .bench import (
+    BATCH_INDEX_NAMES,
     format_table,
     make_workload,
     measure_build,
+    run_batch_comparison,
     run_knn_queries,
     run_range_queries,
     shared_pivots,
@@ -93,19 +97,34 @@ def _cmd_demo(args) -> int:
     return 0
 
 
-def _cmd_compare(args) -> int:
-    workload = make_workload(args.dataset, n=args.n, n_queries=args.queries)
+def _built_indexes_for(args, workload):
+    """Validate the requested index names and build each one.
+
+    Shared by ``compare`` and ``batch``: returns ``[(name, BuildResult)]``,
+    printing a skip line for discrete-only indexes on continuous data, or
+    ``None`` after reporting an unknown index name.
+    """
     pivots = shared_pivots(workload, args.pivots)
-    radius = workload.radius_for(0.16)
-    rows = []
+    built = []
     for name in args.indexes:
         if name not in ALL_INDEXES:
             print(f"unknown index {name!r}; see `python -m repro indexes`")
-            return 2
+            return None
         if name in ("BKT", "FQT", "FQA") and not workload.dataset.distance.is_discrete:
             print(f"skipping {name}: requires a discrete distance")
             continue
-        build = measure_build(name, workload, pivots)
+        built.append((name, measure_build(name, workload, pivots)))
+    return built
+
+
+def _cmd_compare(args) -> int:
+    workload = make_workload(args.dataset, n=args.n, n_queries=args.queries)
+    radius = workload.radius_for(0.16)
+    built = _built_indexes_for(args, workload)
+    if built is None:
+        return 2
+    rows = []
+    for name, build in built:
         range_cost = run_range_queries(build.index, workload.queries, radius)
         knn_cost = run_knn_queries(build.index, workload.queries, args.k)
         rows.append(
@@ -122,6 +141,32 @@ def _cmd_compare(args) -> int:
         format_table(
             rows,
             title=f"{args.dataset} (n={args.n}), r=16% selectivity, k={args.k}",
+            first_column="Index",
+        )
+    )
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    workload = make_workload(args.dataset, n=args.n, n_queries=args.queries)
+    radius = workload.radius_for(0.16)
+    built = _built_indexes_for(args, workload)
+    if built is None:
+        return 2
+    rows = []
+    for _name, build in built:
+        rows.append(
+            run_batch_comparison(
+                build.index, workload.queries, radius, args.k, repeats=args.repeats
+            )
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"batch vs sequential, {args.dataset} (n={args.n}, "
+                f"{len(workload.queries)} queries), r=16% sel, k={args.k}"
+            ),
             first_column="Index",
         )
     )
@@ -162,6 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=5)
     p.add_argument("--k", type=int, default=10)
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "batch", help="sequential vs batch multi-query throughput (table indexes)"
+    )
+    p.add_argument("--dataset", choices=sorted(DATASET_FACTORIES), default="LA")
+    p.add_argument("--indexes", nargs="+", default=list(BATCH_INDEX_NAMES))
+    p.add_argument("--n", type=int, default=2000)
+    p.add_argument("--pivots", type=int, default=5)
+    p.add_argument("--queries", type=int, default=16)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--repeats", type=int, default=3)
+    p.set_defaults(func=_cmd_batch)
     return parser
 
 

@@ -29,7 +29,9 @@ from .index import (
     MetricIndex,
     UnsupportedOperation,
     brute_force_knn,
+    brute_force_knn_many,
     brute_force_range,
+    brute_force_range_many,
 )
 from .mapping import PivotMapping
 from .metric_space import MetricSpace
@@ -65,7 +67,9 @@ __all__ = [
     "MetricIndex",
     "UnsupportedOperation",
     "brute_force_knn",
+    "brute_force_knn_many",
     "brute_force_range",
+    "brute_force_range_many",
     "PivotMapping",
     "MetricSpace",
     "hf",

@@ -15,6 +15,7 @@ matter how many components participate.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -45,25 +46,39 @@ class CostSnapshot:
 
 @dataclass
 class CostCounters:
-    """Mutable cost accumulator threaded through a metric space and pager."""
+    """Mutable cost accumulator threaded through a metric space and pager.
+
+    Increments take a lock: a bare ``+=`` is a non-atomic read-modify-write
+    that can drop counts when a thread-pool executor fans shard queries out
+    concurrently (see :class:`~repro.core.sharded.ShardedIndex`).  The
+    counted call sites are batch-level (one increment covers a whole
+    vectorised distance call), so the lock is far off the hot path.
+    """
 
     distance_computations: int = 0
     page_reads: int = 0
     page_writes: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def add_distances(self, n: int = 1) -> None:
-        self.distance_computations += n
+        with self._lock:
+            self.distance_computations += n
 
     def add_page_read(self, n: int = 1) -> None:
-        self.page_reads += n
+        with self._lock:
+            self.page_reads += n
 
     def add_page_write(self, n: int = 1) -> None:
-        self.page_writes += n
+        with self._lock:
+            self.page_writes += n
 
     def reset(self) -> None:
-        self.distance_computations = 0
-        self.page_reads = 0
-        self.page_writes = 0
+        with self._lock:
+            self.distance_computations = 0
+            self.page_reads = 0
+            self.page_writes = 0
 
     def snapshot(self) -> CostSnapshot:
         return CostSnapshot(

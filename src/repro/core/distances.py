@@ -5,7 +5,9 @@ Each distance is a callable object with three entry points:
 * ``d(a, b)`` -- a single distance between two raw objects,
 * ``d.one_to_many(q, objects)`` -- a vectorised column of distances from one
   query object to a batch (used heavily by table-based indexes), and
-* ``d.pairwise(X, Y)`` -- a full distance matrix (used by pivot selection).
+* ``d.pairwise(X, Y)`` -- a full distance matrix (used by pivot selection and
+  by the batch query layer's query-pivot matrices; vectorised for the L_p
+  family, Hamming, and quadratic-form distances).
 
 All of them must agree exactly; tests assert this.  The counting of distance
 computations happens one level up, in
@@ -181,6 +183,23 @@ class HammingDistance(MetricDistance):
             pass
         return super().one_to_many(q, objects)
 
+    def pairwise(self, xs, ys) -> np.ndarray:
+        """Vectorised |xs| x |ys| matrix via one broadcast comparison."""
+        try:
+            xmat = np.asarray(xs)
+            ymat = np.asarray(ys)
+            if (
+                xmat.ndim == 2
+                and ymat.ndim == 2
+                and xmat.shape[1] == ymat.shape[1]
+            ):
+                return (
+                    (xmat[:, None, :] != ymat[None, :, :]).sum(axis=2).astype(np.float64)
+                )
+        except (ValueError, TypeError):
+            pass
+        return super().pairwise(xs, ys)
+
 
 class QuadraticFormDistance(MetricDistance):
     """Quadratic-form distance ``sqrt((a-b)^T A (a-b))`` for SPD matrix ``A``.
@@ -203,13 +222,27 @@ class QuadraticFormDistance(MetricDistance):
             raise ValueError("matrix must be positive definite for a metric")
         self.matrix = matrix
 
+    def _kernel(self, diff: np.ndarray) -> np.ndarray:
+        """sqrt of the quadratic form per row.  Single code path for every
+        entry point: the batch query layer requires ``d(a, b)``,
+        ``one_to_many`` and ``pairwise`` to agree *bitwise*, and separate
+        einsum contractions differ in the last ULP."""
+        return np.sqrt(np.einsum("ij,jk,ik->i", diff, self.matrix, diff))
+
     def __call__(self, a, b) -> float:
         diff = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
-        return float(np.sqrt(diff @ self.matrix @ diff))
+        return float(self._kernel(diff.reshape(1, -1))[0])
 
     def one_to_many(self, q, objects) -> np.ndarray:
         diff = np.asarray(objects, dtype=np.float64) - np.asarray(q, dtype=np.float64)
-        return np.sqrt(np.einsum("ij,jk,ik->i", diff, self.matrix, diff))
+        return self._kernel(np.atleast_2d(diff))
+
+    def pairwise(self, xs, ys) -> np.ndarray:
+        """Vectorised |xs| x |ys| matrix, one kernel call per query row."""
+        ymat = np.atleast_2d(np.asarray(ys, dtype=np.float64))
+        return np.stack(
+            [self._kernel(ymat - x) for x in np.atleast_2d(np.asarray(xs, dtype=np.float64))]
+        )
 
 
 class DiscreteMetricAdapter(MetricDistance):

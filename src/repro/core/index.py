@@ -10,10 +10,19 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Sequence
 
+import numpy as np
+
 from .metric_space import MetricSpace
 from .queries import Neighbor
 
-__all__ = ["MetricIndex", "UnsupportedOperation", "brute_force_range", "brute_force_knn"]
+__all__ = [
+    "MetricIndex",
+    "UnsupportedOperation",
+    "brute_force_range",
+    "brute_force_knn",
+    "brute_force_range_many",
+    "brute_force_knn_many",
+]
 
 
 class UnsupportedOperation(RuntimeError):
@@ -50,6 +59,27 @@ class MetricIndex(ABC):
     @abstractmethod
     def knn_query(self, query_obj, k: int) -> list[Neighbor]:
         """MkNNQ(q, k): the k nearest objects, ascending by distance."""
+
+    # -- batch queries ---------------------------------------------------
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batched MRQ: one answer list per query, in query order.
+
+        The default is a correct sequential loop; indexes that can amortise
+        work across queries (the table category, sharded combinators)
+        override it with genuinely vectorized implementations.  Whatever the
+        implementation, ``range_query_many(qs, r)[i]`` must equal
+        ``range_query(qs[i], r)`` exactly.
+        """
+        return [self.range_query(q, radius) for q in queries]
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batched MkNNQ: one neighbor list per query, in query order.
+
+        Same contract as :meth:`range_query_many`: per-query results must be
+        identical to sequential :meth:`knn_query` answers.
+        """
+        return [self.knn_query(q, k) for q in queries]
 
     # -- maintenance -------------------------------------------------------
 
@@ -94,6 +124,36 @@ def brute_force_knn(space: MetricSpace, query_obj, k: int) -> list[Neighbor]:
     for object_id, dist in enumerate(dists):
         heap.consider(object_id, float(dist))
     return heap.neighbors()
+
+
+def brute_force_range_many(space: MetricSpace, queries, radius: float) -> list[list[int]]:
+    """Batched reference MRQ: one q x n matrix, then per-row thresholding."""
+    queries = list(queries)
+    if not queries:
+        return []
+    dists = space.pairwise_objects(queries, space.dataset.objects)
+    return [[int(i) for i in np.flatnonzero(row <= radius)] for row in dists]
+
+
+def brute_force_knn_many(space: MetricSpace, queries, k: int) -> list[list[Neighbor]]:
+    """Batched reference MkNNQ via one distance matrix and stable argsorts.
+
+    A stable sort on each row yields ascending distance with ties broken by
+    ascending id -- exactly the answer :func:`brute_force_knn` produces.
+    """
+    from .queries import Neighbor as _Neighbor
+
+    queries = list(queries)
+    if not queries:
+        return []
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    dists = space.pairwise_objects(queries, space.dataset.objects)
+    out: list[list[Neighbor]] = []
+    for row in dists:
+        order = np.argsort(row, kind="stable")[:k]
+        out.append([_Neighbor(float(row[i]), int(i)) for i in order])
+    return out
 
 
 def live_ids(deleted: set[int], n: int) -> Sequence[int]:

@@ -63,6 +63,18 @@ class PivotMapping:
         """Alias of :meth:`map_query` for insertion paths."""
         return self.map_query(obj)
 
+    def map_query_many(self, queries) -> np.ndarray:
+        """I(q) for a whole query batch: a ``q x l`` matrix.
+
+        One counted ``pairwise`` call computes every query-pivot distance at
+        once (q*l computations, the same total as q ``map_query`` calls) --
+        the entry point of the batch query layer for mapping-based indexes.
+        """
+        queries = list(queries)
+        if not queries:
+            return np.empty((0, self.n_pivots), dtype=np.float64)
+        return self.space.pairwise_objects(queries, self.pivot_objects)
+
     def append(self, vector: np.ndarray) -> int:
         """Register a newly inserted object's mapped vector; returns its row."""
         vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)

@@ -18,6 +18,13 @@ from .dataset import Dataset
 __all__ = ["MetricSpace"]
 
 
+def _batch_len(objects) -> int:
+    """Number of objects in a batch given either a 2-d array or a sequence."""
+    if isinstance(objects, np.ndarray):
+        return objects.shape[0] if objects.ndim > 1 else 1
+    return len(objects)
+
+
 class MetricSpace:
     """Couples a :class:`Dataset` with counted distance evaluation.
 
@@ -50,6 +57,20 @@ class MetricSpace:
             return np.empty(0, dtype=np.float64)
         self.counters.add_distances(count)
         return self.distance.one_to_many(q, objects)
+
+    def pairwise_objects(self, left_objects, right_objects) -> np.ndarray:
+        """Counted |left| x |right| distance matrix between raw objects.
+
+        The batch query layer uses this to obtain every query-pivot distance
+        of a whole query batch in one call.  Counts one computation per pair,
+        exactly as the equivalent scalar loop would.
+        """
+        n_left = _batch_len(left_objects)
+        n_right = _batch_len(right_objects)
+        if n_left == 0 or n_right == 0:
+            return np.empty((n_left, n_right), dtype=np.float64)
+        self.counters.add_distances(n_left * n_right)
+        return self.distance.pairwise(left_objects, right_objects)
 
     # -- id-based interface --------------------------------------------------
 

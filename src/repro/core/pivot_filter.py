@@ -16,6 +16,11 @@ These are the pruning rules every index shares:
 The vectorised variants operate on whole columns of pre-computed distances
 (`n x l` matrices) and on MBBs in pivot space; they are the hot path of the
 table indexes and of MBB-equipped external indexes.
+
+The ``*_many_queries`` variants lift Lemmas 1 and 4 to whole query batches:
+given a ``q x l`` matrix of query-pivot distances and the ``n x l`` object
+table, they produce the full ``q x n`` bound matrix in a handful of numpy
+operations -- the core of the batch query execution layer.
 """
 
 from __future__ import annotations
@@ -25,10 +30,13 @@ import numpy as np
 __all__ = [
     "lower_bound",
     "lower_bound_many",
+    "lower_bound_many_queries",
     "upper_bound",
     "upper_bound_many",
+    "upper_bound_many_queries",
     "can_prune",
     "can_validate",
+    "query_chunk",
     "range_pivot_can_prune",
     "range_pivot_min_dist",
     "double_pivot_can_prune",
@@ -55,6 +63,56 @@ def lower_bound_many(query_pivot_dists, object_pivot_matrix) -> np.ndarray:
     if mat.size == 0:
         return np.zeros(mat.shape[0] if mat.ndim else 0, dtype=np.float64)
     return np.abs(mat - q).max(axis=1)
+
+
+# bound-matrix computations broadcast a q x n x l intermediate; chunking the
+# query axis keeps that temporary under ~8 MB regardless of batch size
+_QUERY_CHUNK_FLOATS = 1_000_000
+
+
+def query_chunk(n_objects: int, n_pivots: int) -> int:
+    """Queries per block so a q x n x l float temporary stays bounded."""
+    cells = max(1, n_objects * n_pivots)
+    return max(1, _QUERY_CHUNK_FLOATS // cells)
+
+
+def lower_bound_many_queries(query_pivot_matrix, object_pivot_matrix) -> np.ndarray:
+    """Lemma 1 for a batch: ``q x n`` lower bounds of d(q_i, o_j).
+
+    ``query_pivot_matrix`` is ``q x l`` (one row per query, I(q_i)); the
+    object matrix is ``n x l``.  Entry (i, j) equals
+    ``lower_bound(query_pivot_matrix[i], object_pivot_matrix[j])``.
+    """
+    qmat = np.atleast_2d(np.asarray(query_pivot_matrix, dtype=np.float64))
+    omat = np.atleast_2d(np.asarray(object_pivot_matrix, dtype=np.float64))
+    n_queries = qmat.shape[0]
+    n_objects = omat.shape[0]
+    if qmat.size == 0 or omat.size == 0:
+        return np.zeros((n_queries, n_objects), dtype=np.float64)
+    out = np.empty((n_queries, n_objects), dtype=np.float64)
+    step = query_chunk(n_objects, omat.shape[1])
+    for start in range(0, n_queries, step):
+        block = qmat[start : start + step]
+        out[start : start + step] = np.abs(
+            block[:, None, :] - omat[None, :, :]
+        ).max(axis=2)
+    return out
+
+
+def upper_bound_many_queries(query_pivot_matrix, object_pivot_matrix) -> np.ndarray:
+    """Lemma 4 for a batch: ``q x n`` upper bounds of d(q_i, o_j)."""
+    qmat = np.atleast_2d(np.asarray(query_pivot_matrix, dtype=np.float64))
+    omat = np.atleast_2d(np.asarray(object_pivot_matrix, dtype=np.float64))
+    n_queries = qmat.shape[0]
+    n_objects = omat.shape[0]
+    if qmat.size == 0 or omat.size == 0:
+        return np.full((n_queries, n_objects), np.inf)
+    out = np.empty((n_queries, n_objects), dtype=np.float64)
+    step = query_chunk(n_objects, omat.shape[1])
+    for start in range(0, n_queries, step):
+        block = qmat[start : start + step]
+        out[start : start + step] = (block[:, None, :] + omat[None, :, :]).min(axis=2)
+    return out
 
 
 def upper_bound(query_pivot_dists, object_pivot_dists) -> float:

@@ -14,8 +14,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
-__all__ = ["Neighbor", "KnnHeap", "RangeResult"]
+import numpy as np
+
+__all__ = ["Neighbor", "KnnHeap", "RangeResult", "best_first_knn"]
 
 
 @dataclass(frozen=True, order=True)
@@ -48,20 +51,87 @@ class RangeResult:
         return sorted(self.ids)
 
 
+def best_first_knn(
+    lower_bounds: np.ndarray,
+    row_ids: Sequence[int],
+    k: int,
+    verify_many: Callable[[list[int]], np.ndarray],
+) -> list[Neighbor]:
+    """Exact MkNNQ over a pre-computed lower-bound column, best-first.
+
+    Candidates are verified in ascending lower-bound order, a chunk at a
+    time, stopping once the next lower bound exceeds the running k-th
+    nearest distance -- no object that could still enter the answer is ever
+    skipped (d >= lower bound for every candidate).  This is the batch query
+    layer's verification order: it typically needs far fewer distance
+    computations than the storage-order scan the sequential LAESA-style
+    MkNNQ performs (the closest candidates tend to come first, so the
+    radius tightens immediately), while returning the identical answer.
+    The saving is not a guarantee: chunk granularity always verifies the
+    first chunk of k candidates before any radius exists, so adversarial
+    data can make either order cheaper.
+
+    Exactness of ties: :class:`KnnHeap` ranks candidates canonically by
+    (distance, object_id), so the answer is the k smallest such pairs over
+    all objects -- independent of verification order.  Every object that
+    could belong to the answer has a lower bound no larger than its distance
+    and hence no larger than the running radius when its turn comes, so it
+    is always verified before the cutoff triggers.
+
+    Args:
+        lower_bounds: per-storage-row lower bounds of d(q, o), length n.
+        row_ids: object id of each storage row, length n.
+        k: number of neighbors.
+        verify_many: callback computing true distances for a list of object
+            ids (one vectorised counted call per chunk).
+    """
+    heap = KnnHeap(k)
+    n = len(row_ids)
+    if n == 0:
+        return []
+    order = np.argsort(lower_bounds, kind="stable")
+    start = 0
+    while start < n:
+        # first chunk: exactly k (fills the heap, establishing a radius,
+        # with the minimum mandatory verifications); later chunks: larger,
+        # to amortise the per-call overhead of verify_many
+        chunk = k if start == 0 else max(k, 32)
+        stop = min(start + chunk, n)
+        block = order[start:stop]
+        # ascending bounds: once one exceeds the radius, all later ones do
+        keep = block[lower_bounds[block] <= heap.radius]
+        if keep.size == 0:
+            break
+        ids = [int(row_ids[pos]) for pos in keep]
+        dists = verify_many(ids)
+        for object_id, d in zip(ids, dists):
+            heap.consider(object_id, float(d))
+        if keep.size < block.size:
+            break
+        start = stop
+    return heap.neighbors()
+
+
 class KnnHeap:
     """Bounded max-heap of the best k candidates seen so far.
 
     ``radius`` is the current pruning radius: infinity until k candidates are
-    known, afterwards the k-th smallest distance.  Ties at the radius are kept
-    out (strictly better candidates replace the worst), which matches the
-    paper's definition of MkNNQ returning exactly k objects.
+    known, afterwards the k-th smallest distance.  Candidates are ranked by
+    the lexicographic pair ``(distance, object_id)`` -- ties at the radius
+    are broken toward the smaller object id -- so the final content is the k
+    smallest such pairs *regardless of arrival order*.  That canonical
+    tie-breaking is what lets the batch query layer verify candidates in any
+    (e.g. best-first) order and still return bit-for-bit the sequential
+    scan's answer, while matching the paper's definition of MkNNQ returning
+    exactly k objects.
     """
 
     def __init__(self, k: int):
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
         self.k = k
-        # max-heap via negated distances
+        # min-heap of (-distance, -object_id): the root is the largest
+        # (distance, object_id) pair, i.e. the current worst candidate
         self._heap: list[tuple[float, int]] = []
 
     @property
@@ -74,10 +144,12 @@ class KnnHeap:
     def consider(self, object_id: int, distance: float) -> bool:
         """Offer a candidate; returns True when it entered the heap."""
         if len(self._heap) < self.k:
-            heapq.heappush(self._heap, (-distance, object_id))
+            heapq.heappush(self._heap, (-distance, -object_id))
             return True
-        if distance < -self._heap[0][0]:
-            heapq.heapreplace(self._heap, (-distance, object_id))
+        # accept iff (distance, id) < (worst distance, worst id): negation
+        # flips the lexicographic comparison
+        if (-distance, -object_id) > self._heap[0]:
+            heapq.heapreplace(self._heap, (-distance, -object_id))
             return True
         return False
 
@@ -90,7 +162,7 @@ class KnnHeap:
     def neighbors(self) -> list[Neighbor]:
         """Final answers, ascending by distance (ties by id)."""
         return sorted(
-            (Neighbor(-negated, object_id) for negated, object_id in self._heap)
+            Neighbor(-neg_dist, -neg_id) for neg_dist, neg_id in self._heap
         )
 
     def ids(self) -> list[int]:

@@ -14,7 +14,17 @@ queries fan out:
 
 Shard construction is expressed as independent closures; a caller with a
 process pool can map them concurrently -- the combinator itself stays
-deterministic and single-process.
+deterministic and single-process by default.  An optional ``executor`` (any
+object with a ``map(fn, iterable)`` method, e.g.
+``concurrent.futures.ThreadPoolExecutor``) parallelises shard construction
+and batch-query fan-out.  The shards share one
+:class:`~repro.core.counters.CostCounters`, whose increments are
+lock-protected, so a thread pool keeps counts exact; process pools would
+need per-shard counters merged afterwards (see ROADMAP open items).
+
+The batch path is where sharding pays off for throughput: ``*_query_many``
+fans the *whole* query batch out to each shard once and merges with one pass
+per shard, instead of crossing every shard once per query.
 """
 
 from __future__ import annotations
@@ -40,10 +50,18 @@ class ShardedIndex(MetricIndex):
         space: MetricSpace,
         shards: list[MetricIndex],
         shard_ids: list[Sequence[int]],
+        executor=None,
     ):
         super().__init__(space)
         self.shards = shards
         self._shard_ids = [list(ids) for ids in shard_ids]
+        self.executor = executor
+
+    def _map_shards(self, fn: Callable[[MetricIndex], object]) -> list:
+        """Apply ``fn`` to every shard, via the executor when one is set."""
+        if self.executor is not None:
+            return list(self.executor.map(fn, self.shards))
+        return [fn(shard) for shard in self.shards]
 
     @classmethod
     def build(
@@ -52,6 +70,7 @@ class ShardedIndex(MetricIndex):
         build_shard: Callable[[MetricSpace], MetricIndex],
         n_shards: int = 4,
         seed: int = 0,
+        executor=None,
     ) -> "ShardedIndex":
         """Partition the dataset round-robin and build one index per part.
 
@@ -62,21 +81,31 @@ class ShardedIndex(MetricIndex):
                 ``lambda s: MVPT.build(s, select_pivots(s, 5))``.
             n_shards: number of disjoint parts.
             seed: shuffle seed for the partition.
+            executor: optional ``map``-capable pool; shard construction (an
+                embarrassingly parallel loop) and batch-query fan-out run
+                through it.  The built index keeps it for query time.
         """
         n = len(space)
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         rng = np.random.default_rng(seed)
         order = rng.permutation(n)
+        # membership is random, but each shard's id list is kept ascending:
+        # local storage order then matches global id order, so the shards'
+        # canonical (distance, id) kNN tie-breaking agrees with the global
+        # one and merged answers equal the single-index/brute-force answers
         shard_ids = [
-            [int(i) for i in order[s::n_shards]] for s in range(n_shards)
+            sorted(int(i) for i in order[s::n_shards]) for s in range(n_shards)
         ]
-        shards: list[MetricIndex] = []
-        for ids in shard_ids:
-            sub_dataset = space.dataset.subset(ids)
-            sub_space = MetricSpace(sub_dataset, space.counters)
-            shards.append(build_shard(sub_space))
-        return cls(space, shards, shard_ids)
+        sub_spaces = [
+            MetricSpace(space.dataset.subset(ids), space.counters)
+            for ids in shard_ids
+        ]
+        if executor is not None:
+            shards = list(executor.map(build_shard, sub_spaces))
+        else:
+            shards = [build_shard(sub) for sub in sub_spaces]
+        return cls(space, shards, shard_ids, executor=executor)
 
     # -- queries ---------------------------------------------------------------
 
@@ -92,6 +121,34 @@ class ShardedIndex(MetricIndex):
             for neighbor in shard.knn_query(query_obj, k):
                 heap.consider(ids[neighbor.object_id], neighbor.distance)
         return heap.neighbors()
+
+    # -- batch queries ----------------------------------------------------------
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batch fan-out: each shard answers the whole batch once, and the
+        union merge runs one pass per shard instead of one per query."""
+        queries = list(queries)
+        if not queries:
+            return []
+        per_shard = self._map_shards(lambda s: s.range_query_many(queries, radius))
+        out: list[list[int]] = [[] for _ in queries]
+        for ids, batches in zip(self._shard_ids, per_shard):
+            for merged, local_results in zip(out, batches):
+                merged.extend(ids[local] for local in local_results)
+        return [sorted(results) for results in out]
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batch fan-out with one exact k-merge pass per shard."""
+        queries = list(queries)
+        if not queries:
+            return []
+        per_shard = self._map_shards(lambda s: s.knn_query_many(queries, k))
+        heaps = [KnnHeap(k) for _ in queries]
+        for ids, batches in zip(self._shard_ids, per_shard):
+            for heap, neighbors in zip(heaps, batches):
+                for neighbor in neighbors:
+                    heap.consider(ids[neighbor.object_id], neighbor.distance)
+        return [heap.neighbors() for heap in heaps]
 
     # -- accounting -------------------------------------------------------------
 

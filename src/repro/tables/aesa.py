@@ -47,7 +47,17 @@ class AESA(MetricIndex):
         n = len(self.space)
         lower = np.zeros(n, dtype=np.float64)
         alive = np.ones(n, dtype=bool)
-        results: list[int] = []
+        return self._range_scan(query_obj, radius, lower, alive, [])
+
+    def _range_scan(
+        self,
+        query_obj,
+        radius: float,
+        lower: np.ndarray,
+        alive: np.ndarray,
+        results: list[int],
+    ) -> list[int]:
+        """Continue the eliminate/approximate loop from the given state."""
         while True:
             candidates = np.flatnonzero(alive)
             if candidates.size == 0:
@@ -65,9 +75,14 @@ class AESA(MetricIndex):
 
     def knn_query(self, query_obj, k: int) -> list[Neighbor]:
         n = len(self.space)
-        heap = KnnHeap(k)
         lower = np.zeros(n, dtype=np.float64)
         alive = np.ones(n, dtype=bool)
+        return self._knn_scan(query_obj, KnnHeap(k), lower, alive)
+
+    def _knn_scan(
+        self, query_obj, heap: KnnHeap, lower: np.ndarray, alive: np.ndarray
+    ) -> list[Neighbor]:
+        """Continue the best-first verification loop from the given state."""
         while True:
             candidates = np.flatnonzero(alive)
             if candidates.size == 0:
@@ -79,6 +94,54 @@ class AESA(MetricIndex):
             d = self.space.d_id(query_obj, pick)
             heap.consider(pick, d)
             lower = np.maximum(lower, np.abs(self.table[pick] - d))
+
+    # -- batch queries --------------------------------------------------------
+    #
+    # AESA has no static pivot set: every verified object acts as a dynamic
+    # pivot, and picks diverge per query after the first round.  What *is*
+    # shared is round one -- all lower bounds start at zero, so every query's
+    # first pick is object 0 -- which the batch variants compute with a single
+    # vectorised distance call, seeding each query's elimination state with
+    # one q x n matrix operation before handing over to the adaptive loop.
+
+    def _first_round(self, queries) -> tuple[np.ndarray, np.ndarray]:
+        """d(q_i, o_0) for the whole batch + the resulting q x n bounds."""
+        first = self.space.d_many(self.space.dataset[0], queries)
+        lower = np.abs(self.table[0][None, :] - first[:, None])
+        return first, lower
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        queries = list(queries)
+        if not queries:
+            return []
+        n = len(self.space)
+        if n == 0:
+            return [[] for _ in queries]
+        first, lower = self._first_round(queries)
+        alive = lower <= radius
+        alive[:, 0] = False
+        out: list[list[int]] = []
+        for qi, q in enumerate(queries):
+            results = [0] if first[qi] <= radius else []
+            out.append(self._range_scan(q, radius, lower[qi], alive[qi], results))
+        return out
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        queries = list(queries)
+        if not queries:
+            return []
+        n = len(self.space)
+        if n == 0:
+            return [KnnHeap(k).neighbors() for _ in queries]
+        first, lower = self._first_round(queries)
+        out: list[list[Neighbor]] = []
+        for qi, q in enumerate(queries):
+            heap = KnnHeap(k)
+            heap.consider(0, float(first[qi]))
+            alive = np.ones(n, dtype=bool)
+            alive[0] = False
+            out.append(self._knn_scan(q, heap, lower[qi], alive))
+        return out
 
     def insert(self, obj) -> int:
         raise UnsupportedOperation("AESA tables are static (O(n) insert cost)")

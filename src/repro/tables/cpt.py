@@ -18,8 +18,8 @@ import numpy as np
 from ..core.index import MetricIndex
 from ..core.mapping import PivotMapping
 from ..core.metric_space import MetricSpace
-from ..core.pivot_filter import lower_bound_many
-from ..core.queries import KnnHeap, Neighbor
+from ..core.pivot_filter import lower_bound_many, lower_bound_many_queries
+from ..core.queries import KnnHeap, Neighbor, best_first_knn
 from ..mtree.mtree import MTree
 from ..storage.pager import Pager
 
@@ -91,6 +91,51 @@ class CPT(MetricIndex):
             object_id = int(self._row_ids[i])
             heap.consider(object_id, self._verify(query_obj, object_id))
         return heap.neighbors()
+
+    # -- batch queries --------------------------------------------------------
+
+    def _verify_many(self, query_obj, ids: list[int]) -> np.ndarray:
+        """Fetch each candidate from its M-tree leaf (PA per object, exactly
+        as sequential verification pays) and compute all distances at once."""
+        objects = [self.mtree.fetch_object(object_id) for object_id in ids]
+        return self.space.d_many(query_obj, objects)
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batch MRQ: shared q x l pivot matrix + vectorised verification."""
+        queries = list(queries)
+        if not queries:
+            return []
+        qmat = self.mapping.map_query_many(queries)
+        lower = lower_bound_many_queries(qmat, self._rows)
+        out: list[list[int]] = []
+        for qi, q in enumerate(queries):
+            ids = [int(i) for i in self._row_ids[lower[qi] <= radius]]
+            results: list[int] = []
+            if ids:
+                dists = self._verify_many(q, ids)
+                results = [o for o, d in zip(ids, dists) if d <= radius]
+            out.append(sorted(results))
+        return out
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batch MkNNQ: shared bound matrix + best-first chunked verification.
+
+        Best-first order matters doubly for CPT: every skipped verification
+        is a skipped M-tree leaf fetch, so the batch path typically does
+        far fewer page accesses than the storage-order sequential scan
+        (not guaranteed -- see :func:`~repro.core.queries.best_first_knn`).
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        qmat = self.mapping.map_query_many(queries)
+        lower = lower_bound_many_queries(qmat, self._rows)
+        return [
+            best_first_knn(
+                lower[qi], self._row_ids, k, lambda ids, q=q: self._verify_many(q, ids)
+            )
+            for qi, q in enumerate(queries)
+        ]
 
     # -- maintenance ----------------------------------------------------------
 

@@ -24,8 +24,9 @@ import numpy as np
 
 from ..core.index import MetricIndex
 from ..core.metric_space import MetricSpace
+from ..core.pivot_filter import query_chunk
 from ..core.pivot_selection import hf, psa
-from ..core.queries import KnnHeap, Neighbor
+from ..core.queries import KnnHeap, Neighbor, best_first_knn
 
 __all__ = ["EPT", "EPTStar"]
 
@@ -75,6 +76,63 @@ class _ExtremePivotTableBase(MetricIndex):
             object_id = int(self._row_ids[i])
             heap.consider(object_id, self.space.d_id(query_obj, object_id))
         return heap.neighbors()
+
+    # -- batch queries --------------------------------------------------------
+
+    def _query_pivot_dists_many(self, queries) -> np.ndarray:
+        """d(q, p) for every query and every referenced pivot: q x |P|."""
+        pivots = self.space.dataset.gather(self.pivot_ids)
+        return self.space.pairwise_objects(queries, pivots)
+
+    def _lower_bounds_many(self, qdists: np.ndarray) -> np.ndarray:
+        """Per-object-pivot Lemma 1 bounds for a whole batch: q x n.
+
+        ``qdists[:, self._pivot_idx]`` fans the q x |P| matrix out to
+        q x n x l (each object reads its own pivots' columns), so the bound
+        is one broadcast subtraction + max, chunked to limit the temporary.
+        """
+        n_queries = qdists.shape[0]
+        n_objects = self._pivot_idx.shape[0]
+        out = np.empty((n_queries, n_objects), dtype=np.float64)
+        step = query_chunk(n_objects, self._pivot_idx.shape[1])
+        for start in range(0, n_queries, step):
+            block = qdists[start : start + step]
+            out[start : start + step] = np.abs(
+                block[:, self._pivot_idx] - self._pivot_dist[None, :, :]
+            ).max(axis=2)
+        return out
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batch MRQ: one pairwise call for all query-pivot distances, 2-D
+        Lemma 1 bounds, vectorised per-query verification."""
+        queries = list(queries)
+        if not queries:
+            return []
+        qdists = self._query_pivot_dists_many(queries)
+        lower = self._lower_bounds_many(qdists)
+        out: list[list[int]] = []
+        for qi, q in enumerate(queries):
+            ids = [int(i) for i in self._row_ids[lower[qi] <= radius]]
+            results: list[int] = []
+            if ids:
+                dists = self.space.d_ids(q, ids)
+                results = [o for o, d in zip(ids, dists) if d <= radius]
+            out.append(sorted(results))
+        return out
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batch MkNNQ: shared bound matrix + best-first chunked verification."""
+        queries = list(queries)
+        if not queries:
+            return []
+        qdists = self._query_pivot_dists_many(queries)
+        lower = self._lower_bounds_many(qdists)
+        return [
+            best_first_knn(
+                lower[qi], self._row_ids, k, lambda ids, q=q: self.space.d_ids(q, ids)
+            )
+            for qi, q in enumerate(queries)
+        ]
 
     def delete(self, object_id: int) -> None:
         """Sequential-scan delete, like LAESA."""

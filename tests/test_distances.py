@@ -133,6 +133,25 @@ class TestHammingDistance:
         mat = np.array([[1, 0], [1, 1], [0, 0]])
         assert d.one_to_many(np.array([1, 0]), mat).tolist() == [0.0, 1.0, 1.0]
 
+    def test_pairwise_matches_scalar(self):
+        d = HammingDistance()
+        rng = np.random.default_rng(5)
+        xs = rng.integers(0, 2, size=(4, 6))
+        ys = rng.integers(0, 2, size=(7, 6))
+        mat = d.pairwise(xs, ys)
+        for i in range(4):
+            for j in range(7):
+                assert mat[i, j] == d(xs[i], ys[j])
+
+    def test_pairwise_strings_fall_back(self):
+        d = HammingDistance()
+        xs = ["abc", "abd"]
+        ys = ["abc", "xbc", "abd"]
+        mat = d.pairwise(xs, ys)
+        for i, x in enumerate(xs):
+            for j, y in enumerate(ys):
+                assert mat[i, j] == d(x, y)
+
 
 class TestQuadraticForm:
     def test_identity_matrix_is_l2(self):
@@ -155,6 +174,37 @@ class TestQuadraticForm:
         q = rng.normal(size=3)
         mat = rng.normal(size=(10, 3))
         assert np.allclose(d.one_to_many(q, mat), [d(q, row) for row in mat])
+
+    def test_pairwise_matches_scalar(self):
+        rng = np.random.default_rng(6)
+        basis = rng.normal(size=(3, 3))
+        matrix = basis @ basis.T + 3 * np.eye(3)
+        d = QuadraticFormDistance(matrix)
+        xs = rng.normal(size=(5, 3))
+        ys = rng.normal(size=(8, 3))
+        mat = d.pairwise(xs, ys)
+        for i in range(5):
+            for j in range(8):
+                # bitwise, not approx: the batch query layer requires all
+                # entry points of a distance to agree exactly
+                assert mat[i, j] == d(xs[i], ys[j])
+
+    def test_entry_points_agree_bitwise(self):
+        rng = np.random.default_rng(7)
+        basis = rng.normal(size=(4, 4))
+        d = QuadraticFormDistance(basis @ basis.T + 2 * np.eye(4))
+        q = rng.normal(size=4)
+        objects = rng.normal(size=(20, 4))
+        batch = d.one_to_many(q, objects)
+        assert np.array_equal(batch, [d(q, o) for o in objects])
+        # a singleton batch must equal the same row of a large batch
+        assert d.one_to_many(q, objects[11:12])[0] == batch[11]
+
+    def test_pairwise_zero_diagonal(self):
+        d = QuadraticFormDistance(np.eye(2))
+        xs = np.array([[1.0, 2.0], [3.0, 4.0]])
+        mat = d.pairwise(xs, xs)
+        assert np.array_equal(np.diag(mat), [0.0, 0.0])
 
 
 class TestDiscreteAdapter:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import runpy
 import subprocess
 import sys
@@ -11,6 +12,12 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+# the examples import `repro` from a source checkout; the pytest process gets
+# src/ via pyproject's pythonpath, but subprocesses need the env var
+_SRC = str(EXAMPLES_DIR.parent / "src")
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = _SRC + os.pathsep + _ENV.get("PYTHONPATH", "")
 
 
 def test_all_examples_exist():
@@ -37,6 +44,7 @@ def test_quickstart_runs():
         capture_output=True,
         text=True,
         timeout=300,
+        env=_ENV,
     )
     assert result.returncode == 0, result.stderr
     assert "defoliates" in result.stdout
@@ -49,6 +57,7 @@ def test_knn_classifier_runs():
         capture_output=True,
         text=True,
         timeout=300,
+        env=_ENV,
     )
     assert result.returncode == 0, result.stderr
     assert "hold-out accuracy" in result.stdout
