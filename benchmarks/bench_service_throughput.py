@@ -1,0 +1,60 @@
+"""Query service layer: dispatcher + result cache vs naive per-query loop.
+
+Not a paper experiment -- this guards the repo's own serving subsystem:
+concurrent single-query traffic pushed through
+:class:`~repro.service.QueryService` (micro-batching dispatcher feeding the
+vectorised batch layer, LRU result cache in front) must beat the naive
+sequential one-query-at-a-time loop, while returning identical answers
+(exactness is asserted inside :func:`repro.bench.run_service_comparison`).
+
+The floor is asserted on LAESA with a warm cache (the acceptance criterion
+of the service subsystem): repeat traffic served from the LRU must be at
+least 2x faster than re-evaluating every query.  Cold-cache dispatcher
+throughput is reported but only sanity-checked loosely -- micro-batching
+pays thread-coordination overhead per query, so its margin over a tight
+in-process loop is workload-dependent and noisy on shared CI runners.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import exp_service_throughput, format_table
+
+from _bench_common import built_indexes, emit, workloads  # noqa: F401  (fixtures)
+
+GATED = ("LA",)
+MIN_WARM_SPEEDUP = 2.0
+MIN_HIT_RATE = 0.1
+
+
+@pytest.fixture(scope="module")
+def service_rows(workloads, built_indexes):
+    subset = {name: workloads[name] for name in GATED}
+    built = {name: built_indexes(name) for name in GATED}
+    return exp_service_throughput(subset, built=built)
+
+
+def test_service_throughput(service_rows, benchmark, workloads, built_indexes):
+    emit(
+        "service_throughput",
+        format_table(
+            service_rows,
+            title="Query service: naive loop vs dispatcher + LRU cache (q/s)",
+            first_column="Dataset",
+        ),
+    )
+    laesa = [r for r in service_rows if r["Index"] == "LAESA"]
+    assert laesa, "LAESA rows missing from service throughput experiment"
+    for row in laesa:
+        assert row["warm speedup"] >= MIN_WARM_SPEEDUP, row
+        assert row["hit rate"] >= MIN_HIT_RATE, row
+    workload = workloads["LA"]
+    radius = workload.radius_for(0.16)
+    index = built_indexes("LA")["LAESA"].index
+
+    from repro.service import QueryService
+
+    with QueryService(index, max_batch_size=16, max_wait_ms=1.0) as service:
+        service.range_query_many(workload.queries, radius)  # warm the cache
+        benchmark(service.range_query_many, workload.queries, radius)

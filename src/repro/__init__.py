@@ -82,6 +82,16 @@ from .external import (
     PMTree,
     SPBTree,
 )
+from .service import (
+    MicroBatchDispatcher,
+    QueryResultCache,
+    QueryService,
+    SnapshotError,
+    SnapshotInfo,
+    load_index,
+    save_index,
+    snapshot_info,
+)
 from .tables import AESA, CPT, EPT, EPTStar, LAESA
 from .trees import BKT, FQA, FQT, MVPT, VPT
 
@@ -141,6 +151,7 @@ __all__ = [
     "MetricDistance",
     "MetricIndex",
     "MetricSpace",
+    "MicroBatchDispatcher",
     "Neighbor",
     "OmniBPlusTree",
     "OmniRTree",
@@ -148,10 +159,14 @@ __all__ = [
     "PMTree",
     "PivotMapping",
     "QuadraticFormDistance",
+    "QueryResultCache",
+    "QueryService",
     "QueryStats",
     "RangeResult",
     "SPBTree",
     "ShardedIndex",
+    "SnapshotError",
+    "SnapshotInfo",
     "UnsupportedOperation",
     "VPT",
     "brute_force_knn",
@@ -161,6 +176,7 @@ __all__ = [
     "dataset_statistics",
     "hf",
     "hfi",
+    "load_index",
     "make_color",
     "make_la",
     "make_synthetic",
@@ -169,5 +185,7 @@ __all__ = [
     "max_variance_pivots",
     "psa",
     "random_pivots",
+    "save_index",
     "select_pivots",
+    "snapshot_info",
 ]

@@ -15,6 +15,7 @@ from .runner import (
     run_batch_comparison,
     run_knn_queries,
     run_range_queries,
+    run_service_comparison,
     run_updates,
     shared_pivots,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "exp_ablation_mvpt_arity",
     "exp_ablation_sfc",
     "exp_batch_throughput",
+    "exp_service_throughput",
     "build_all",
 ]
 
@@ -306,6 +308,49 @@ def exp_batch_throughput(
                 continue
             row = run_batch_comparison(
                 indexes[index_name].index, workload.queries, radius, k, repeats=repeats
+            )
+            rows.append({"Dataset": wl_name, **row})
+    return rows
+
+
+def exp_service_throughput(
+    workloads: dict[str, Workload],
+    index_names=BATCH_INDEX_NAMES,
+    n_pivots: int = N_PIVOTS_DEFAULT,
+    selectivity: float = 0.16,
+    k: int = 10,
+    built: dict | None = None,
+    n_clients: int = 8,
+    repeats: int = 2,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+) -> list[dict]:
+    """Query service: naive per-query loop vs dispatcher + LRU result cache.
+
+    Single-query traffic (the serving shape the ROADMAP targets) is driven
+    through :class:`~repro.service.QueryService` by concurrent callers; the
+    dispatcher coalesces it into the batch layer and the cache absorbs the
+    repeats.  Reports cold and warm throughput, cache hit rate, and the
+    mean coalesced batch size per index and workload.
+    """
+    rows = []
+    for wl_name, workload in workloads.items():
+        indexes = (built or {}).get(wl_name) or build_all(
+            workload, index_names, n_pivots
+        )
+        radius = workload.radius_for(selectivity)
+        for index_name in index_names:
+            if index_name not in indexes:
+                continue
+            row = run_service_comparison(
+                indexes[index_name].index,
+                workload.queries,
+                radius,
+                k,
+                n_clients=n_clients,
+                repeats=repeats,
+                max_batch_size=max_batch_size,
+                max_wait_ms=max_wait_ms,
             )
             rows.append({"Dataset": wl_name, **row})
     return rows

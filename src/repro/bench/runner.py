@@ -26,6 +26,7 @@ compdists/PA reflect that (typically lower) verification schedule -- pass
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from ..core.index import MetricIndex
@@ -55,6 +56,7 @@ __all__ = [
     "run_range_queries",
     "run_knn_queries",
     "run_batch_comparison",
+    "run_service_comparison",
     "run_updates",
     "DEFAULT_INDEX_NAMES",
     "KNN_CACHE_BYTES",
@@ -320,6 +322,109 @@ def run_batch_comparison(
         "kNN seq q/s": round(n / seq_knn_s, 1),
         "kNN batch q/s": round(n / batch_knn_s, 1),
         "kNN speedup": round(seq_knn_s / batch_knn_s, 2),
+    }
+
+
+def run_service_comparison(
+    index: MetricIndex,
+    queries,
+    radius: float,
+    k: int,
+    n_clients: int = 8,
+    repeats: int = 2,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    cache_size: int = 4096,
+) -> dict:
+    """Naive per-query loop vs the query service, on single-query traffic.
+
+    The request stream interleaves MRQ and MkNNQ over the workload's query
+    sample -- the shape of online serving traffic, where queries arrive one
+    at a time and popular queries repeat.  Three modes are measured:
+
+    * **naive**: a sequential loop calling ``range_query``/``knn_query``
+      per request (no batching, no caching) -- the pre-service baseline;
+    * **service cold**: ``n_clients`` concurrent callers submitting single
+      queries to a :class:`~repro.service.QueryService`, empty cache -- what
+      the micro-batching dispatcher alone buys;
+    * **service warm**: the same stream again, cache populated -- what
+      repeat traffic costs once the LRU absorbs it.
+
+    Answers are verified identical to direct index calls before timing.
+    """
+    from ..service import QueryService
+
+    queries = list(queries)
+    requests = [("range", q, radius) for q in queries] + [
+        ("knn", q, k) for q in queries
+    ]
+    n = max(1, len(requests))
+
+    expected = [
+        index.range_query(q, radius) if kind == "range" else index.knn_query(q, p)
+        for kind, q, p in requests
+    ]
+
+    def naive_pass() -> list:
+        return [
+            index.range_query(q, p) if kind == "range" else index.knn_query(q, p)
+            for kind, q, p in requests
+        ]
+
+    def best_seconds(run) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - t0)
+        return max(best, 1e-9)
+
+    assert naive_pass() == expected, f"{index.name}: naive answers diverge"
+    naive_s = best_seconds(naive_pass)
+
+    service = QueryService(
+        index,
+        cache_size=cache_size,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+    )
+    pool = ThreadPoolExecutor(max_workers=n_clients)
+    try:
+
+        def service_pass() -> list:
+            def one(request):
+                kind, q, p = request
+                if kind == "range":
+                    return service.range_query(q, p)
+                return service.knn_query(q, p)
+
+            return list(pool.map(one, requests))
+
+        answers = service_pass()
+        assert answers == expected, f"{index.name}: service answers diverge"
+        # cold = first exposure to the stream: drop the cache between runs
+        def cold_pass() -> list:
+            service.cache.invalidate(service.index_id)
+            return service_pass()
+
+        cold_s = best_seconds(cold_pass)
+        service.cache.invalidate(service.index_id)
+        service_pass()  # warm the cache once
+        warm_s = best_seconds(service_pass)
+        stats = service.stats()
+    finally:
+        pool.shutdown(wait=True)
+        service.close()
+
+    return {
+        "Index": index.name,
+        "naive q/s": round(n / naive_s, 1),
+        "cold q/s": round(n / cold_s, 1),
+        "warm q/s": round(n / warm_s, 1),
+        "cold speedup": round(naive_s / cold_s, 2),
+        "warm speedup": round(naive_s / warm_s, 2),
+        "hit rate": stats["cache"]["hit_rate"],
+        "mean batch": stats["dispatcher"]["mean_batch_size"],
     }
 
 

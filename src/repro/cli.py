@@ -9,6 +9,11 @@ Commands:
                   paper-style cost comparison for MRQ and MkNNQ.
 * ``batch``    -- compare sequential vs batch (vectorized multi-query)
                   throughput for the table indexes on one workload.
+* ``snapshot`` -- build an index and save it to disk (or inspect an
+                  existing snapshot file) for instant restores.
+* ``serve``    -- run the query service (snapshot restore, LRU result
+                  cache, micro-batching dispatcher) against a stream of
+                  concurrent single-query requests and report throughput.
 * ``indexes``  -- list every available index with its category.
 """
 
@@ -16,6 +21,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 from . import ALL_INDEXES
 from .bench import (
@@ -29,6 +36,7 @@ from .bench import (
     shared_pivots,
 )
 from .core.dataset import DATASET_FACTORIES, dataset_statistics
+from .service import QueryService, load_index, save_index, snapshot_info
 
 __all__ = ["main"]
 
@@ -173,6 +181,109 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_snapshot(args) -> int:
+    if args.info:
+        info = snapshot_info(args.info)
+        print(format_table([info.row()], title=f"Snapshot {args.info}"))
+        return 0
+    workload = make_workload(args.dataset, n=args.n, n_queries=8)
+    pivots = shared_pivots(workload, args.pivots)
+    result = measure_build(args.index, workload, pivots)
+    t0 = time.perf_counter()
+    info = save_index(result.index, args.out)
+    save_s = time.perf_counter() - t0
+    print(
+        f"built {args.index} on {args.dataset} (n={args.n}): "
+        f"{result.compdists} compdists, {result.seconds:.2f}s; "
+        f"saved to {args.out} ({info.payload_bytes} bytes, {save_s:.2f}s)"
+    )
+    if args.verify:
+        from .core.counters import CostCounters
+
+        counters = CostCounters()
+        t0 = time.perf_counter()
+        restored = load_index(args.out, counters=counters)
+        load_s = time.perf_counter() - t0
+        radius = workload.radius_for(0.16)
+        original = result.index.range_query_many(workload.queries, radius)
+        roundtrip = restored.range_query_many(workload.queries, radius)
+        if original != roundtrip:
+            print("VERIFY FAILED: restored answers diverge from original")
+            return 1
+        print(
+            f"verified: restored in {load_s:.2f}s with 0 build compdists, "
+            f"{len(workload.queries)} MRQ answers identical"
+        )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    if args.snapshot:
+        service = QueryService.from_snapshot(
+            args.snapshot,
+            cache_size=args.cache_size,
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+        )
+        info = snapshot_info(args.snapshot)
+        dataset_name = info.dataset_name
+        print(
+            f"restored {info.index_name} ({info.n_objects} objects, "
+            f"{info.distance_name}) from {args.snapshot} -- no rebuild"
+        )
+        workload = make_workload(dataset_name, n=info.n_objects, n_queries=args.queries)
+    else:
+        workload = make_workload(args.dataset, n=args.n, n_queries=args.queries)
+        pivots = shared_pivots(workload, args.pivots)
+        result = measure_build(args.index, workload, pivots)
+        service = QueryService(
+            result.index,
+            cache_size=args.cache_size,
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+        )
+    radius = workload.radius_for(0.16)
+    # the request stream: single queries, mixed MRQ/MkNNQ, repeating the
+    # query sample (online traffic repeats popular queries)
+    requests = []
+    for _ in range(max(1, args.requests // (2 * len(workload.queries)) + 1)):
+        for q in workload.queries:
+            requests.append(("range", q, radius))
+            requests.append(("knn", q, args.k))
+    requests = requests[: args.requests]
+
+    def one(request):
+        kind, q, p = request
+        if kind == "range":
+            return service.range_query(q, p)
+        return service.knn_query(q, p)
+
+    with service:
+        with ThreadPoolExecutor(max_workers=args.clients) as pool:
+            t0 = time.perf_counter()
+            list(pool.map(one, requests))
+            seconds = time.perf_counter() - t0
+        stats = service.stats()
+    cache = stats["cache"]
+    dispatcher = stats.get("dispatcher", {})
+    print(
+        f"served {len(requests)} requests from {args.clients} clients "
+        f"in {seconds:.2f}s ({len(requests) / max(seconds, 1e-9):.0f} req/s)"
+    )
+    print(
+        f"cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"(hit rate {cache['hit_rate']:.0%}, {cache['evictions']} evictions); "
+        f"dispatcher: {dispatcher.get('batches', 0)} batches, "
+        f"mean size {dispatcher.get('mean_batch_size', 0)}, "
+        f"largest {dispatcher.get('largest_batch', 0)}"
+    )
+    print(
+        f"index work: {stats['distance_computations']} compdists, "
+        f"{stats['page_accesses']} page accesses"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Pivot-based metric indexing (VLDB 2017 reproduction)"
@@ -219,6 +330,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=10)
     p.add_argument("--repeats", type=int, default=3)
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "snapshot", help="build an index and save it to disk (or --info a file)"
+    )
+    p.add_argument("--dataset", choices=sorted(DATASET_FACTORIES), default="Words")
+    p.add_argument("--index", default="LAESA")
+    p.add_argument("--n", type=int, default=2000)
+    p.add_argument("--pivots", type=int, default=5)
+    p.add_argument("--out", default="index.snap")
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="restore the snapshot and assert identical MRQ answers",
+    )
+    p.add_argument(
+        "--info", metavar="PATH", help="inspect an existing snapshot header and exit"
+    )
+    p.set_defaults(func=_cmd_snapshot)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve concurrent single-query traffic (cache + micro-batching)",
+    )
+    p.add_argument("--snapshot", help="serve an index restored from this snapshot")
+    p.add_argument("--dataset", choices=sorted(DATASET_FACTORIES), default="Words")
+    p.add_argument("--index", default="LAESA")
+    p.add_argument("--n", type=int, default=2000)
+    p.add_argument("--pivots", type=int, default=5)
+    p.add_argument("--queries", type=int, default=20, help="distinct query objects")
+    p.add_argument("--requests", type=int, default=200, help="total requests served")
+    p.add_argument("--clients", type=int, default=8, help="concurrent callers")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--cache-size", type=int, default=1024)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--max-wait-ms", type=float, default=2.0)
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -29,6 +29,9 @@ class CostSnapshot:
     page_reads: int = 0
     page_writes: int = 0
     elapsed_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
     @property
     def page_accesses(self) -> int:
@@ -41,6 +44,9 @@ class CostSnapshot:
             page_reads=self.page_reads - other.page_reads,
             page_writes=self.page_writes - other.page_writes,
             elapsed_seconds=self.elapsed_seconds - other.elapsed_seconds,
+            cache_hits=self.cache_hits - other.cache_hits,
+            cache_misses=self.cache_misses - other.cache_misses,
+            cache_evictions=self.cache_evictions - other.cache_evictions,
         )
 
 
@@ -58,9 +64,24 @@ class CostCounters:
     distance_computations: int = 0
     page_reads: int = 0
     page_writes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+
+    def __getstate__(self) -> dict:
+        # threading locks cannot cross pickle boundaries; the counts can.
+        # Dropping the lock here is what lets whole index graphs be pickled
+        # (service snapshots) and shipped to ProcessPoolExecutor workers.
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def add_distances(self, n: int = 1) -> None:
         with self._lock:
@@ -74,11 +95,42 @@ class CostCounters:
         with self._lock:
             self.page_writes += n
 
+    def add_cache_hit(self, n: int = 1) -> None:
+        with self._lock:
+            self.cache_hits += n
+
+    def add_cache_miss(self, n: int = 1) -> None:
+        with self._lock:
+            self.cache_misses += n
+
+    def add_cache_eviction(self, n: int = 1) -> None:
+        with self._lock:
+            self.cache_evictions += n
+
     def reset(self) -> None:
         with self._lock:
             self.distance_computations = 0
             self.page_reads = 0
             self.page_writes = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.cache_evictions = 0
+
+    def merge(self, other: "CostCounters | CostSnapshot") -> None:
+        """Fold another accumulator's counts into this one.
+
+        Accepts either live :class:`CostCounters` (e.g. a shard's private
+        counters) or a :class:`CostSnapshot` delta returned from a worker
+        process.  Only counts are merged -- a snapshot's
+        ``elapsed_seconds`` is a timestamp, not a cost, and is ignored.
+        """
+        with self._lock:
+            self.distance_computations += other.distance_computations
+            self.page_reads += other.page_reads
+            self.page_writes += other.page_writes
+            self.cache_hits += other.cache_hits
+            self.cache_misses += other.cache_misses
+            self.cache_evictions += other.cache_evictions
 
     def snapshot(self) -> CostSnapshot:
         return CostSnapshot(
@@ -86,6 +138,9 @@ class CostCounters:
             page_reads=self.page_reads,
             page_writes=self.page_writes,
             elapsed_seconds=time.perf_counter(),
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            cache_evictions=self.cache_evictions,
         )
 
     @contextmanager
@@ -124,6 +179,14 @@ class Measurement:
     @property
     def cpu_seconds(self) -> float:
         return self.cost.elapsed_seconds
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cost.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cost.cache_misses
 
 
 @dataclass

@@ -97,6 +97,29 @@ class MetricIndex(ABC):
         """Remove an object by id."""
         raise UnsupportedOperation(f"{self.name} does not support delete")
 
+    # -- snapshots ---------------------------------------------------------
+
+    def prepare_snapshot(self) -> None:
+        """Hook called before the index is serialised to a snapshot.
+
+        The snapshot contract every index upholds:
+
+        * all query-relevant state lives in picklable attributes (numpy
+          tables, node objects, page stores) -- no open files, threads, or
+          callables created at query time;
+        * ``prepare_snapshot`` leaves the index fully queryable, and after
+          it returns, pickling the index captures everything needed to
+          answer queries identically with **zero** further distance
+          computations;
+        * disk-based indexes write dirty buffered pages back to their page
+          store here so that the snapshot carries a single authoritative
+          copy of each page.
+
+        The default is a no-op (pure in-memory indexes have nothing to
+        flush); :mod:`repro.service.snapshot` additionally flushes every
+        reachable :class:`~repro.storage.pager.Pager` as a safety net.
+        """
+
     # -- accounting --------------------------------------------------------
 
     def storage_bytes(self) -> dict[str, int]:

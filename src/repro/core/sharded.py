@@ -17,10 +17,21 @@ process pool can map them concurrently -- the combinator itself stays
 deterministic and single-process by default.  An optional ``executor`` (any
 object with a ``map(fn, iterable)`` method, e.g.
 ``concurrent.futures.ThreadPoolExecutor``) parallelises shard construction
-and batch-query fan-out.  The shards share one
-:class:`~repro.core.counters.CostCounters`, whose increments are
-lock-protected, so a thread pool keeps counts exact; process pools would
-need per-shard counters merged afterwards (see ROADMAP open items).
+and batch-query fan-out.
+
+Cost accounting comes in two modes:
+
+* **shared counters** (default): every shard's sub-space increments the
+  parent's :class:`~repro.core.counters.CostCounters` directly.  The
+  increments are lock-protected, so thread pools keep counts exact -- but a
+  process pool's workers mutate pickled *copies* and the counts are lost.
+* **per-shard counters** (``per_shard_counters=True``): each shard owns a
+  private ``CostCounters``; every shard call measures its own before/after
+  delta *inside the call* and the parent folds the deltas into its
+  counters via :meth:`CostCounters.merge`.  Deltas travel with the result
+  values, so they survive process boundaries and a
+  ``concurrent.futures.ProcessPoolExecutor`` reports exactly the same
+  counts as a thread pool or the serial loop.
 
 The batch path is where sharding pays off for throughput: ``*_query_many``
 fans the *whole* query batch out to each shard once and merges with one pass
@@ -29,15 +40,32 @@ per shard, instead of crossing every shard once per query.
 
 from __future__ import annotations
 
+from operator import methodcaller
 from typing import Callable, Sequence
 
 import numpy as np
 
+from .counters import CostCounters, CostSnapshot
 from .index import MetricIndex
 from .metric_space import MetricSpace
 from .queries import KnnHeap, Neighbor
 
 __all__ = ["ShardedIndex"]
+
+
+def _invoke_shard(task: tuple) -> tuple:
+    """Run one shard method and return ``(result, counter delta)``.
+
+    Module-level (not a closure) so a ``ProcessPoolExecutor`` can pickle
+    it; the measured delta rides back with the result, which is the only
+    channel that crosses a process boundary.
+    """
+    shard, method, args = task
+    counters = shard.space.counters
+    before = counters.snapshot()
+    result = getattr(shard, method)(*args)
+    delta = counters.snapshot() - before
+    return result, delta
 
 
 class ShardedIndex(MetricIndex):
@@ -51,17 +79,57 @@ class ShardedIndex(MetricIndex):
         shards: list[MetricIndex],
         shard_ids: list[Sequence[int]],
         executor=None,
+        per_shard_counters: bool = False,
     ):
         super().__init__(space)
         self.shards = shards
         self._shard_ids = [list(ids) for ids in shard_ids]
         self.executor = executor
+        self.per_shard_counters = per_shard_counters
 
-    def _map_shards(self, fn: Callable[[MetricIndex], object]) -> list:
-        """Apply ``fn`` to every shard, via the executor when one is set."""
+    def _merge_delta(self, shard: MetricIndex, delta: CostSnapshot) -> None:
+        """Fold a shard's measured delta into the parent's counters.
+
+        Guard against aliasing: if the shard's counters *are* the parent's
+        (e.g. a blanket counter rebind collapsed them), the work was
+        already counted directly and merging the delta would double it.
+        """
+        if shard.space.counters is self.space.counters:
+            return
+        self.space.counters.merge(delta)
+
+    def _call_shard(self, shard: MetricIndex, method: str, *args):
+        """One serial shard call, honouring the counter mode."""
+        if not self.per_shard_counters:
+            return getattr(shard, method)(*args)
+        result, delta = _invoke_shard((shard, method, args))
+        self._merge_delta(shard, delta)
+        return result
+
+    def _map_shards(self, method: str, *args) -> list:
+        """Run ``method(*args)`` on every shard, via the executor if set.
+
+        In per-shard-counters mode every call returns its counter delta
+        alongside the result (measured inside the worker, so process pools
+        are exact) and the deltas are merged here, in submission order.
+        """
+        if self.per_shard_counters:
+            tasks = [(shard, method, args) for shard in self.shards]
+            if self.executor is not None:
+                pairs = list(self.executor.map(_invoke_shard, tasks))
+            else:
+                pairs = [_invoke_shard(task) for task in tasks]
+            results = []
+            for shard, (result, delta) in zip(self.shards, pairs):
+                self._merge_delta(shard, delta)
+                results.append(result)
+            return results
         if self.executor is not None:
-            return list(self.executor.map(fn, self.shards))
-        return [fn(shard) for shard in self.shards]
+            # methodcaller (unlike a closure) survives pickling, so even the
+            # shared-counters path runs under a process pool -- though only
+            # per_shard_counters keeps the *counts* exact there
+            return list(self.executor.map(methodcaller(method, *args), self.shards))
+        return [getattr(shard, method)(*args) for shard in self.shards]
 
     @classmethod
     def build(
@@ -71,19 +139,27 @@ class ShardedIndex(MetricIndex):
         n_shards: int = 4,
         seed: int = 0,
         executor=None,
+        per_shard_counters: bool = False,
     ) -> "ShardedIndex":
         """Partition the dataset round-robin and build one index per part.
 
         Args:
             space: the full (counted) metric space.
-            build_shard: factory receiving a shard's MetricSpace (sharing the
-                parent's counters) and returning a built index; e.g.
-                ``lambda s: MVPT.build(s, select_pivots(s, 5))``.
+            build_shard: factory receiving a shard's MetricSpace and
+                returning a built index; e.g.
+                ``lambda s: MVPT.build(s, select_pivots(s, 5))``.  With a
+                process pool the factory must be picklable (a module-level
+                function or ``functools.partial``, not a lambda).
             n_shards: number of disjoint parts.
             seed: shuffle seed for the partition.
             executor: optional ``map``-capable pool; shard construction (an
                 embarrassingly parallel loop) and batch-query fan-out run
                 through it.  The built index keeps it for query time.
+            per_shard_counters: give each shard a private
+                :class:`CostCounters` and merge per-call deltas into the
+                parent's counters (see module docstring).  Required for a
+                ``ProcessPoolExecutor``; with the default shared counters a
+                process pool would silently lose all shard counts.
         """
         n = len(space)
         if n_shards < 1:
@@ -98,27 +174,42 @@ class ShardedIndex(MetricIndex):
             sorted(int(i) for i in order[s::n_shards]) for s in range(n_shards)
         ]
         sub_spaces = [
-            MetricSpace(space.dataset.subset(ids), space.counters)
+            MetricSpace(
+                space.dataset.subset(ids),
+                CostCounters() if per_shard_counters else space.counters,
+            )
             for ids in shard_ids
         ]
         if executor is not None:
             shards = list(executor.map(build_shard, sub_spaces))
         else:
             shards = [build_shard(sub) for sub in sub_spaces]
-        return cls(space, shards, shard_ids, executor=executor)
+        if per_shard_counters:
+            # fold construction costs (accumulated on the private counters,
+            # possibly in worker processes) into the parent's accounting
+            for shard in shards:
+                space.counters.merge(shard.space.counters)
+        return cls(
+            space,
+            shards,
+            shard_ids,
+            executor=executor,
+            per_shard_counters=per_shard_counters,
+        )
 
     # -- queries ---------------------------------------------------------------
 
     def range_query(self, query_obj, radius: float) -> list[int]:
         results: list[int] = []
         for shard, ids in zip(self.shards, self._shard_ids):
-            results.extend(ids[local] for local in shard.range_query(query_obj, radius))
+            local_results = self._call_shard(shard, "range_query", query_obj, radius)
+            results.extend(ids[local] for local in local_results)
         return sorted(results)
 
     def knn_query(self, query_obj, k: int) -> list[Neighbor]:
         heap = KnnHeap(k)
         for shard, ids in zip(self.shards, self._shard_ids):
-            for neighbor in shard.knn_query(query_obj, k):
+            for neighbor in self._call_shard(shard, "knn_query", query_obj, k):
                 heap.consider(ids[neighbor.object_id], neighbor.distance)
         return heap.neighbors()
 
@@ -130,7 +221,7 @@ class ShardedIndex(MetricIndex):
         queries = list(queries)
         if not queries:
             return []
-        per_shard = self._map_shards(lambda s: s.range_query_many(queries, radius))
+        per_shard = self._map_shards("range_query_many", queries, radius)
         out: list[list[int]] = [[] for _ in queries]
         for ids, batches in zip(self._shard_ids, per_shard):
             for merged, local_results in zip(out, batches):
@@ -142,13 +233,27 @@ class ShardedIndex(MetricIndex):
         queries = list(queries)
         if not queries:
             return []
-        per_shard = self._map_shards(lambda s: s.knn_query_many(queries, k))
+        per_shard = self._map_shards("knn_query_many", queries, k)
         heaps = [KnnHeap(k) for _ in queries]
         for ids, batches in zip(self._shard_ids, per_shard):
             for heap, neighbors in zip(heaps, batches):
                 for neighbor in neighbors:
                     heap.consider(ids[neighbor.object_id], neighbor.distance)
         return [heap.neighbors() for heap in heaps]
+
+    # -- snapshots --------------------------------------------------------------
+
+    def prepare_snapshot(self) -> None:
+        """Recurse into the shards; the executor itself is never pickled."""
+        for shard in self.shards:
+            shard.prepare_snapshot()
+
+    def __getstate__(self) -> dict:
+        # live thread/process pools cannot be serialised; a restored sharded
+        # index starts serial and the caller re-attaches an executor
+        state = self.__dict__.copy()
+        state["executor"] = None
+        return state
 
     # -- accounting -------------------------------------------------------------
 

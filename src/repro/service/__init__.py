@@ -1,0 +1,47 @@
+"""Query service subsystem: snapshots, result caching, micro-batching.
+
+Turns the library from a build-and-query toolkit into a long-running query
+service (the ROADMAP's serving north star):
+
+* :mod:`~repro.service.snapshot` -- serialise any built index to disk and
+  restore it with zero distance computations (versioned format);
+* :mod:`~repro.service.cache` -- an LRU over exact query results, keyed on
+  (index, query, radius | k), with stats folded into
+  :class:`~repro.core.counters.CostCounters`;
+* :mod:`~repro.service.dispatcher` -- coalesces concurrent single-query
+  callers into the batch execution layer's vectorised multi-query calls;
+* :mod:`~repro.service.service` -- the :class:`QueryService` facade wiring
+  the three together (used by ``python -m repro serve``).
+"""
+
+from .cache import QueryResultCache, query_key
+from .dispatcher import DispatcherStats, MicroBatchDispatcher
+from .service import QueryService
+from .snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SNAPSHOT_MAGIC,
+    SnapshotError,
+    SnapshotInfo,
+    iter_components,
+    load_index,
+    rebind_counters,
+    save_index,
+    snapshot_info,
+)
+
+__all__ = [
+    "DispatcherStats",
+    "MicroBatchDispatcher",
+    "QueryResultCache",
+    "QueryService",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SNAPSHOT_MAGIC",
+    "SnapshotError",
+    "SnapshotInfo",
+    "iter_components",
+    "load_index",
+    "query_key",
+    "rebind_counters",
+    "save_index",
+    "snapshot_info",
+]

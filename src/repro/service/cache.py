@@ -1,0 +1,185 @@
+"""LRU result cache for repeated metric queries.
+
+The paper reuses the same query samples across every configuration of
+Section 6, and production query streams are famously skewed -- so the
+cheapest query is the one answered from memory.  This cache sits in front
+of ``range_query_many`` / ``knn_query_many`` (the service layer consults
+it per query before dispatching the misses as one vectorised batch) and is
+keyed on ``(index_id, kind, query, radius-or-k)``.
+
+Hits, misses, and evictions are folded into the shared
+:class:`~repro.core.counters.CostCounters` alongside the paper's
+compdists/PA metrics, so one ``measure()`` block shows exactly how much
+work the cache absorbed.
+
+Correctness notes:
+
+* keys canonicalise the raw query object (numpy vectors hash by dtype,
+  shape, and bytes; strings and tuples by value), so two equal queries hit
+  the same entry no matter how the caller built them;
+* cached lists are copied on the way out -- callers may mutate their
+  results without corrupting the cache;
+* any index mutation (insert/delete) must :meth:`~QueryResultCache.invalidate`
+  the index's entries; the service facade does this automatically.  An
+  invalidation also bumps the index's *generation*, and a ``put`` carrying
+  a stale generation is dropped -- so an answer computed before a
+  concurrent mutation can never be cached after it;
+* all operations hold one internal lock: the service's concurrent caller
+  threads, the dispatcher worker, and mutating callers share this object.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+import numpy as np
+
+from ..core.counters import CostCounters
+
+__all__ = ["QueryResultCache", "query_key"]
+
+
+def query_key(query_obj) -> Hashable:
+    """A hashable canonical key for a raw query object.
+
+    Numpy arrays (the vector datasets) are keyed by dtype, shape, and raw
+    bytes; lists and tuples recurse; everything hashable (strings for the
+    Words workload, ints, floats) is used as-is.
+    """
+    if isinstance(query_obj, np.ndarray):
+        return ("ndarray", query_obj.dtype.str, query_obj.shape, query_obj.tobytes())
+    if isinstance(query_obj, (list, tuple)):
+        return ("seq", tuple(query_key(item) for item in query_obj))
+    if isinstance(query_obj, (np.integer, np.floating)):
+        return query_obj.item()
+    return query_obj
+
+
+class QueryResultCache:
+    """Bounded LRU mapping from (index, kind, query, parameter) to answers.
+
+    Args:
+        capacity: maximum number of cached results (entries, not bytes);
+            0 disables caching (every lookup is a miss, nothing is stored).
+        counters: optional shared cost accumulator; hit/miss/eviction
+            counts are added to it so cache behaviour shows up in the same
+            measurements as compdists and PA.
+    """
+
+    def __init__(self, capacity: int = 1024, counters: CostCounters | None = None):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.counters = counters
+        self._entries: OrderedDict[Hashable, list] = OrderedDict()
+        self._generations: dict[str, int] = {}
+        self._global_generation = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def make_key(index_id: str, kind: str, query_obj, param) -> Hashable:
+        """The full cache key for one query against one index.
+
+        ``kind`` is ``"range"`` or ``"knn"``; ``param`` is the radius or k.
+        Radii compare by exact float value -- a query at r=2.0 and r=2.5
+        are distinct entries, exactly as the paper's per-selectivity runs.
+        """
+        return (index_id, kind, float(param), query_key(query_obj))
+
+    def generation(self, index_id: str) -> int:
+        """The index's invalidation epoch; bumped by every invalidate.
+
+        Capture it *before* computing an answer and pass it to
+        :meth:`put`: if a mutation invalidated the index in between, the
+        stale answer is silently dropped instead of cached.
+        """
+        with self._lock:
+            return self._global_generation + self._generations.get(index_id, 0)
+
+    def get(self, key: Hashable):
+        """The cached result list, or None on a miss (counted either way)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                counters = self.counters
+                hit = False
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                counters = self.counters
+                hit = True
+                result = list(entry)
+        if counters is not None:
+            counters.add_cache_hit() if hit else counters.add_cache_miss()
+        return result if hit else None
+
+    def put(self, key: Hashable, result: list, generation: int | None = None) -> None:
+        """Store a result list, evicting least-recently-used entries.
+
+        ``generation`` (from :meth:`generation`, captured before the
+        result was computed) makes the store conditional: a result that
+        predates an invalidation of its index is dropped.
+        """
+        if self.capacity == 0:
+            return
+        evicted = 0
+        with self._lock:
+            current = self._global_generation + self._generations.get(key[0], 0)
+            if generation is not None and generation != current:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = list(result)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted and self.counters is not None:
+            self.counters.add_cache_eviction(evicted)
+
+    def invalidate(self, index_id: str | None = None) -> int:
+        """Drop entries for one index (or all); returns how many were dropped.
+
+        Mutating an index (insert/delete) changes its answers, so its
+        cached results must go.  Bumps the affected generations so in-flight
+        results computed before the mutation cannot be cached afterwards.
+        Eviction stats do not count invalidations -- they measure capacity
+        pressure, not correctness maintenance.
+        """
+        with self._lock:
+            if index_id is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                self._global_generation += 1
+                return dropped
+            doomed = [key for key in self._entries if key[0] == index_id]
+            for key in doomed:
+                del self._entries[key]
+            self._generations[index_id] = self._generations.get(index_id, 0) + 1
+            return len(doomed)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate, 4),
+            }

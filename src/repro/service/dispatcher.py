@@ -1,0 +1,201 @@
+"""Micro-batching dispatcher: coalesce single queries into vectorised batches.
+
+PR 1's batch execution layer answers a *batch* of queries 4.6-9.6x faster
+than a per-query loop -- but online traffic arrives one query at a time,
+from many concurrent callers.  The dispatcher bridges the two: callers
+submit individual queries and get a Future; a background worker groups
+compatible queries (same operation, same radius or k) and executes each
+group as **one** ``range_query_many`` / ``knn_query_many`` call, so single
+query traffic inherits the batch layer's throughput.
+
+Two tuning knobs bound the coalescing:
+
+* ``max_batch_size`` -- a group is dispatched as soon as it reaches this
+  many queries (caps per-batch latency and memory);
+* ``max_wait_ms`` -- the oldest query in a group never waits longer than
+  this before dispatch (caps added latency when traffic is sparse; 0
+  dispatches every group as soon as the worker sees it).
+
+Answers are contractually identical to direct per-query calls: the batch
+layer guarantees ``query_many(qs)[i] == query(qs[i])``, and grouping keys
+include the query parameter, so no approximation is introduced anywhere.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable
+
+__all__ = ["MicroBatchDispatcher", "DispatcherStats"]
+
+
+class DispatcherStats:
+    """Counts of what the dispatcher coalesced (read via ``stats()``)."""
+
+    def __init__(self):
+        self.queries = 0
+        self.batches = 0
+        self.largest_batch = 0
+
+    def record(self, batch_size: int) -> None:
+        self.queries += batch_size
+        self.batches += 1
+        self.largest_batch = max(self.largest_batch, batch_size)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.queries / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "largest_batch": self.largest_batch,
+        }
+
+
+class MicroBatchDispatcher:
+    """Group concurrent single-query submissions into batch calls.
+
+    Args:
+        execute_batch: ``execute_batch(kind, param, queries) -> results``,
+            one result per query in order; ``kind`` is ``"range"`` or
+            ``"knn"`` and ``param`` the radius / k shared by the group.
+            The service facade passes its cache-aware batch executor here.
+        max_batch_size: dispatch a group once it holds this many queries.
+        max_wait_ms: dispatch a group once its oldest query has waited
+            this long, full or not.
+
+    Thread-safe; use as a context manager or call :meth:`close` so the
+    worker thread is joined deterministically.
+    """
+
+    def __init__(
+        self,
+        execute_batch: Callable[[str, float, list], list],
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._execute_batch = execute_batch
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait_ms / 1000.0
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        # (kind, param) -> list of (query, future); arrival holds the
+        # enqueue time of each group's oldest member
+        self._pending: dict[tuple, list[tuple[object, Future]]] = {}
+        self._arrival: dict[tuple, float] = {}
+        self._closed = False
+        self.stats = DispatcherStats()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-dispatcher", daemon=True
+        )
+        self._worker.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, kind: str, query_obj, param) -> Future:
+        """Enqueue one query; the Future resolves to its answer list."""
+        if kind not in ("range", "knn"):
+            raise ValueError(f"kind must be 'range' or 'knn', got {kind!r}")
+        future: Future = Future()
+        key = (kind, float(param))
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("dispatcher is closed")
+            group = self._pending.setdefault(key, [])
+            if not group:
+                self._arrival[key] = time.monotonic()
+            group.append((query_obj, future))
+            self._wake.notify()
+        return future
+
+    def range_query(self, query_obj, radius: float) -> list:
+        """Blocking single MRQ through the batcher (for plain callers)."""
+        return self.submit("range", query_obj, radius).result()
+
+    def knn_query(self, query_obj, k: int) -> list:
+        """Blocking single MkNNQ through the batcher."""
+        return self.submit("knn", query_obj, k).result()
+
+    # -- worker --------------------------------------------------------------
+
+    def _take_ready(self, now: float, force: bool = False) -> list[tuple[tuple, list]]:
+        """Pop every group that is full or past its deadline (lock held)."""
+        ready = []
+        for key in list(self._pending):
+            group = self._pending[key]
+            if (
+                force
+                or len(group) >= self.max_batch_size
+                or now - self._arrival[key] >= self.max_wait
+            ):
+                ready.append((key, group[: self.max_batch_size]))
+                remainder = group[self.max_batch_size :]
+                if remainder:
+                    # keep the group's original arrival time: the overflow
+                    # queries already waited, so the max_wait bound must
+                    # keep counting from their enqueue, not restart
+                    self._pending[key] = remainder
+                else:
+                    del self._pending[key]
+                    del self._arrival[key]
+        return ready
+
+    def _next_deadline(self) -> float | None:
+        if not self._arrival:
+            return None
+        return min(self._arrival.values()) + self.max_wait
+
+    def _run(self) -> None:
+        while True:
+            with self._wake:
+                while not self._pending and not self._closed:
+                    self._wake.wait()
+                if self._closed and not self._pending:
+                    return
+                now = time.monotonic()
+                # at close time everything pending is drained immediately
+                ready = self._take_ready(now, force=self._closed)
+                if not ready:
+                    deadline = self._next_deadline()
+                    # no group full or due yet: sleep until the oldest
+                    # group's deadline or an arrival that fills one
+                    self._wake.wait(timeout=max(0.0, (deadline or now) - now))
+                    continue
+            for (kind, param), group in ready:
+                self._dispatch(kind, param, group)
+
+    def _dispatch(self, kind: str, param: float, group: list) -> None:
+        queries = [query_obj for query_obj, _ in group]
+        try:
+            results = self._execute_batch(kind, param, queries)
+        except BaseException as exc:  # propagate to every waiting caller
+            for _, future in group:
+                future.set_exception(exc)
+            return
+        self.stats.record(len(group))
+        for (_, future), result in zip(group, results):
+            future.set_result(result)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting queries, drain pending groups, join the worker."""
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+        self._worker.join()
+
+    def __enter__(self) -> "MicroBatchDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,248 @@
+"""QueryService: the long-running serving facade over a built index.
+
+Composes the three service-layer pieces into one front door:
+
+* **snapshots** (:mod:`repro.service.snapshot`) -- host an index restored
+  from disk (``QueryService.from_snapshot``) or save the hosted one
+  (:meth:`QueryService.save`), so process restarts cost file IO, not
+  distance computations;
+* **result cache** (:mod:`repro.service.cache`) -- every query checks the
+  LRU first; only misses reach the index, as one vectorised batch;
+* **dispatcher** (:mod:`repro.service.dispatcher`) -- concurrent
+  single-query callers are coalesced into batch calls, so online traffic
+  inherits the batch layer's throughput.
+
+The layering is strict: cache -> dispatcher -> index batch call.  The LRU
+is consulted synchronously in the calling thread -- a hit never pays the
+dispatcher's thread handoff or coalescing wait, which is what makes warm
+repeat traffic an order of magnitude cheaper than re-evaluation.  Only
+misses enter the dispatcher, which groups them (deduplicated) into one
+``range_query_many`` / ``knn_query_many`` call and fills the cache on the
+way out.  Answers are bit-for-bit identical to direct index calls -- the
+cache stores exact results and the batch layer is contractually exact.
+
+Mutations (insert/delete) pass through to the index and invalidate the
+index's cache entries, keeping served answers consistent.
+"""
+
+from __future__ import annotations
+
+from ..core.counters import CostCounters
+from ..core.index import MetricIndex
+from ..core.queries import Neighbor
+from .cache import QueryResultCache
+from .dispatcher import MicroBatchDispatcher
+from .snapshot import load_index, rebind_counters, save_index
+
+__all__ = ["QueryService"]
+
+
+class QueryService:
+    """Serve MRQ/MkNNQ traffic from a built index with caching + batching.
+
+    Args:
+        index: any built :class:`MetricIndex`.
+        index_id: cache namespace for this index; defaults to the index's
+            paper name (pass something unique when hosting several
+            instances of the same index type behind one cache).
+        cache: a shared :class:`QueryResultCache`, or None to create a
+            private one sized ``cache_size``.
+        cache_size: capacity of the private cache (entries); 0 disables
+            result caching entirely.
+        max_batch_size / max_wait_ms: dispatcher knobs (see
+            :class:`MicroBatchDispatcher`); ``use_dispatcher=False`` runs
+            without a background thread (single calls become one-query
+            batches).
+        counters: shared cost accumulator; defaults to the index's own.
+            Cache hit/miss/eviction stats are folded into it.
+    """
+
+    def __init__(
+        self,
+        index: MetricIndex,
+        index_id: str | None = None,
+        cache: QueryResultCache | None = None,
+        cache_size: int = 1024,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        use_dispatcher: bool = True,
+        counters: CostCounters | None = None,
+    ):
+        self.index = index
+        self.index_id = index_id if index_id is not None else index.name
+        if counters is not None:
+            rebind_counters(index, counters)
+        self.counters = index.space.counters
+        self.cache = (
+            cache
+            if cache is not None
+            else QueryResultCache(capacity=cache_size, counters=self.counters)
+        )
+        self.dispatcher = (
+            MicroBatchDispatcher(
+                self._execute_misses,
+                max_batch_size=max_batch_size,
+                max_wait_ms=max_wait_ms,
+            )
+            if use_dispatcher
+            else None
+        )
+
+    # -- construction from disk ----------------------------------------------
+
+    @classmethod
+    def from_snapshot(cls, path, **kwargs) -> "QueryService":
+        """Restore an index from a snapshot file and serve it.
+
+        The restore performs zero distance computations -- the whole point
+        of snapshotting a built index.  Keyword arguments are forwarded to
+        the constructor.
+        """
+        counters = kwargs.pop("counters", None) or CostCounters()
+        index = load_index(path, counters=counters)
+        return cls(index, counters=counters, **kwargs)
+
+    def save(self, path):
+        """Snapshot the hosted index to ``path`` (see :func:`save_index`)."""
+        return save_index(self.index, path)
+
+    # -- query surface --------------------------------------------------------
+
+    def _execute_misses(self, kind: str, param: float, queries: list) -> list:
+        """Answer cache-missed queries with one vectorised index call.
+
+        This is the dispatcher's batch executor.  Duplicate queries within
+        the batch (concurrent callers asking the same thing) are
+        deduplicated so each distinct query costs one evaluation; every
+        answer is cached on the way out.
+        """
+        results: list = [None] * len(queries)
+        positions_by_key: dict = {}  # cache key -> positions awaiting it
+        for i, query_obj in enumerate(queries):
+            key = self.cache.make_key(self.index_id, kind, query_obj, param)
+            positions_by_key.setdefault(key, []).append(i)
+        distinct = [queries[positions[0]] for positions in positions_by_key.values()]
+        # capture the invalidation epoch before evaluating: if a concurrent
+        # insert/delete lands mid-evaluation, these answers predate it and
+        # the conditional put drops them instead of caching stale results
+        generation = self.cache.generation(self.index_id)
+        if kind == "range":
+            answers = self.index.range_query_many(distinct, param)
+        else:
+            answers = self.index.knn_query_many(distinct, int(param))
+        for (key, positions), answer in zip(positions_by_key.items(), answers):
+            self.cache.put(key, answer, generation=generation)
+            for i in positions:
+                results[i] = list(answer)
+        return results
+
+    def _execute_batch(self, kind: str, param: float, queries: list) -> list:
+        """Cache-aware batch: hits from the LRU, misses in one index call."""
+        results: list = [None] * len(queries)
+        misses: list[int] = []
+        for i, query_obj in enumerate(queries):
+            key = self.cache.make_key(self.index_id, kind, query_obj, param)
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[i] = cached
+            else:
+                misses.append(i)
+        if misses:
+            answers = self._execute_misses(kind, param, [queries[i] for i in misses])
+            for i, answer in zip(misses, answers):
+                results[i] = answer
+        return results
+
+    def _query_one(self, kind: str, query_obj, param: float):
+        """Single query: synchronous cache check, dispatcher on a miss.
+
+        The cache lookup runs in the calling thread, so warm repeat
+        traffic never pays the dispatcher's handoff or coalescing wait;
+        only misses are enqueued for batching.
+        """
+        key = self.cache.make_key(self.index_id, kind, query_obj, param)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        if self.dispatcher is not None:
+            return self.dispatcher.submit(kind, query_obj, param).result()
+        return self._execute_misses(kind, param, [query_obj])[0]
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        """One MRQ; misses coalesce with concurrent callers' traffic."""
+        return self._query_one("range", query_obj, float(radius))
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        """One MkNNQ; misses coalesce with concurrent callers' traffic."""
+        return self._query_one("knn", query_obj, float(k))
+
+    def submit_range(self, query_obj, radius: float):
+        """Non-blocking MRQ: a Future resolving to the answer list."""
+        return self._submit("range", query_obj, float(radius))
+
+    def submit_knn(self, query_obj, k: int):
+        """Non-blocking MkNNQ: a Future resolving to the neighbor list."""
+        return self._submit("knn", query_obj, float(k))
+
+    def _submit(self, kind: str, query_obj, param: float):
+        if self.dispatcher is None:
+            raise RuntimeError("service was built with use_dispatcher=False")
+        key = self.cache.make_key(self.index_id, kind, query_obj, param)
+        cached = self.cache.get(key)
+        if cached is not None:
+            from concurrent.futures import Future
+
+            future: Future = Future()
+            future.set_result(cached)
+            return future
+        return self.dispatcher.submit(kind, query_obj, param)
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batched MRQ through the cache (already-batched callers skip the
+        dispatcher -- there is nothing left to coalesce)."""
+        return self._execute_batch("range", float(radius), list(queries))
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batched MkNNQ through the cache."""
+        return self._execute_batch("knn", float(k), list(queries))
+
+    # -- maintenance -----------------------------------------------------------
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        """Insert into the hosted index; drops this index's cached results."""
+        new_id = self.index.insert(obj, object_id=object_id)
+        self.cache.invalidate(self.index_id)
+        return new_id
+
+    def delete(self, object_id: int) -> None:
+        """Delete from the hosted index; drops this index's cached results."""
+        self.index.delete(object_id)
+        self.cache.invalidate(self.index_id)
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Serving stats: cache behaviour, dispatcher coalescing, counters."""
+        snapshot = self.counters.snapshot()
+        out = {
+            "index": self.index_id,
+            "cache": self.cache.stats(),
+            "distance_computations": snapshot.distance_computations,
+            "page_accesses": snapshot.page_accesses,
+        }
+        if self.dispatcher is not None:
+            out["dispatcher"] = self.dispatcher.stats.as_dict()
+        return out
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain and stop the dispatcher thread (idempotent)."""
+        if self.dispatcher is not None:
+            self.dispatcher.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

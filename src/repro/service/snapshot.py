@@ -1,0 +1,236 @@
+"""Index snapshots: serialise a built index, restore it without rebuilding.
+
+The paper's experiments (and any real serving deployment) pay an index's
+construction cost -- up to O(n^2) distance computations for AESA, full PSA
+scans for EPT* -- once, then answer many queries.  Before this module every
+process start repeated that cost.  A snapshot captures a built
+:class:`~repro.core.index.MetricIndex` (its tables, tree nodes, page
+stores, dataset and distance) so a later process restores it and serves
+queries immediately, with **zero** build-time distance computations.
+
+File format (versioned)::
+
+    MAGIC (8 bytes) | header length (4 bytes, big-endian) | header JSON
+    | pickle payload
+
+The JSON header carries the format version, the index class, and basic
+provenance, so incompatible snapshots fail fast with a clear error instead
+of unpickling garbage.  The payload is a pickle of the whole index object
+graph; every index upholds the snapshot contract documented on
+:meth:`MetricIndex.prepare_snapshot` (picklable state, buffered pages
+flushed), and :class:`~repro.core.counters.CostCounters` drops its lock on
+pickling.
+
+Round-trip equality contract (asserted by ``tests/test_service.py`` for
+every index family): for any queries, the restored index returns answers
+identical to the original's, and restoring performs no distance
+computations or page writes beyond reading the file.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.counters import CostCounters
+from ..core.index import MetricIndex
+from ..core.metric_space import MetricSpace
+from ..storage.pager import Pager
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "SnapshotInfo",
+    "save_index",
+    "load_index",
+    "snapshot_info",
+    "iter_components",
+]
+
+SNAPSHOT_MAGIC = b"REPROSNP"
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+class SnapshotError(RuntimeError):
+    """Raised for malformed, truncated, or incompatible snapshot files."""
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """The parsed header of a snapshot file."""
+
+    format_version: int
+    index_name: str
+    index_class: str
+    n_objects: int
+    distance_name: str
+    dataset_name: str
+    payload_bytes: int
+
+    def row(self) -> dict:
+        return {
+            "Index": self.index_name,
+            "Class": self.index_class,
+            "Objects": self.n_objects,
+            "Distance": self.distance_name,
+            "Dataset": self.dataset_name,
+            "Payload": self.payload_bytes,
+            "Format": self.format_version,
+        }
+
+
+def iter_components(index: MetricIndex):
+    """Yield every repro component object reachable from an index.
+
+    Walks the attribute graph (dicts, lists, tuples, and ``repro``-defined
+    objects) once, cycle-safe.  The snapshot and service layers use it to
+    find all :class:`MetricSpace` and :class:`Pager` instances regardless
+    of index shape -- tables keep a mapping, CPT nests an M-tree with its
+    own pager, ``ShardedIndex`` holds a list of inner indexes.
+    """
+    seen: set[int] = set()
+    stack: list[object] = [index]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, (list, tuple)):
+            stack.extend(obj)
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.values())
+            continue
+        module = getattr(type(obj), "__module__", "") or ""
+        if not module.startswith("repro"):
+            continue
+        yield obj
+        state = getattr(obj, "__dict__", None)
+        if state:
+            stack.extend(state.values())
+
+
+def _spaces_of(index: MetricIndex) -> list[MetricSpace]:
+    return [c for c in iter_components(index) if isinstance(c, MetricSpace)]
+
+
+def _pagers_of(index: MetricIndex) -> list[Pager]:
+    return [c for c in iter_components(index) if isinstance(c, Pager)]
+
+
+def rebind_counters(index: MetricIndex, counters: CostCounters) -> None:
+    """Point every space and page store in the index at one counter object.
+
+    After restore this hands the whole graph a fresh accumulator (so
+    serving stats start at zero); the service layer also uses it to share
+    one counter across several hosted indexes.
+
+    A :class:`~repro.core.sharded.ShardedIndex` in per-shard-counters mode
+    is rebound structurally: the parent gets ``counters`` and each shard
+    subtree gets its own fresh private accumulator.  Collapsing them onto
+    one object would make every shard call count twice -- once through the
+    shared object, once through the merged delta.
+    """
+    from ..core.sharded import ShardedIndex
+
+    if isinstance(index, ShardedIndex) and index.per_shard_counters:
+        index.space.counters = counters
+        for shard in index.shards:
+            rebind_counters(shard, CostCounters())
+        return
+    for space in _spaces_of(index):
+        space.counters = counters
+    for pager in _pagers_of(index):
+        pager.store.counters = counters
+
+
+def save_index(index: MetricIndex, path) -> SnapshotInfo:
+    """Serialise a built index to ``path``; returns the written header.
+
+    Calls the index's :meth:`~repro.core.index.MetricIndex.prepare_snapshot`
+    hook, then flushes every reachable pager (belt and braces: an index
+    that forgets the hook still snapshots a consistent page store), then
+    pickles the index graph behind a versioned header.
+    """
+    index.prepare_snapshot()
+    for pager in _pagers_of(index):
+        pager.prepare_snapshot()
+    payload = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+    space = index.space
+    header = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "index_name": index.name,
+        "index_class": f"{type(index).__module__}.{type(index).__qualname__}",
+        "n_objects": len(space),
+        "distance_name": space.distance.name,
+        "dataset_name": space.dataset.name,
+        "payload_bytes": len(payload),
+    }
+    header_blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(SNAPSHOT_MAGIC)
+        fh.write(len(header_blob).to_bytes(4, "big"))
+        fh.write(header_blob)
+        fh.write(payload)
+    return SnapshotInfo(**header)
+
+
+def _read_header(fh, path: Path) -> tuple[SnapshotInfo, dict]:
+    magic = fh.read(len(SNAPSHOT_MAGIC))
+    if magic != SNAPSHOT_MAGIC:
+        raise SnapshotError(f"{path} is not a repro snapshot (bad magic)")
+    length_bytes = fh.read(4)
+    if len(length_bytes) != 4:
+        raise SnapshotError(f"{path} is truncated (no header length)")
+    header_blob = fh.read(int.from_bytes(length_bytes, "big"))
+    try:
+        header = json.loads(header_blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"{path} has a corrupt header: {exc}") from None
+    version = header.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotError(
+            f"{path} uses snapshot format {version}; this build reads "
+            f"format {SNAPSHOT_FORMAT_VERSION}"
+        )
+    known = {k: header[k] for k in SnapshotInfo.__dataclass_fields__ if k in header}
+    return SnapshotInfo(**known), header
+
+
+def snapshot_info(path) -> SnapshotInfo:
+    """Parse and validate a snapshot's header without loading the payload."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        info, _ = _read_header(fh, path)
+    return info
+
+
+def load_index(path, counters: CostCounters | None = None) -> MetricIndex:
+    """Restore an index from a snapshot file.
+
+    The restored index is handed ``counters`` (or a fresh zeroed
+    :class:`CostCounters`) across all of its spaces and page stores, so
+    serving measurements start clean.  No distance computations happen:
+    the tables, trees, and page stores come back exactly as saved.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        info, _ = _read_header(fh, path)
+        payload = fh.read(info.payload_bytes)
+    if len(payload) != info.payload_bytes:
+        raise SnapshotError(f"{path} is truncated (payload short)")
+    try:
+        index = pickle.loads(payload)
+    except Exception as exc:
+        raise SnapshotError(f"{path} payload failed to unpickle: {exc}") from exc
+    if not isinstance(index, MetricIndex):
+        raise SnapshotError(
+            f"{path} payload is a {type(index).__name__}, not a MetricIndex"
+        )
+    rebind_counters(index, counters if counters is not None else CostCounters())
+    return index

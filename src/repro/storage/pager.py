@@ -221,6 +221,16 @@ class Pager:
     def flush(self) -> None:
         self.pool.flush()
 
+    def prepare_snapshot(self) -> None:
+        """Make the page store authoritative before serialisation.
+
+        Dirty pages are written back and the buffer pool is emptied, so a
+        snapshot carries exactly one copy of each page and a restored index
+        starts with a cold cache -- the same state a process restart would
+        leave a real disk-backed index in.
+        """
+        self.pool.drop()
+
     def disk_bytes(self) -> int:
         self.pool.flush()
         return self.store.total_bytes()

@@ -143,7 +143,8 @@ class AESA(MetricIndex):
             out.append(self._knn_scan(q, heap, lower[qi], alive))
         return out
 
-    def insert(self, obj) -> int:
+    def insert(self, obj, object_id: int | None = None) -> int:
+        """Uniform base-class signature; AESA remains static either way."""
         raise UnsupportedOperation("AESA tables are static (O(n) insert cost)")
 
     def storage_bytes(self) -> dict[str, int]:

@@ -163,6 +163,12 @@ class CPT(MetricIndex):
         self._rows = self._rows[keep]
         self.mtree.delete(object_id)
 
+    # -- snapshots -------------------------------------------------------------
+
+    def prepare_snapshot(self) -> None:
+        """Flush the M-tree's buffer pool so the page store is authoritative."""
+        self.mtree.pager.prepare_snapshot()
+
     # -- accounting -----------------------------------------------------------
 
     def storage_bytes(self) -> dict[str, int]:

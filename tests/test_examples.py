@@ -24,6 +24,7 @@ def test_all_examples_exist():
     names = {p.name for p in ALL_EXAMPLES}
     assert {
         "quickstart.py",
+        "serve_quickstart.py",
         "spell_checker.py",
         "geo_search.py",
         "multimedia_retrieval.py",
@@ -61,3 +62,17 @@ def test_knn_classifier_runs():
     )
     assert result.returncode == 0, result.stderr
     assert "hold-out accuracy" in result.stdout
+
+
+def test_serve_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "serve_quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=_ENV,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "restored with 0 distance computations" in result.stdout
+    assert "hit rate" in result.stdout
+    assert "vectorised batches" in result.stdout

@@ -1,0 +1,678 @@
+"""Query service subsystem: snapshots, result cache, dispatcher, facade.
+
+Covers the service layer's three contracts:
+
+* snapshot round-trips restore every index family with identical answers
+  and zero build-time distance computations;
+* the LRU result cache returns exact answers, folds hit/miss/eviction
+  stats into CostCounters, and is invalidated by index mutations;
+* the micro-batching dispatcher coalesces concurrent single-query callers
+  into batch calls without changing any answer.
+
+Plus the satellite contracts: per-shard counters make ShardedIndex exact
+under process pools (thread-pool == process-pool == serial counts), and
+AESA's insert signature matches the base class.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from conftest import RADIUS, indexes_for
+from repro import (
+    CostCounters,
+    MetricSpace,
+    QueryService,
+    ShardedIndex,
+    SnapshotError,
+    UnsupportedOperation,
+    load_index,
+    save_index,
+    select_pivots,
+    snapshot_info,
+)
+from repro.core.index import brute_force_knn, brute_force_range
+from repro.service import (
+    SNAPSHOT_FORMAT_VERSION,
+    MicroBatchDispatcher,
+    QueryResultCache,
+    query_key,
+)
+from repro.tables import AESA, LAESA
+
+K = 5
+N_QUERIES = 5
+
+
+def _sample_queries(dataset, n=N_QUERIES, seed=17):
+    rng = np.random.default_rng(seed)
+    return [dataset[int(i)] for i in rng.choice(len(dataset), size=n, replace=False)]
+
+
+# ---------------------------------------------------------------------------
+# snapshot round-trips, every index family
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("index_name", indexes_for("Words"))
+def test_snapshot_roundtrip_words(datasets, built_indexes, tmp_path, index_name):
+    """build -> query -> snapshot -> restore -> identical answers, 0 compdists."""
+    dataset = datasets["Words"]
+    index = built_indexes("Words", index_name)
+    queries = _sample_queries(dataset)
+    radius = RADIUS["Words"]
+    expected_range = [index.range_query(q, radius) for q in queries]
+    expected_knn = [index.knn_query(q, K) for q in queries]
+
+    path = tmp_path / f"{index_name}.snap"
+    info = save_index(index, path)
+    assert info.format_version == SNAPSHOT_FORMAT_VERSION
+    assert info.n_objects == len(dataset)
+
+    restore_counters = CostCounters()
+    restored = load_index(path, counters=restore_counters)
+    # the whole point: restoring performs no distance computations and
+    # writes no pages (the build already happened)
+    assert restore_counters.distance_computations == 0
+    assert restore_counters.page_writes == 0
+
+    assert [restored.range_query(q, radius) for q in queries] == expected_range
+    assert [restored.knn_query(q, K) for q in queries] == expected_knn
+
+
+@pytest.mark.parametrize("index_name", ("LAESA", "CPT", "MVPT", "M-index*"))
+def test_snapshot_roundtrip_vector_dataset(
+    datasets, built_indexes, tmp_path, index_name
+):
+    """Vector (LA) round-trips, including a disk-based index's page store."""
+    dataset = datasets["LA"]
+    index = built_indexes("LA", index_name)
+    queries = _sample_queries(dataset)
+    radius = RADIUS["LA"]
+    expected = index.range_query_many(queries, radius)
+
+    path = tmp_path / f"{index_name}.snap"
+    save_index(index, path)
+    counters = CostCounters()
+    restored = load_index(path, counters=counters)
+    assert counters.distance_computations == 0
+    assert restored.range_query_many(queries, radius) == expected
+    assert restored.knn_query_many(queries, K) == index.knn_query_many(queries, K)
+
+
+def test_snapshot_roundtrip_sharded(datasets, tmp_path):
+    dataset = datasets["LA"]
+    space = MetricSpace(dataset, CostCounters())
+    sharded = ShardedIndex.build(
+        space,
+        lambda s: LAESA.build(s, select_pivots(s, 3, strategy="hfi", seed=0)),
+        n_shards=3,
+        seed=1,
+    )
+    queries = _sample_queries(dataset)
+    radius = RADIUS["LA"]
+    expected = sharded.range_query_many(queries, radius)
+
+    path = tmp_path / "sharded.snap"
+    save_index(sharded, path)
+    counters = CostCounters()
+    restored = load_index(path, counters=counters)
+    assert counters.distance_computations == 0
+    assert restored.range_query_many(queries, radius) == expected
+    # restored sharded indexes come back serial: pools don't serialise
+    assert restored.executor is None
+
+
+def test_restored_per_shard_counters_not_double_counted(datasets, tmp_path):
+    """Restoring a per-shard-counters ShardedIndex must keep the shards'
+    counters private -- collapsing them onto the parent's would count every
+    shard call twice (once direct, once via the merged delta)."""
+    dataset = datasets["LA"]
+    space = MetricSpace(dataset, CostCounters())
+    index = ShardedIndex.build(
+        space, _build_shard_laesa, n_shards=3, seed=2, per_shard_counters=True
+    )
+    queries = _sample_queries(dataset, n=3)
+    before = space.counters.snapshot()
+    expected = index.range_query_many(queries, RADIUS["LA"])
+    original_cost = (space.counters.snapshot() - before).distance_computations
+
+    path = tmp_path / "per-shard.snap"
+    save_index(index, path)
+    counters = CostCounters()
+    restored = load_index(path, counters=counters)
+    assert restored.range_query_many(queries, RADIUS["LA"]) == expected
+    assert counters.distance_computations == original_cost
+    # the shards keep private accumulators distinct from the parent's
+    assert all(
+        shard.space.counters is not restored.space.counters
+        for shard in restored.shards
+    )
+
+
+def test_restored_disk_index_still_counts_page_accesses(
+    datasets, built_indexes, tmp_path
+):
+    """CPT's pager survives the trip: restored queries still report PA."""
+    index = built_indexes("LA", "CPT")
+    queries = _sample_queries(datasets["LA"])
+    path = tmp_path / "cpt.snap"
+    save_index(index, path)
+    counters = CostCounters()
+    restored = load_index(path, counters=counters)
+    restored.range_query_many(queries, RADIUS["LA"])
+    assert counters.page_reads > 0
+    assert counters.distance_computations > 0
+
+
+def test_snapshot_info_reads_header_only(datasets, built_indexes, tmp_path):
+    index = built_indexes("Words", "LAESA")
+    path = tmp_path / "laesa.snap"
+    written = save_index(index, path)
+    info = snapshot_info(path)
+    assert info == written
+    assert info.index_name == "LAESA"
+    assert info.distance_name == "edit"
+    assert info.payload_bytes > 0
+
+
+def test_snapshot_rejects_bad_magic(tmp_path):
+    path = tmp_path / "junk.snap"
+    path.write_bytes(b"NOTASNAP" + b"\x00" * 64)
+    with pytest.raises(SnapshotError, match="bad magic"):
+        load_index(path)
+
+
+def test_snapshot_rejects_future_format(datasets, built_indexes, tmp_path):
+    import json
+
+    from repro.service import SNAPSHOT_MAGIC
+
+    index = built_indexes("Words", "LAESA")
+    path = tmp_path / "laesa.snap"
+    save_index(index, path)
+    blob = path.read_bytes()
+    header_len = int.from_bytes(blob[8:12], "big")
+    header = json.loads(blob[12 : 12 + header_len])
+    header["format_version"] = SNAPSHOT_FORMAT_VERSION + 1
+    new_header = json.dumps(header, sort_keys=True).encode()
+    path.write_bytes(
+        SNAPSHOT_MAGIC
+        + len(new_header).to_bytes(4, "big")
+        + new_header
+        + blob[12 + header_len :]
+    )
+    with pytest.raises(SnapshotError, match="format"):
+        load_index(path)
+
+
+def test_snapshot_rejects_truncated_payload(datasets, built_indexes, tmp_path):
+    index = built_indexes("Words", "LAESA")
+    path = tmp_path / "laesa.snap"
+    save_index(index, path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) - 100])
+    with pytest.raises(SnapshotError, match="truncated"):
+        load_index(path)
+
+
+# ---------------------------------------------------------------------------
+# LRU result cache
+# ---------------------------------------------------------------------------
+
+
+def test_query_key_canonicalises_equal_vectors():
+    a = np.array([1.0, 2.0, 3.0])
+    assert query_key(a) == query_key(a.copy())
+    assert query_key(a) != query_key(np.array([1.0, 2.0, 4.0]))
+    assert query_key("word") == query_key("word")
+    assert query_key((1, 2)) == query_key((1, 2))
+    # dtype matters: float32 bytes differ from float64
+    assert query_key(a) != query_key(a.astype(np.float32))
+
+
+def test_cache_hit_miss_eviction_stats_fold_into_counters():
+    counters = CostCounters()
+    cache = QueryResultCache(capacity=2, counters=counters)
+    k1 = cache.make_key("idx", "range", "alpha", 2.0)
+    k2 = cache.make_key("idx", "range", "beta", 2.0)
+    k3 = cache.make_key("idx", "range", "gamma", 2.0)
+
+    assert cache.get(k1) is None  # miss
+    cache.put(k1, [1, 2])
+    assert cache.get(k1) == [1, 2]  # hit
+    cache.put(k2, [3])
+    cache.put(k3, [4])  # evicts k1 (LRU)
+    assert cache.get(k1) is None  # miss after eviction
+    assert cache.hits == 1 and cache.misses == 2 and cache.evictions == 1
+    assert counters.cache_hits == 1
+    assert counters.cache_misses == 2
+    assert counters.cache_evictions == 1
+    snap = counters.snapshot()
+    assert snap.cache_hits == 1 and snap.cache_misses == 2
+
+
+def test_cache_returns_copies():
+    cache = QueryResultCache(capacity=4)
+    key = cache.make_key("idx", "range", "q", 1.0)
+    cache.put(key, [1, 2, 3])
+    first = cache.get(key)
+    first.append(99)
+    assert cache.get(key) == [1, 2, 3]
+
+
+def test_cache_capacity_zero_disables():
+    cache = QueryResultCache(capacity=0)
+    key = cache.make_key("idx", "range", "q", 1.0)
+    cache.put(key, [1])
+    assert cache.get(key) is None
+    assert len(cache) == 0
+
+
+def test_cache_invalidate_per_index():
+    cache = QueryResultCache(capacity=8)
+    cache.put(cache.make_key("a", "range", "q", 1.0), [1])
+    cache.put(cache.make_key("b", "range", "q", 1.0), [2])
+    assert cache.invalidate("a") == 1
+    assert cache.get(cache.make_key("b", "range", "q", 1.0)) == [2]
+    assert cache.invalidate() == 1  # drops everything left
+    assert len(cache) == 0
+
+
+def test_cache_rejects_puts_older_than_invalidation():
+    """An answer computed before a concurrent mutation must not be cached."""
+    cache = QueryResultCache(capacity=8)
+    key = cache.make_key("idx", "range", "q", 1.0)
+    generation = cache.generation("idx")
+    cache.invalidate("idx")  # the mutation lands while the answer computes
+    cache.put(key, [1, 2], generation=generation)  # stale: dropped
+    assert cache.get(key) is None
+    fresh = cache.generation("idx")
+    cache.put(key, [3], generation=fresh)
+    assert cache.get(key) == [3]
+    cache.invalidate()  # global invalidation bumps every index's epoch
+    cache.put(key, [4], generation=fresh)
+    assert cache.get(key) is None
+
+
+def test_cache_is_safe_under_concurrent_mutation():
+    """get/put/invalidate from many threads: no lost structure, no crashes."""
+    cache = QueryResultCache(capacity=32, counters=CostCounters())
+    stop = threading.Event()
+    errors = []
+
+    def hammer(worker_id):
+        try:
+            i = 0
+            while not stop.is_set():
+                key = cache.make_key("idx", "range", f"q{worker_id}-{i % 40}", 1.0)
+                cache.put(key, [i])
+                cache.get(key)
+                if i % 17 == 0:
+                    cache.invalidate("idx")
+                i += 1
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(6)]
+    for t in threads:
+        t.start()
+    time.sleep(0.3)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) <= 32
+
+
+def test_radius_distinguishes_cache_entries(datasets, built_indexes):
+    index = built_indexes("Words", "LAESA")
+    with QueryService(index, use_dispatcher=False) as service:
+        q = datasets["Words"][0]
+        small = service.range_query(q, 1.0)
+        large = service.range_query(q, 4.0)
+        assert small == index.range_query(q, 1.0)
+        assert large == index.range_query(q, 4.0)
+        assert set(small) <= set(large)
+        assert service.cache.misses == 2  # distinct radii never collide
+
+
+# ---------------------------------------------------------------------------
+# micro-batching dispatcher
+# ---------------------------------------------------------------------------
+
+
+def _echo_executor(kind, param, queries):
+    return [(kind, param, q) for q in queries]
+
+
+def test_dispatcher_answers_in_submission_order():
+    with MicroBatchDispatcher(_echo_executor, max_batch_size=4, max_wait_ms=5.0) as d:
+        futures = [d.submit("range", f"q{i}", 2.0) for i in range(10)]
+        results = [f.result(timeout=5) for f in futures]
+    assert results == [("range", 2.0, f"q{i}") for i in range(10)]
+
+
+def test_dispatcher_coalesces_concurrent_callers():
+    calls = []
+
+    def executor(kind, param, queries):
+        calls.append(len(queries))
+        time.sleep(0.002)  # give the pending queue time to fill
+        return [None for _ in queries]
+
+    with MicroBatchDispatcher(executor, max_batch_size=16, max_wait_ms=50.0) as d:
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda i: d.submit("range", i, 1.0).result(), range(64)))
+        stats = d.stats
+    assert stats.queries == 64
+    # coalescing must actually happen: far fewer batches than queries
+    assert stats.batches < 64
+    assert stats.mean_batch_size > 1.0
+    assert max(calls) <= 16  # max_batch_size respected
+
+
+def test_dispatcher_separates_incompatible_groups():
+    seen = []
+
+    def executor(kind, param, queries):
+        seen.append((kind, param, len(queries)))
+        return [0 for _ in queries]
+
+    with MicroBatchDispatcher(executor, max_batch_size=8, max_wait_ms=20.0) as d:
+        futures = [d.submit("range", i, 1.0) for i in range(3)]
+        futures += [d.submit("range", i, 2.0) for i in range(3)]
+        futures += [d.submit("knn", i, 2.0) for i in range(3)]
+        for f in futures:
+            f.result(timeout=5)
+    groups = {(kind, param) for kind, param, _ in seen}
+    # one group per (kind, param): a radius-1 MRQ never batches with a
+    # radius-2 MRQ or with a k=2 kNN
+    assert groups == {("range", 1.0), ("range", 2.0), ("knn", 2.0)}
+
+
+def test_dispatcher_propagates_executor_errors():
+    def executor(kind, param, queries):
+        raise ValueError("boom")
+
+    with MicroBatchDispatcher(executor, max_batch_size=4, max_wait_ms=1.0) as d:
+        future = d.submit("range", "q", 1.0)
+        with pytest.raises(ValueError, match="boom"):
+            future.result(timeout=5)
+
+
+def test_dispatcher_close_drains_pending_and_rejects_new():
+    d = MicroBatchDispatcher(_echo_executor, max_batch_size=64, max_wait_ms=10_000.0)
+    futures = [d.submit("range", i, 1.0) for i in range(5)]
+    d.close()  # max_wait is huge: only the close-drain can resolve these
+    assert [f.result(timeout=5) for f in futures] == [
+        ("range", 1.0, i) for i in range(5)
+    ]
+    with pytest.raises(RuntimeError, match="closed"):
+        d.submit("range", "late", 1.0)
+    d.close()  # idempotent
+
+
+def test_dispatcher_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        MicroBatchDispatcher(_echo_executor, max_batch_size=0)
+    with pytest.raises(ValueError):
+        MicroBatchDispatcher(_echo_executor, max_wait_ms=-1.0)
+    with MicroBatchDispatcher(_echo_executor) as d:
+        with pytest.raises(ValueError, match="kind"):
+            d.submit("nearest", "q", 1.0)
+
+
+# ---------------------------------------------------------------------------
+# QueryService facade
+# ---------------------------------------------------------------------------
+
+
+def test_service_answers_match_brute_force(datasets, built_indexes):
+    dataset = datasets["Words"]
+    index = built_indexes("Words", "LAESA")
+    queries = _sample_queries(dataset, n=8)
+    radius = RADIUS["Words"]
+    scratch = MetricSpace(dataset)
+    with QueryService(index, max_batch_size=8, max_wait_ms=1.0) as service:
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            range_answers = list(
+                pool.map(lambda q: service.range_query(q, radius), queries)
+            )
+            knn_answers = list(pool.map(lambda q: service.knn_query(q, K), queries))
+    assert range_answers == [brute_force_range(scratch, q, radius) for q in queries]
+    assert knn_answers == [brute_force_knn(scratch, q, K) for q in queries]
+
+
+def test_service_warm_cache_skips_index_work(datasets, built_indexes):
+    dataset = datasets["Words"]
+    index = built_indexes("Words", "LAESA")
+    queries = _sample_queries(dataset, n=6)
+    radius = RADIUS["Words"]
+    counters = CostCounters()
+    with QueryService(index, counters=counters, use_dispatcher=False) as service:
+        cold = [service.range_query(q, radius) for q in queries]
+        after_cold = counters.snapshot()
+        warm = [service.range_query(q, radius) for q in queries]
+        delta = counters.snapshot() - after_cold
+    assert warm == cold
+    assert delta.distance_computations == 0  # pure cache hits
+    assert delta.cache_hits == len(queries)
+
+
+def test_service_batch_entry_points_are_cache_aware(datasets, built_indexes):
+    dataset = datasets["Words"]
+    index = built_indexes("Words", "MVPT")
+    queries = _sample_queries(dataset, n=6)
+    radius = RADIUS["Words"]
+    with QueryService(index, use_dispatcher=False) as service:
+        first = service.range_query_many(queries, radius)
+        # mixed batch: 6 hits + 2 misses -> only 2 queries reach the index
+        extra = _sample_queries(dataset, n=8, seed=18)[6:]
+        mixed = queries + extra
+        answers = service.range_query_many(mixed, radius)
+    assert answers[: len(queries)] == first
+    assert answers[len(queries) :] == index.range_query_many(extra, radius)
+    assert service.cache.hits >= len(queries)
+
+
+def test_service_deduplicates_identical_queries_in_flight(datasets, built_indexes):
+    dataset = datasets["Words"]
+    index = built_indexes("Words", "LAESA")
+    q = dataset[3]
+    radius = RADIUS["Words"]
+    counters = CostCounters()
+    expected = index.range_query(q, radius)
+    with QueryService(index, counters=counters, use_dispatcher=False) as service:
+        answers = service.range_query_many([q, q, q, q], radius)
+    assert answers == [expected] * 4
+    # one evaluation: the l pivot distances + the survivor verifications,
+    # not four times that
+    single = CostCounters()
+    with QueryService(
+        index, counters=single, cache_size=0, use_dispatcher=False
+    ) as fresh:
+        fresh.range_query(q, radius)
+    assert counters.distance_computations == single.distance_computations
+
+
+def test_service_mutations_invalidate_cache(datasets, pivots):
+    dataset = datasets["Words"]
+    space = MetricSpace(dataset, CostCounters())
+    index = LAESA.build(space, pivots["Words"])
+    q = dataset[0]
+    radius = RADIUS["Words"]
+    with QueryService(index, use_dispatcher=False) as service:
+        before = service.range_query(q, radius)
+        victim = before[-1]
+        service.delete(victim)
+        after_delete = service.range_query(q, radius)
+        assert victim not in after_delete
+        service.insert(dataset[victim], object_id=victim)
+        assert service.range_query(q, radius) == before
+
+
+def test_service_from_snapshot_roundtrip(datasets, built_indexes, tmp_path):
+    dataset = datasets["Words"]
+    index = built_indexes("Words", "LAESA")
+    queries = _sample_queries(dataset)
+    radius = RADIUS["Words"]
+    path = tmp_path / "svc.snap"
+    with QueryService(index, use_dispatcher=False) as service:
+        expected = service.range_query_many(queries, radius)
+        service.save(path)
+    with QueryService.from_snapshot(path, use_dispatcher=False) as restored:
+        assert restored.counters.distance_computations == 0
+        assert restored.range_query_many(queries, radius) == expected
+        stats = restored.stats()
+    assert stats["cache"]["misses"] == len(queries)
+    assert stats["distance_computations"] > 0
+
+
+def test_service_stats_shape(datasets, built_indexes):
+    index = built_indexes("Words", "LAESA")
+    with QueryService(index) as service:
+        service.range_query(datasets["Words"][0], 2.0)
+        stats = service.stats()
+    assert stats["index"] == "LAESA"
+    assert set(stats["cache"]) >= {"hits", "misses", "evictions", "hit_rate"}
+    assert set(stats["dispatcher"]) >= {"queries", "batches", "mean_batch_size"}
+
+
+def test_service_submit_futures(datasets, built_indexes):
+    dataset = datasets["Words"]
+    index = built_indexes("Words", "LAESA")
+    q = dataset[5]
+    radius = RADIUS["Words"]
+    with QueryService(index, max_wait_ms=1.0) as service:
+        first = service.submit_range(q, radius).result(timeout=5)
+        # second submit is a cache hit: resolved future, no dispatcher trip
+        batches_before = service.dispatcher.stats.batches
+        second = service.submit_range(q, radius)
+        assert second.done()
+        assert second.result() == first
+        assert service.dispatcher.stats.batches == batches_before
+        knn = service.submit_knn(q, K).result(timeout=5)
+    assert knn == index.knn_query(q, K)
+    with QueryService(index, use_dispatcher=False) as plain:
+        with pytest.raises(RuntimeError, match="use_dispatcher"):
+            plain.submit_range(q, radius)
+
+
+# ---------------------------------------------------------------------------
+# satellite: per-shard counters under thread and process pools
+# ---------------------------------------------------------------------------
+
+
+def _build_shard_laesa(space):
+    """Module-level so a ProcessPoolExecutor can pickle the factory."""
+    return LAESA.build(space, select_pivots(space, 3, strategy="hfi", seed=0))
+
+
+def _sharded_counts(datasets, executor, per_shard):
+    dataset = datasets["LA"]
+    space = MetricSpace(dataset, CostCounters())
+    index = ShardedIndex.build(
+        space,
+        _build_shard_laesa,
+        n_shards=3,
+        seed=2,
+        executor=executor,
+        per_shard_counters=per_shard,
+    )
+    build_snap = space.counters.snapshot()
+    queries = _sample_queries(dataset, n=4)
+    answers = index.range_query_many(queries, RADIUS["LA"])
+    answers_knn = index.knn_query_many(queries, K)
+    single = [index.range_query(queries[0], RADIUS["LA"])]
+    total = space.counters.snapshot()
+    return {
+        "build": build_snap.distance_computations,
+        "queries": (total - build_snap).distance_computations,
+        "answers": (answers, answers_knn, single),
+    }
+
+
+def test_counters_merge_adds_counts():
+    a = CostCounters(distance_computations=3, page_reads=1, cache_hits=2)
+    b = CostCounters(distance_computations=4, page_writes=5, cache_misses=6)
+    a.merge(b)
+    assert a.distance_computations == 7
+    assert a.page_reads == 1 and a.page_writes == 5
+    assert a.cache_hits == 2 and a.cache_misses == 6
+    a.merge(b.snapshot())  # snapshots merge too (elapsed ignored)
+    assert a.distance_computations == 11
+
+
+def test_sharded_counters_equal_across_executors(datasets):
+    serial = _sharded_counts(datasets, executor=None, per_shard=False)
+    per_shard_serial = _sharded_counts(datasets, executor=None, per_shard=True)
+    with ThreadPoolExecutor(max_workers=3) as pool:
+        threaded = _sharded_counts(datasets, executor=pool, per_shard=True)
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        processed = _sharded_counts(datasets, executor=pool, per_shard=True)
+    assert (
+        serial["answers"]
+        == per_shard_serial["answers"]
+        == threaded["answers"]
+        == processed["answers"]
+    )
+    # the satellite contract: counts are exact in every execution mode --
+    # including the process pool, where shared counters would read zero
+    assert (
+        serial["build"]
+        == per_shard_serial["build"]
+        == threaded["build"]
+        == processed["build"]
+    )
+    assert (
+        serial["queries"]
+        == per_shard_serial["queries"]
+        == threaded["queries"]
+        == processed["queries"]
+    )
+
+
+def test_process_pool_with_shared_counters_loses_counts(datasets):
+    """Documents *why* per_shard_counters exists: shared counters cannot
+    cross a process boundary, so query work appears free."""
+    dataset = datasets["LA"]
+    space = MetricSpace(dataset, CostCounters())
+    index = ShardedIndex.build(
+        space, _build_shard_laesa, n_shards=3, seed=2, per_shard_counters=False
+    )
+    queries = _sample_queries(dataset, n=3)
+    expected = index.range_query_many(queries, RADIUS["LA"])
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        index.executor = pool
+        before = space.counters.snapshot()
+        answers = index.range_query_many(queries, RADIUS["LA"])
+        delta = space.counters.snapshot() - before
+        index.executor = None
+    assert answers == expected  # results survive the boundary
+    assert delta.distance_computations == 0  # ...but the counts do not
+
+
+# ---------------------------------------------------------------------------
+# satellite: AESA insert signature
+# ---------------------------------------------------------------------------
+
+
+def test_aesa_insert_signature_uniform(datasets):
+    import inspect
+
+    from repro.core.index import MetricIndex
+
+    assert list(inspect.signature(AESA.insert).parameters) == list(
+        inspect.signature(MetricIndex.insert).parameters
+    )
+    index = AESA.build(MetricSpace(datasets["Words"].subset(range(20))))
+    with pytest.raises(UnsupportedOperation):
+        index.insert("newword")
+    with pytest.raises(UnsupportedOperation):
+        index.insert("newword", object_id=3)
