@@ -14,6 +14,7 @@ from .runner import (
     measure_build,
     run_batch_comparison,
     run_knn_queries,
+    run_page_access_comparison,
     run_range_queries,
     run_service_comparison,
     run_updates,
@@ -36,14 +37,18 @@ __all__ = [
     "exp_ablation_mvpt_arity",
     "exp_ablation_sfc",
     "exp_batch_throughput",
+    "exp_cpt_paging",
     "exp_service_throughput",
     "build_all",
 ]
 
-# table indexes with genuinely vectorized batch overrides -- the subjects of
-# the batch throughput experiment (other indexes fall back to the sequential
-# default, so comparing them would only measure noise)
-BATCH_INDEX_NAMES = ("LAESA", "EPT*", "CPT")
+# indexes with genuinely vectorized batch overrides -- the subjects of the
+# batch throughput experiment (other indexes fall back to the sequential
+# default, so comparing them would only measure noise).  The tables share
+# one q x l query-pivot matrix; the tree category shares per-node pivot
+# evaluations through the batch frontier engine (repro.trees.common);
+# discrete-only trees are skipped automatically on continuous datasets.
+BATCH_INDEX_NAMES = ("LAESA", "EPT*", "CPT", "MVPT", "VPT", "BKT", "FQT", "FQA")
 
 N_PIVOTS_DEFAULT = 5
 
@@ -310,6 +315,35 @@ def exp_batch_throughput(
                 indexes[index_name].index, workload.queries, radius, k, repeats=repeats
             )
             rows.append({"Dataset": wl_name, **row})
+    return rows
+
+
+def exp_cpt_paging(
+    workloads: dict[str, Workload],
+    n_pivots: int = N_PIVOTS_DEFAULT,
+    selectivity: float = 0.16,
+    built: dict | None = None,
+) -> list[dict]:
+    """CPT leaf-grouped batch verification: MRQ page accesses vs sequential.
+
+    CPT's batch MRQ throughput is fetch-bound, so the interesting metric is
+    I/O, not wall clock: the leaf-grouped batch path reads every touched
+    M-tree leaf page once per batch, where the sequential loop pays one
+    (LRU-filtered) random page access per verified candidate.  Reports the
+    deterministic PA counts of both passes from identical cold pools.
+    """
+    rows = []
+    for wl_name, workload in workloads.items():
+        indexes = (built or {}).get(wl_name) or build_all(
+            workload, ("CPT",), n_pivots
+        )
+        if "CPT" not in indexes:
+            continue
+        radius = workload.radius_for(selectivity)
+        row = run_page_access_comparison(
+            indexes["CPT"].index, workload.queries, radius
+        )
+        rows.append({"Dataset": wl_name, **row})
     return rows
 
 

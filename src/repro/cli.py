@@ -8,7 +8,9 @@ Commands:
 * ``compare``  -- build several indexes on one workload and print the
                   paper-style cost comparison for MRQ and MkNNQ.
 * ``batch``    -- compare sequential vs batch (vectorized multi-query)
-                  throughput for the table indexes on one workload.
+                  throughput for the batch-capable indexes (tables via the
+                  shared query-pivot matrix, trees via the batch frontier
+                  engine) on one workload.
 * ``snapshot`` -- build an index and save it to disk (or inspect an
                   existing snapshot file) for instant restores.
 * ``serve``    -- run the query service (snapshot restore, LRU result
@@ -320,7 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser(
-        "batch", help="sequential vs batch multi-query throughput (table indexes)"
+        "batch", help="sequential vs batch multi-query throughput (tables + trees)"
     )
     p.add_argument("--dataset", choices=sorted(DATASET_FACTORIES), default="LA")
     p.add_argument("--indexes", nargs="+", default=list(BATCH_INDEX_NAMES))

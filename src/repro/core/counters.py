@@ -23,7 +23,15 @@ from dataclasses import dataclass, field
 
 @dataclass
 class CostSnapshot:
-    """Immutable view of the counters at one point in time."""
+    """Immutable view of the counters at one point in time.
+
+    ``page_reads`` counts *cold* reads only -- reads that actually reached
+    the page store.  Reads served by a :class:`~repro.storage.pager.
+    BufferPool` are ``buffer_hits``; candidates served from a page already
+    read earlier in the same batched fetch (``Pager.read_many``) are
+    ``grouped_hits``.  Neither counts toward ``page_accesses``, so PA
+    measures real I/O.
+    """
 
     distance_computations: int = 0
     page_reads: int = 0
@@ -32,6 +40,8 @@ class CostSnapshot:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    buffer_hits: int = 0
+    grouped_hits: int = 0
 
     @property
     def page_accesses(self) -> int:
@@ -47,6 +57,8 @@ class CostSnapshot:
             cache_hits=self.cache_hits - other.cache_hits,
             cache_misses=self.cache_misses - other.cache_misses,
             cache_evictions=self.cache_evictions - other.cache_evictions,
+            buffer_hits=self.buffer_hits - other.buffer_hits,
+            grouped_hits=self.grouped_hits - other.grouped_hits,
         )
 
 
@@ -67,6 +79,8 @@ class CostCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    buffer_hits: int = 0
+    grouped_hits: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -107,6 +121,16 @@ class CostCounters:
         with self._lock:
             self.cache_evictions += n
 
+    def add_buffer_hit(self, n: int = 1) -> None:
+        """A page read served by the buffer pool (no store access)."""
+        with self._lock:
+            self.buffer_hits += n
+
+    def add_grouped_hit(self, n: int = 1) -> None:
+        """A page request served by an earlier read of the same batch."""
+        with self._lock:
+            self.grouped_hits += n
+
     def reset(self) -> None:
         with self._lock:
             self.distance_computations = 0
@@ -115,6 +139,8 @@ class CostCounters:
             self.cache_hits = 0
             self.cache_misses = 0
             self.cache_evictions = 0
+            self.buffer_hits = 0
+            self.grouped_hits = 0
 
     def merge(self, other: "CostCounters | CostSnapshot") -> None:
         """Fold another accumulator's counts into this one.
@@ -131,6 +157,8 @@ class CostCounters:
             self.cache_hits += other.cache_hits
             self.cache_misses += other.cache_misses
             self.cache_evictions += other.cache_evictions
+            self.buffer_hits += other.buffer_hits
+            self.grouped_hits += other.grouped_hits
 
     def snapshot(self) -> CostSnapshot:
         return CostSnapshot(
@@ -141,6 +169,8 @@ class CostCounters:
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
             cache_evictions=self.cache_evictions,
+            buffer_hits=self.buffer_hits,
+            grouped_hits=self.grouped_hits,
         )
 
     @contextmanager
@@ -187,6 +217,14 @@ class Measurement:
     @property
     def cache_misses(self) -> int:
         return self.cost.cache_misses
+
+    @property
+    def buffer_hits(self) -> int:
+        return self.cost.buffer_hits
+
+    @property
+    def grouped_hits(self) -> int:
+        return self.cost.grouped_hits
 
 
 @dataclass

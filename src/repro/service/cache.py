@@ -19,10 +19,14 @@ Correctness notes:
   the same entry no matter how the caller built them;
 * cached lists are copied on the way out -- callers may mutate their
   results without corrupting the cache;
-* any index mutation (insert/delete) must :meth:`~QueryResultCache.invalidate`
-  the index's entries; the service facade does this automatically.  An
-  invalidation also bumps the index's *generation*, and a ``put`` carrying
-  a stale generation is dropped -- so an answer computed before a
+* any index mutation (insert/delete) must invalidate the index's entries;
+  the service facade does this automatically, preferring
+  :meth:`~QueryResultCache.invalidate_affected` (drop only the entries
+  whose radius ball -- or kNN kth-distance ball -- could contain the
+  mutated object) and falling back to the full per-index
+  :meth:`~QueryResultCache.invalidate` when the bound is unavailable.
+  Either form bumps the index's *generation*, and a ``put`` carrying a
+  stale generation is dropped -- so an answer computed before a
   concurrent mutation can never be cached after it;
 * all operations hold one internal lock: the service's concurrent caller
   threads, the dispatcher worker, and mutating callers share this object.
@@ -57,6 +61,21 @@ def query_key(query_obj) -> Hashable:
     return query_obj
 
 
+def _freeze_query(query_obj):
+    """A private copy of a query object, safe to keep across calls.
+
+    Callers may reuse and mutate their query buffers after a call returns;
+    the ball tests of :meth:`QueryResultCache.invalidate_affected` must see
+    the value the answer was computed for, so mutable containers are copied
+    on the way in (mirroring the structure :func:`query_key` canonicalises).
+    """
+    if isinstance(query_obj, np.ndarray):
+        return query_obj.copy()
+    if isinstance(query_obj, (list, tuple)):
+        return type(query_obj)(_freeze_query(item) for item in query_obj)
+    return query_obj
+
+
 class QueryResultCache:
     """Bounded LRU mapping from (index, kind, query, parameter) to answers.
 
@@ -73,13 +92,17 @@ class QueryResultCache:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self.counters = counters
-        self._entries: OrderedDict[Hashable, list] = OrderedDict()
+        # key -> (result list, raw query object or None); the query object
+        # is what lets invalidate_affected re-derive each entry's ball
+        self._entries: OrderedDict[Hashable, tuple[list, object]] = OrderedDict()
         self._generations: dict[str, int] = {}
         self._global_generation = 0
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # entries a partial invalidation proved unaffected and kept
+        self.partial_survivors = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -118,17 +141,26 @@ class QueryResultCache:
                 self.hits += 1
                 counters = self.counters
                 hit = True
-                result = list(entry)
+                result = list(entry[0])
         if counters is not None:
             counters.add_cache_hit() if hit else counters.add_cache_miss()
         return result if hit else None
 
-    def put(self, key: Hashable, result: list, generation: int | None = None) -> None:
+    def put(
+        self,
+        key: Hashable,
+        result: list,
+        generation: int | None = None,
+        query_obj=None,
+    ) -> None:
         """Store a result list, evicting least-recently-used entries.
 
         ``generation`` (from :meth:`generation`, captured before the
         result was computed) makes the store conditional: a result that
-        predates an invalidation of its index is dropped.
+        predates an invalidation of its index is dropped.  ``query_obj``
+        (the raw query) enables :meth:`invalidate_affected` to keep this
+        entry alive across mutations that provably cannot change it;
+        entries stored without it are always dropped conservatively.
         """
         if self.capacity == 0:
             return
@@ -139,7 +171,7 @@ class QueryResultCache:
                 return
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = list(result)
+            self._entries[key] = (list(result), _freeze_query(query_obj))
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
@@ -168,6 +200,98 @@ class QueryResultCache:
             self._generations[index_id] = self._generations.get(index_id, 0) + 1
             return len(doomed)
 
+    def invalidate_affected(
+        self,
+        index_id: str,
+        obj=None,
+        object_id: int | None = None,
+        distance=None,
+    ) -> int:
+        """Drop only the entries a mutation of one object could change.
+
+        An insert of ``obj`` changes MRQ(q, r) only when d(q, obj) <= r,
+        and MkNNQ(q, k) only when d(q, obj) is within the cached answer's
+        kth-distance ball (or the answer holds fewer than k objects); a
+        delete of ``object_id`` changes an answer only when that id is a
+        member of it.  Everything else provably still holds and survives.
+
+        Args:
+            index_id: cache namespace of the mutated index.
+            obj: the inserted object (enables the distance bound).  Pass
+                it together with ``distance``.
+            object_id: the deleted id (enables the membership check).
+            distance: the *uncounted* metric callable ``d(a, b)`` -- cache
+                maintenance must not inflate the paper's compdists.
+
+        An entry is kept only when it is provably unaffected; entries
+        stored without their query object, or checks that raise, drop
+        conservatively.  When neither bound is available the whole index
+        wipes, exactly like :meth:`invalidate`.  Either way the index's
+        generation is bumped, so in-flight answers computed before the
+        mutation are never cached after it.  Returns how many entries were
+        dropped.
+        """
+        have_insert_bound = obj is not None and distance is not None
+        have_delete_bound = object_id is not None
+        if not have_insert_bound and not have_delete_bound:
+            return self.invalidate(index_id)
+        # bump first (in-flight pre-mutation answers can no longer be
+        # cached), snapshot the index's entries, then run the -- possibly
+        # expensive -- metric checks *outside* the lock so concurrent
+        # get/put traffic is never stalled behind distance evaluations
+        with self._lock:
+            self._generations[index_id] = self._generations.get(index_id, 0) + 1
+            candidates = [
+                (key, entry)
+                for key, entry in self._entries.items()
+                if key[0] == index_id
+            ]
+        doomed = [
+            key
+            for key, (result, query_obj) in candidates
+            if not self._entry_unaffected(
+                key, result, query_obj, obj, object_id, distance
+            )
+        ]
+        with self._lock:
+            dropped = 0
+            for key in doomed:
+                # pop, not del: a concurrent post-mutation answer may have
+                # replaced (or an eviction removed) the entry meanwhile --
+                # dropping a fresh answer is harmless, missing keys are not
+                if self._entries.pop(key, None) is not None:
+                    dropped += 1
+            self.partial_survivors += len(candidates) - len(doomed)
+        return dropped
+
+    @staticmethod
+    def _entry_unaffected(key, result, query_obj, obj, object_id, distance) -> bool:
+        """True when the mutation provably leaves this entry's answer alone."""
+        kind, param = key[1], key[2]
+        try:
+            if object_id is not None:
+                # delete: the answer changes only if the victim was in it
+                if kind == "range":
+                    if object_id in result:
+                        return False
+                elif any(n.object_id == object_id for n in result):
+                    return False
+            if obj is not None:
+                if query_obj is None or distance is None:
+                    return False  # no ball to test against: conservative
+                d = distance(query_obj, obj)
+                if kind == "range":
+                    if d <= param:
+                        return False
+                else:
+                    # kNN: obj can enter only inside the kth-distance ball;
+                    # a short answer (fewer than k objects known) always grows
+                    if len(result) < int(param) or d <= result[-1].distance:
+                        return False
+            return True
+        except Exception:
+            return False  # any failed check drops the entry conservatively
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -181,5 +305,6 @@ class QueryResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "partial_survivors": self.partial_survivors,
                 "hit_rate": round(self.hit_rate, 4),
             }

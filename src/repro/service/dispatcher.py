@@ -16,6 +16,20 @@ Two tuning knobs bound the coalescing:
   this before dispatch (caps added latency when traffic is sparse; 0
   dispatches every group as soon as the worker sees it).
 
+The wait actually applied is *adaptive* (unless ``adaptive_wait=False``):
+a per-(kind, param)-group EWMA of observed arrival intervals estimates
+how long filling a batch from that group would take
+(``ewma * (max_batch_size - 1)``), and the group's effective wait is that
+estimate clamped to the configured ``max_wait_ms`` bound.  Rates are
+tracked per group because only same-parameter queries can ever share a
+batch -- a dense mix of distinct radii must still read as sparse for
+every group.  A dense group fills batches quickly, so its wait shrinks
+toward zero latency overhead; at the sparse extreme -- the group's EWMA
+interval at or beyond the bound itself, so not even one more compatible
+arrival is expected inside it -- the wait collapses to zero instead of
+stalling every caller for the full bound on the off chance of company.
+``stats()`` exposes the most recently active group's values.
+
 Answers are contractually identical to direct per-query calls: the batch
 layer guarantees ``query_many(qs)[i] == query(qs[i])``, and grouping keys
 include the query parameter, so no approximation is introduced anywhere.
@@ -25,6 +39,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Callable
 
@@ -38,6 +53,9 @@ class DispatcherStats:
         self.queries = 0
         self.batches = 0
         self.largest_batch = 0
+        # adaptive wait / arrival EWMA of the most recently active group
+        self.current_wait_ms = 0.0
+        self.ewma_arrival_ms: float | None = None
 
     def record(self, batch_size: int) -> None:
         self.queries += batch_size
@@ -54,6 +72,12 @@ class DispatcherStats:
             "batches": self.batches,
             "mean_batch_size": round(self.mean_batch_size, 2),
             "largest_batch": self.largest_batch,
+            "current_wait_ms": round(self.current_wait_ms, 4),
+            "ewma_arrival_ms": (
+                None
+                if self.ewma_arrival_ms is None
+                else round(self.ewma_arrival_ms, 4)
+            ),
         }
 
 
@@ -66,8 +90,13 @@ class MicroBatchDispatcher:
             ``"knn"`` and ``param`` the radius / k shared by the group.
             The service facade passes its cache-aware batch executor here.
         max_batch_size: dispatch a group once it holds this many queries.
-        max_wait_ms: dispatch a group once its oldest query has waited
-            this long, full or not.
+        max_wait_ms: upper bound on how long a group's oldest query waits,
+            full or not.  With ``adaptive_wait`` the applied wait is
+            usually below this bound (see module docstring).
+        adaptive_wait: derive each group's applied wait from an EWMA of
+            its observed arrival intervals, clamped to ``[0, max_wait_ms]``;
+            False always waits the full configured bound.
+        ewma_alpha: smoothing factor of the arrival-interval EWMA.
 
     Thread-safe; use as a context manager or call :meth:`close` so the
     worker thread is joined deterministically.
@@ -78,14 +107,25 @@ class MicroBatchDispatcher:
         execute_batch: Callable[[str, float, list], list],
         max_batch_size: int = 32,
         max_wait_ms: float = 2.0,
+        adaptive_wait: bool = True,
+        ewma_alpha: float = 0.2,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
         self._execute_batch = execute_batch
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait_ms / 1000.0
+        self.adaptive_wait = adaptive_wait
+        self.ewma_alpha = ewma_alpha
+        # arrival tracking is *per group*: batches only ever form inside
+        # one (kind, param) group, so a globally dense stream of distinct
+        # parameters must still read as sparse for each group.  Entries:
+        # key -> [last arrival, ewma interval or None, applied wait].
+        self._rates: "OrderedDict[tuple, list]" = OrderedDict()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         # (kind, param) -> list of (query, future); arrival holds the
@@ -94,6 +134,7 @@ class MicroBatchDispatcher:
         self._arrival: dict[tuple, float] = {}
         self._closed = False
         self.stats = DispatcherStats()
+        self.stats.current_wait_ms = self.max_wait * 1000.0
         self._worker = threading.Thread(
             target=self._run, name="repro-dispatcher", daemon=True
         )
@@ -110,12 +151,66 @@ class MicroBatchDispatcher:
         with self._wake:
             if self._closed:
                 raise RuntimeError("dispatcher is closed")
+            now = time.monotonic()
+            self._observe_arrival(key, now)
             group = self._pending.setdefault(key, [])
             if not group:
-                self._arrival[key] = time.monotonic()
+                self._arrival[key] = now
             group.append((query_obj, future))
             self._wake.notify()
         return future
+
+    # bound on distinct (kind, param) rate entries kept; beyond it the
+    # least recently active group's history is forgotten (it restarts at
+    # the configured bound on its next arrival)
+    _MAX_TRACKED_GROUPS = 4096
+
+    def _observe_arrival(self, key: tuple, now: float) -> None:
+        """Update one group's arrival EWMA and adaptive wait (lock held).
+
+        The wait targets the expected time to *fill* a batch from this
+        group's own arrivals, ``ewma * (max_batch_size - 1)``, clamped to
+        the configured bound: waiting longer than the fill time cannot
+        grow the batch any further before the size trigger fires.  When
+        the group's expected interval reaches the bound itself, no
+        companion arrival is likely inside it at all, so the wait drops to
+        zero -- a sparse group dispatches immediately rather than paying
+        the full bound per query for nothing.  Rates are per group because
+        only same-(kind, param) queries can share a batch: a dense mix of
+        distinct parameters must still count as sparse for each group.
+        """
+        rate = self._rates.get(key)
+        if rate is None:
+            while len(self._rates) >= self._MAX_TRACKED_GROUPS:
+                self._rates.popitem(last=False)
+            # nothing observed for this group yet: the configured bound
+            self._rates[key] = [now, None, self.max_wait]
+            return
+        self._rates.move_to_end(key)
+        # clamp idle gaps to twice the bound before they enter the EWMA: a
+        # long pause says "sparse" exactly as loudly at 2x the bound as at
+        # 1000x, and an uncapped gap would poison the estimate so badly
+        # that the burst following the pause runs as singleton batches for
+        # dozens of queries while it decays
+        interval = min(now - rate[0], 2.0 * self.max_wait)
+        rate[0] = now
+        if rate[1] is None:
+            rate[1] = interval
+        else:
+            rate[1] += self.ewma_alpha * (interval - rate[1])
+        if self.adaptive_wait:
+            if rate[1] >= self.max_wait:
+                rate[2] = 0.0
+            else:
+                rate[2] = min(self.max_wait, rate[1] * (self.max_batch_size - 1))
+        # stats reflect the most recently active group
+        self.stats.ewma_arrival_ms = rate[1] * 1000.0
+        self.stats.current_wait_ms = rate[2] * 1000.0
+
+    def _wait_of(self, key: tuple) -> float:
+        """The applied coalescing wait for one group (lock held)."""
+        rate = self._rates.get(key)
+        return rate[2] if rate is not None else self.max_wait
 
     def range_query(self, query_obj, radius: float) -> list:
         """Blocking single MRQ through the batcher (for plain callers)."""
@@ -135,7 +230,7 @@ class MicroBatchDispatcher:
             if (
                 force
                 or len(group) >= self.max_batch_size
-                or now - self._arrival[key] >= self.max_wait
+                or now - self._arrival[key] >= self._wait_of(key)
             ):
                 ready.append((key, group[: self.max_batch_size]))
                 remainder = group[self.max_batch_size :]
@@ -152,7 +247,9 @@ class MicroBatchDispatcher:
     def _next_deadline(self) -> float | None:
         if not self._arrival:
             return None
-        return min(self._arrival.values()) + self.max_wait
+        return min(
+            arrived + self._wait_of(key) for key, arrived in self._arrival.items()
+        )
 
     def _run(self) -> None:
         while True:

@@ -22,7 +22,10 @@ way out.  Answers are bit-for-bit identical to direct index calls -- the
 cache stores exact results and the batch layer is contractually exact.
 
 Mutations (insert/delete) pass through to the index and invalidate the
-index's cache entries, keeping served answers consistent.
+index's cache entries, keeping served answers consistent.  Invalidation is
+*partial*: only entries whose radius ball (or kNN kth-distance ball) could
+contain the mutated object are dropped; the rest keep serving (see
+:meth:`QueryResultCache.invalidate_affected`).
 """
 
 from __future__ import annotations
@@ -49,10 +52,10 @@ class QueryService:
             private one sized ``cache_size``.
         cache_size: capacity of the private cache (entries); 0 disables
             result caching entirely.
-        max_batch_size / max_wait_ms: dispatcher knobs (see
-            :class:`MicroBatchDispatcher`); ``use_dispatcher=False`` runs
-            without a background thread (single calls become one-query
-            batches).
+        max_batch_size / max_wait_ms / adaptive_wait: dispatcher knobs
+            (see :class:`MicroBatchDispatcher`); ``use_dispatcher=False``
+            runs without a background thread (single calls become
+            one-query batches).
         counters: shared cost accumulator; defaults to the index's own.
             Cache hit/miss/eviction stats are folded into it.
     """
@@ -65,6 +68,7 @@ class QueryService:
         cache_size: int = 1024,
         max_batch_size: int = 32,
         max_wait_ms: float = 2.0,
+        adaptive_wait: bool = True,
         use_dispatcher: bool = True,
         counters: CostCounters | None = None,
     ):
@@ -83,6 +87,7 @@ class QueryService:
                 self._execute_misses,
                 max_batch_size=max_batch_size,
                 max_wait_ms=max_wait_ms,
+                adaptive_wait=adaptive_wait,
             )
             if use_dispatcher
             else None
@@ -131,7 +136,9 @@ class QueryService:
         else:
             answers = self.index.knn_query_many(distinct, int(param))
         for (key, positions), answer in zip(positions_by_key.items(), answers):
-            self.cache.put(key, answer, generation=generation)
+            self.cache.put(
+                key, answer, generation=generation, query_obj=queries[positions[0]]
+            )
             for i in positions:
                 results[i] = list(answer)
         return results
@@ -209,15 +216,23 @@ class QueryService:
     # -- maintenance -----------------------------------------------------------
 
     def insert(self, obj, object_id: int | None = None) -> int:
-        """Insert into the hosted index; drops this index's cached results."""
+        """Insert into the hosted index, dropping only the cached results
+        whose radius ball (or kNN kth-distance ball) could contain the new
+        object -- everything provably out of reach survives.  The ball
+        checks use the raw (uncounted) metric so cache maintenance never
+        inflates compdists."""
         new_id = self.index.insert(obj, object_id=object_id)
-        self.cache.invalidate(self.index_id)
+        self.cache.invalidate_affected(
+            self.index_id, obj=obj, distance=self.index.space.distance
+        )
         return new_id
 
     def delete(self, object_id: int) -> None:
-        """Delete from the hosted index; drops this index's cached results."""
+        """Delete from the hosted index, dropping only the cached results
+        that contained the victim (a non-member's removal cannot change an
+        answer)."""
         self.index.delete(object_id)
-        self.cache.invalidate(self.index_id)
+        self.cache.invalidate_affected(self.index_id, object_id=object_id)
 
     # -- observability ---------------------------------------------------------
 

@@ -6,9 +6,12 @@ pages (40 KB for CPT / PM-tree on the high-dimensional datasets) with a
 
 * :class:`PageStore` keeps pages as pickled bytes ("the disk").  Every read
   or write of a page increments the shared :class:`~repro.core.counters.
-  CostCounters`, unless the page is served by the buffer pool.
+  CostCounters`; reads served by the buffer pool are counted separately as
+  ``buffer_hits`` so ``page_reads`` stays a cold-I/O count.
 * :class:`BufferPool` is an LRU write-back cache in front of the store.
   Its capacity is expressed in bytes, like the paper's 128 KB cache.
+* :meth:`Pager.read_many` is the batch read path: each distinct page is
+  read once per call, repeats are counted as ``grouped_hits``.
 
 Indexes never touch pickled bytes directly -- they read and write Python
 node objects; serialisation happens at the store boundary so that reported
@@ -104,10 +107,13 @@ class PageStore:
 class BufferPool:
     """Byte-budgeted LRU write-back cache over a :class:`PageStore`.
 
-    Reads served from the pool cost no page access; misses read through.
-    Writes are buffered (dirty) and flushed on eviction or :meth:`flush`.
-    A ``capacity_bytes`` of 0 disables caching entirely (every access goes
-    to the store), which is how construction-time PA is measured.
+    Reads served from the pool cost no page access (``page_reads`` stays a
+    *cold* count); each hit is recorded as ``buffer_hits`` on the shared
+    counters so measurements can tell real I/O from cache service.  Misses
+    read through.  Writes are buffered (dirty) and flushed on eviction or
+    :meth:`flush`.  A ``capacity_bytes`` of 0 disables caching entirely
+    (every access goes to the store), which is how construction-time PA is
+    measured.
     """
 
     def __init__(self, store: PageStore, capacity_bytes: int = 128 * 1024):
@@ -126,6 +132,8 @@ class BufferPool:
             node, nbytes, dirty = self._entries.pop(page_id)
             self._entries[page_id] = (node, nbytes, dirty)
             self.hits += 1
+            # the hit stands in for this many cold page reads
+            self.store.counters.add_buffer_hit(self.store.pages_spanned(nbytes))
             return node
         self.misses += 1
         node = self.store.read(page_id)
@@ -210,6 +218,29 @@ class Pager:
 
     def read(self, page_id: int) -> Any:
         return self.pool.read(page_id)
+
+    def read_many(self, page_ids) -> dict[int, Any]:
+        """Batch read: each distinct page is read once, duplicates are free.
+
+        Returns ``{page_id: node}`` for the distinct ids.  Requests beyond
+        the first for the same page are counted as ``grouped_hits`` -- the
+        I/O the batch saved over one :meth:`read` per request, weighted by
+        the physical pages the node spans (the same weighting as
+        ``buffer_hits`` and cold ``page_reads``) -- while the single real
+        read per page is counted as usual (a cold ``page_read`` or a
+        ``buffer_hit``).  This is the storage half of leaf-grouped candidate
+        fetching (:meth:`repro.mtree.mtree.MTree.fetch_objects_many`).
+        """
+        nodes: dict[int, Any] = {}
+        grouped = 0
+        for page_id in page_ids:
+            if page_id in nodes:
+                grouped += self.store.pages_spanned(self.store.page_bytes(page_id))
+                continue
+            nodes[page_id] = self.pool.read(page_id)
+        if grouped:
+            self.counters.add_grouped_hit(grouped)
+        return nodes
 
     def write(self, page_id: int, node: Any) -> None:
         self.pool.write(page_id, node)

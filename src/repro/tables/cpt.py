@@ -95,27 +95,58 @@ class CPT(MetricIndex):
     # -- batch queries --------------------------------------------------------
 
     def _verify_many(self, query_obj, ids: list[int]) -> np.ndarray:
-        """Fetch each candidate from its M-tree leaf (PA per object, exactly
-        as sequential verification pays) and compute all distances at once."""
-        objects = [self.mtree.fetch_object(object_id) for object_id in ids]
+        """Leaf-grouped fetch of all candidates, then one vectorised
+        distance call.  Each distinct M-tree leaf page is read once per
+        call (candidates sharing a leaf ride along as ``grouped_hits``),
+        instead of the one-random-page-access-per-candidate the sequential
+        path pays."""
+        objects = self.mtree.fetch_objects_many(ids)
         return self.space.d_many(query_obj, objects)
 
+    # candidates resident in memory at once during batch verification; the
+    # index's premise is that objects only fit on disk, so the union of a
+    # big batch's candidates must not be materialised wholesale
+    _FETCH_CHUNK = 1024
+
     def range_query_many(self, queries, radius: float) -> list[list[int]]:
-        """Batch MRQ: shared q x l pivot matrix + vectorised verification."""
+        """Batch MRQ: shared q x l pivot matrix + leaf-grouped verification.
+
+        The batch's surviving candidates are fetched through
+        :meth:`~repro.mtree.mtree.MTree.fetch_objects_many` in bounded
+        chunks *ordered by owning leaf page*, so every touched leaf is
+        still read (at most) once per batch -- candidates sharing a leaf
+        land in the same chunk; only a chunk-boundary leaf can be read
+        twice -- while at most ``_FETCH_CHUNK`` objects are in memory at a
+        time.  Each query verifies its own candidates, so distance counts
+        are identical to the sequential loop; only page accesses shrink.
+        """
         queries = list(queries)
         if not queries:
             return []
         qmat = self.mapping.map_query_many(queries)
         lower = lower_bound_many_queries(qmat, self._rows)
-        out: list[list[int]] = []
-        for qi, q in enumerate(queries):
-            ids = [int(i) for i in self._row_ids[lower[qi] <= radius]]
-            results: list[int] = []
-            if ids:
-                dists = self._verify_many(q, ids)
-                results = [o for o, d in zip(ids, dists) if d <= radius]
-            out.append(sorted(results))
-        return out
+        ids_per_query = [
+            [int(i) for i in self._row_ids[lower[qi] <= radius]]
+            for qi in range(len(queries))
+        ]
+        distinct = list(dict.fromkeys(i for ids in ids_per_query for i in ids))
+        distinct.sort(key=lambda i: self.mtree.leaf_of.get(i, -1))
+        results: list[list[int]] = [[] for _ in queries]
+        pending = [list(ids) for ids in ids_per_query]  # not yet verified
+        for start in range(0, len(distinct), self._FETCH_CHUNK):
+            chunk = distinct[start : start + self._FETCH_CHUNK]
+            objects = dict(zip(chunk, self.mtree.fetch_objects_many(chunk)))
+            for qi, q in enumerate(queries):
+                ids = [i for i in pending[qi] if i in objects]
+                if not ids:
+                    continue
+                dists = self.space.d_many(q, [objects[i] for i in ids])
+                results[qi].extend(o for o, d in zip(ids, dists) if d <= radius)
+                if len(ids) < len(pending[qi]):
+                    pending[qi] = [i for i in pending[qi] if i not in objects]
+                else:
+                    pending[qi] = []
+        return [sorted(ids) for ids in results]
 
     def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
         """Batch MkNNQ: shared bound matrix + best-first chunked verification.
@@ -123,7 +154,9 @@ class CPT(MetricIndex):
         Best-first order matters doubly for CPT: every skipped verification
         is a skipped M-tree leaf fetch, so the batch path typically does
         far fewer page accesses than the storage-order sequential scan
-        (not guaranteed -- see :func:`~repro.core.queries.best_first_knn`).
+        (not guaranteed -- see :func:`~repro.core.queries.best_first_knn`);
+        each verification chunk additionally fetches leaf-grouped, reading
+        every touched page once per chunk.
         """
         queries = list(queries)
         if not queries:

@@ -13,16 +13,13 @@ separate table (another of the paper's stated implementation choices).
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.index import MetricIndex
 from ..core.metric_space import MetricSpace
-from ..core.queries import KnnHeap, Neighbor
-from .common import interval_gap, require_discrete
+from .common import FrontierTreeMixin, interval_gap, require_discrete
 
 __all__ = ["BKT"]
 
@@ -45,7 +42,7 @@ class _BktNode:
     is_leaf = False
 
 
-class BKT(MetricIndex):
+class BKT(FrontierTreeMixin, MetricIndex):
     """Burkhard-Keller tree with range-bucketed children."""
 
     name = "BKT"
@@ -100,54 +97,26 @@ class BKT(MetricIndex):
             node.lows.append(bucket_bounds[b][0])
             node.highs.append(bucket_bounds[b][1])
             node.children.append(self._build_node(child_ids))
+        # frozen as arrays for the frontier engine; inserts mutate values
+        # in place and re-grow the arrays when adding a child
+        node.lows = np.asarray(node.lows, dtype=np.float64)
+        node.highs = np.asarray(node.highs, dtype=np.float64)
         return node
 
     # -- queries -------------------------------------------------------------
+    # MRQ/MkNNQ (single and batched) come from FrontierTreeMixin.  BKT's
+    # pivots are per-subtree (each dataset object anchors at most one
+    # node), the pivot itself is a result candidate, and a tombstoned
+    # pivot (delete) leaves the node unable to prune.
 
-    def range_query(self, query_obj, radius: float) -> list[int]:
-        results: list[int] = []
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            if node.is_leaf:
-                for object_id in node.ids:
-                    if self.space.d_id(query_obj, object_id) <= radius:
-                        results.append(object_id)
-                continue
-            if node.pivot_id < 0:  # tombstoned pivot: no pruning possible
-                stack.extend(node.children)
-                continue
-            d = self.space.d_id(query_obj, node.pivot_id)
-            if d <= radius:
-                results.append(node.pivot_id)
-            for lo, hi, child in zip(node.lows, node.highs, node.children):
-                if interval_gap(d, lo, hi) <= radius:
-                    stack.append(child)
-        return sorted(results)
+    def _frontier_key(self, node):
+        return node.pivot_id if node.pivot_id >= 0 else None
 
-    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
-        heap = KnnHeap(k)
-        counter = itertools.count()
-        pq: list[tuple[float, int, object]] = [(0.0, next(counter), self.root)]
-        while pq:
-            bound, _, node = heapq.heappop(pq)
-            if bound > heap.radius:
-                break
-            if node.is_leaf:
-                for object_id in node.ids:
-                    heap.consider(object_id, self.space.d_id(query_obj, object_id))
-                continue
-            if node.pivot_id < 0:  # tombstoned pivot: no pruning possible
-                for child in node.children:
-                    heapq.heappush(pq, (bound, next(counter), child))
-                continue
-            d = self.space.d_id(query_obj, node.pivot_id)
-            heap.consider(node.pivot_id, d)
-            for lo, hi, child in zip(node.lows, node.highs, node.children):
-                child_bound = max(bound, interval_gap(d, lo, hi))
-                if child_bound <= heap.radius:
-                    heapq.heappush(pq, (child_bound, next(counter), child))
-        return heap.neighbors()
+    def _frontier_pivot(self, key):
+        return self.space.dataset[key]
+
+    def _frontier_candidate(self, node) -> int | None:
+        return node.pivot_id
 
     # -- maintenance ------------------------------------------------------------
 
@@ -169,8 +138,8 @@ class BKT(MetricIndex):
                 if gap < best_gap:
                     best, best_gap = i, gap
             if best < 0:
-                node.lows.append(d)
-                node.highs.append(d)
+                node.lows = np.append(node.lows, d)
+                node.highs = np.append(node.highs, d)
                 node.children.append(_BktLeaf())
                 best = len(node.children) - 1
             node.lows[best] = min(node.lows[best], d)

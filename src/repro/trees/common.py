@@ -6,11 +6,50 @@ subtree whose objects have d(o, p) inside [lo, hi] can be skipped when
 ``interval_gap(d(q,p), lo, hi)`` is a lower bound of d(q, o) for every o in
 the subtree; best-first MkNNQ orders subtrees by the maximum such gap
 accumulated along the path from the root.
+
+Because the pruning rule is identical everywhere, the whole family shares
+one **batch frontier engine** (:class:`FrontierTreeMixin`): a frontier of
+(node, active-query-subset) pairs descends the tree once per *batch*.  At
+each node the query-to-pivot distances of every still-active query are
+computed with a single counted ``pairwise`` call, ``interval_gap`` is
+applied as one vectorized 2-D operation over (active queries x children),
+and the active set is re-partitioned per child.  MkNNQ keeps one
+:class:`~repro.core.queries.KnnHeap` per query and orders the shared
+frontier best-first by the smallest per-query bound, so batch answers are
+bit-for-bit identical to the sequential traversal and to brute force (the
+heap's canonical (distance, id) tie-breaking makes the answer independent
+of verification order; pruning only ever uses each query's own radius).
+
+The sequential ``range_query`` / ``knn_query`` are the same engine run
+with a single-query frontier -- one traversal implementation per tree, not
+two -- and compute exactly the distances the hand-written per-node loops
+used to: one pivot distance per (query, pivot) pair (cached across nodes
+that share a pivot) plus the leaf verifications.
+
+Node protocol the engine expects (what all the trees already store):
+
+* leaves have ``is_leaf = True`` and an ``ids`` list;
+* internal nodes have parallel ``lows`` / ``highs`` / ``children`` lists
+  with tight per-child distance bounds to the node's pivot.
+
+Trees plug in via two small hooks: :meth:`FrontierTreeMixin._frontier_key`
+maps a node to a hashable pivot identity (``None`` = no pruning possible,
+e.g. BKT's tombstoned pivots) shared by every node using the same pivot
+(the distance-cache key), and :meth:`FrontierTreeMixin._frontier_pivot`
+resolves that key to the raw pivot object.  BKT additionally reports its
+pivot as a result candidate via ``_frontier_candidate``.
 """
 
 from __future__ import annotations
 
-__all__ = ["interval_gap", "require_discrete"]
+import heapq
+import itertools
+
+import numpy as np
+
+from ..core.queries import KnnHeap, Neighbor
+
+__all__ = ["FrontierTreeMixin", "interval_gap", "require_discrete"]
 
 
 def interval_gap(query_to_pivot: float, lo: float, hi: float) -> float:
@@ -36,3 +75,198 @@ def require_discrete(space, index_name: str) -> None:
             f"{space.distance.name} is continuous (wrap it in "
             "DiscreteMetricAdapter to ceil distances)"
         )
+
+
+def _interval_gaps(dists: np.ndarray, node) -> np.ndarray:
+    """Vectorized :func:`interval_gap`: (active queries) x (children)."""
+    lows = np.asarray(node.lows, dtype=np.float64)
+    highs = np.asarray(node.highs, dtype=np.float64)
+    d = dists[:, None]
+    return np.maximum(np.maximum(lows[None, :] - d, d - highs[None, :]), 0.0)
+
+
+class FrontierTreeMixin:
+    """Batch frontier traversal shared by VPT/MVPT/BKT/FQT.
+
+    Provides ``range_query_many`` / ``knn_query_many`` (and the
+    single-query ``range_query`` / ``knn_query`` as one-element batches)
+    on top of the node protocol and hooks described in the module
+    docstring.  Mixing classes must define ``root`` and ``space``.
+    """
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _frontier_key(self, node):
+        """Hashable identity of the node's pivot (``None``: cannot prune).
+
+        Nodes sharing a key share one cached distance per query -- the
+        per-level pivots of VPT/MVPT/FQT cost at most one computation per
+        (query, level) no matter how many same-level nodes the query
+        visits, exactly as the sequential level cache behaved.
+        """
+        raise NotImplementedError
+
+    def _frontier_pivot(self, key):
+        """The raw pivot object for a key returned by `_frontier_key`."""
+        raise NotImplementedError
+
+    def _frontier_candidate(self, node) -> int | None:
+        """Object id of a pivot that is itself a result candidate (BKT)."""
+        return None
+
+    # -- shared machinery ----------------------------------------------------
+
+    def _query_selector(self, queries: list):
+        """``take(idxs) -> query batch`` for a subset of the query list.
+
+        Vector datasets get one up-front 2-D matrix so subsets are a fancy
+        index instead of a per-node Python list build; everything else
+        (strings, ragged objects) falls back to list selection.
+        """
+        if self.space.dataset.is_vector:
+            try:
+                qmat = np.asarray(queries)
+                if qmat.ndim == 2:
+                    return qmat.__getitem__
+            except (ValueError, TypeError):
+                pass
+        return lambda idxs: [queries[i] for i in idxs]
+
+    def _pivot_dists(
+        self, cache: dict, take, n_queries: int, key, active: np.ndarray
+    ) -> np.ndarray:
+        """d(q, pivot) for the active queries, lazily computed and cached."""
+        column = cache.get(key)
+        if column is None:
+            column = np.full(n_queries, np.nan)
+            cache[key] = column
+        need = active[np.isnan(column[active])]
+        if need.size:
+            column[need] = self.space.pairwise_objects(
+                take(need), [self._frontier_pivot(key)]
+            )[:, 0]
+        return column[active]
+
+    # -- queries -------------------------------------------------------------
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        return self.range_query_many([query_obj], radius)[0]
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        return self.knn_query_many([query_obj], k)[0]
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batched MRQ: one frontier descent for the whole batch.
+
+        The active set carried to each node is exactly the set of queries
+        whose sequential traversal would visit it, and leaf verification is
+        deferred into one vectorized counted call per query at the end, so
+        the counted distance computations match the sequential loop query
+        for query.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        take = self._query_selector(queries)
+        results: list[list[int]] = [[] for _ in queries]
+        reached: list[list[int]] = [[] for _ in queries]  # leaf ids to verify
+        cache: dict = {}
+        stack = [(self.root, np.arange(len(queries), dtype=np.intp))]
+        while stack:
+            node, active = stack.pop()
+            if node.is_leaf:
+                if node.ids:
+                    for qi in active:
+                        reached[qi].extend(node.ids)
+                continue
+            key = self._frontier_key(node)
+            if key is None:  # no pruning possible: descend with everyone
+                for child in node.children:
+                    stack.append((child, active))
+                continue
+            d = self._pivot_dists(cache, take, len(queries), key, active)
+            candidate = self._frontier_candidate(node)
+            if candidate is not None:
+                for qi, dq in zip(active, d):
+                    if dq <= radius:
+                        results[qi].append(candidate)
+            gaps = _interval_gaps(d, node)
+            for j, child in enumerate(node.children):
+                keep = gaps[:, j] <= radius
+                if keep.any():
+                    stack.append((child, active[keep]))
+        gather = self.space.dataset.gather
+        for qi, ids in enumerate(reached):
+            if ids:
+                dists = self.space.d_many(queries[qi], gather(ids))
+                results[qi].extend(np.asarray(ids)[dists <= radius].tolist())
+        return [sorted(ids) for ids in results]
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batched MkNNQ: shared best-first frontier, per-query heaps.
+
+        A frontier entry carries each active query's accumulated lower
+        bound; the shared priority is the smallest of them.  A query is
+        dropped from an entry once its bound exceeds its own heap radius
+        -- it can never prune *more* than its private best-first search
+        would (radii only shrink, bounds only grow down the tree), so with
+        the canonical (distance, id) heap the answers are bit-for-bit the
+        sequential ones regardless of the interleaving.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        take = self._query_selector(queries)
+        gather = self.space.dataset.gather
+        heaps = [KnnHeap(k) for _ in queries]
+        cache: dict = {}
+        counter = itertools.count()
+        every = np.arange(len(queries), dtype=np.intp)
+        pq = [(0.0, next(counter), self.root, every, np.zeros(len(queries)))]
+        while pq:
+            priority, _, node, active, bounds = heapq.heappop(pq)
+            if priority > max(heap.radius for heap in heaps):
+                # the frontier pops ascending by its entries' smallest
+                # per-query bound, so once that exceeds every radius the
+                # whole remaining frontier is dead -- the batch analogue of
+                # the sequential best-first break
+                break
+            radii = np.asarray([heaps[qi].radius for qi in active])
+            alive = bounds <= radii
+            if not alive.any():
+                continue
+            active, bounds = active[alive], bounds[alive]
+            if node.is_leaf:
+                if node.ids:
+                    dists = self.space.pairwise_objects(
+                        take(active), gather(node.ids)
+                    )
+                    for qi, row in zip(active, dists):
+                        heap = heaps[qi]
+                        for object_id, d in zip(node.ids, row):
+                            heap.consider(object_id, float(d))
+                continue
+            key = self._frontier_key(node)
+            if key is None:
+                for child in node.children:
+                    heapq.heappush(
+                        pq, (float(bounds.min()), next(counter), child, active, bounds)
+                    )
+                continue
+            d = self._pivot_dists(cache, take, len(queries), key, active)
+            candidate = self._frontier_candidate(node)
+            if candidate is not None:
+                for qi, dq in zip(active, d):
+                    heaps[qi].consider(candidate, float(dq))
+            child_bounds = np.maximum(bounds[:, None], _interval_gaps(d, node))
+            radii = np.asarray([heaps[qi].radius for qi in active])
+            for j, child in enumerate(node.children):
+                cb = child_bounds[:, j]
+                keep = cb <= radii
+                if keep.any():
+                    kept = cb[keep]
+                    heapq.heappush(
+                        pq,
+                        (float(kept.min()), next(counter), child, active[keep], kept),
+                    )
+        return [heap.neighbors() for heap in heaps]

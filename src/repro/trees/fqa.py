@@ -17,7 +17,8 @@ import numpy as np
 
 from ..core.index import MetricIndex
 from ..core.metric_space import MetricSpace
-from ..core.queries import KnnHeap, Neighbor
+from ..core.pivot_filter import query_chunk
+from ..core.queries import KnnHeap, Neighbor, best_first_knn
 from .common import require_discrete
 
 __all__ = ["FQA"]
@@ -69,12 +70,39 @@ class FQA(MetricIndex):
 
     def _lower_bounds(self, query_dists: np.ndarray) -> np.ndarray:
         """Lemma 1 over bucket intervals [v*w, (v+1)*w)."""
+        return self._lower_bounds_many(np.atleast_2d(query_dists))[0]
+
+    def _lower_bounds_many(self, query_dist_matrix: np.ndarray) -> np.ndarray:
+        """Batched Lemma 1 over bucket intervals: ``q x n`` bounds.
+
+        The FQA is the linearised FQT, so its batch engine is the table
+        indexes' 2-D bound matrix rather than a node frontier: one
+        broadcast over (queries x rows x pivots), chunked along the query
+        axis to bound the temporary (same policy as
+        :func:`~repro.core.pivot_filter.lower_bound_many_queries`).
+        """
+        qmat = np.atleast_2d(np.asarray(query_dist_matrix, dtype=np.float64))
+        n_rows = self._signatures.shape[0]
+        if not self._signatures.size:
+            return np.zeros((qmat.shape[0], n_rows))
         lows = self._signatures * self._width
         highs = lows + self._width  # exclusive upper bucket edge
-        below = lows - query_dists  # positive when bucket entirely above d(q,p)
-        above = query_dists - highs  # positive when bucket entirely below
-        gaps = np.maximum(np.maximum(below, above), 0.0)
-        return gaps.max(axis=1) if gaps.size else np.zeros(0)
+        out = np.empty((qmat.shape[0], n_rows))
+        step = query_chunk(n_rows, self._signatures.shape[1])
+        for start in range(0, qmat.shape[0], step):
+            block = qmat[start : start + step, None, :]
+            below = lows[None, :, :] - block  # bucket entirely above d(q,p)
+            above = block - highs[None, :, :]  # bucket entirely below
+            out[start : start + step] = np.maximum(
+                np.maximum(below, above), 0.0
+            ).max(axis=2)
+        return out
+
+    def _query_pivot_matrix(self, queries) -> np.ndarray:
+        """Counted ``q x l`` query-to-pivot distances, one pairwise call."""
+        return self.space.pairwise_objects(
+            queries, self.space.dataset.gather(self.pivot_ids)
+        )
 
     # -- queries -------------------------------------------------------------------
 
@@ -104,6 +132,41 @@ class FQA(MetricIndex):
             object_id = int(self._row_ids[i])
             heap.consider(object_id, self.space.d_id(query_obj, object_id))
         return heap.neighbors()
+
+    # -- batch queries -----------------------------------------------------------
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batched MRQ: one q x l pivot matrix, one 2-D bound matrix."""
+        queries = list(queries)
+        if not queries:
+            return []
+        lower = self._lower_bounds_many(self._query_pivot_matrix(queries))
+        out: list[list[int]] = []
+        for qi, q in enumerate(queries):
+            rows = np.flatnonzero(lower[qi] <= radius)
+            results: list[int] = []
+            if rows.size:
+                ids = [int(self._row_ids[i]) for i in rows]
+                dists = self.space.d_many(q, self.space.dataset.gather(ids))
+                results = [o for o, d in zip(ids, dists) if d <= radius]
+            out.append(sorted(results))
+        return out
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batched MkNNQ: shared bound matrix + best-first chunked verify."""
+        queries = list(queries)
+        if not queries:
+            return []
+        lower = self._lower_bounds_many(self._query_pivot_matrix(queries))
+        return [
+            best_first_knn(
+                lower[qi],
+                self._row_ids,
+                k,
+                lambda ids, q=q: self.space.d_many(q, self.space.dataset.gather(ids)),
+            )
+            for qi, q in enumerate(queries)
+        ]
 
     # -- maintenance ------------------------------------------------------------------
 

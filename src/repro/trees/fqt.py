@@ -11,16 +11,13 @@ domains; leaves hold object id buckets after the last pivot level.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.index import MetricIndex
 from ..core.metric_space import MetricSpace
-from ..core.queries import KnnHeap, Neighbor
-from .common import interval_gap, require_discrete
+from .common import FrontierTreeMixin, interval_gap, require_discrete
 
 __all__ = ["FQT"]
 
@@ -42,7 +39,7 @@ class _FqtNode:
     is_leaf = False
 
 
-class FQT(MetricIndex):
+class FQT(FrontierTreeMixin, MetricIndex):
     """Fixed Queries Tree over a shared per-level pivot set."""
 
     name = "FQT"
@@ -81,55 +78,21 @@ class FQT(MetricIndex):
             node.lows.append(bounds[b][0])
             node.highs.append(bounds[b][1])
             node.children.append(self._build_node(buckets[b], level + 1))
+        # frozen as arrays for the frontier engine; inserts mutate in place
+        node.lows = np.asarray(node.lows, dtype=np.float64)
+        node.highs = np.asarray(node.highs, dtype=np.float64)
         return node
 
     # -- queries ---------------------------------------------------------------
+    # MRQ/MkNNQ (single and batched) come from FrontierTreeMixin; every
+    # node at level i shares pivot p_i, so a query computes at most one
+    # distance per level -- the property that defines the FQT.
 
-    def _query_level_dists(self, query_obj) -> np.ndarray:
-        """d(q, p_i) for every level pivot -- computed lazily in searches."""
-        return np.full(len(self.pivot_ids), np.nan)
+    def _frontier_key(self, node):
+        return node.level
 
-    def _level_dist(self, cache: np.ndarray, query_obj, level: int) -> float:
-        if np.isnan(cache[level]):
-            cache[level] = self.space.d_id(query_obj, self.pivot_ids[level])
-        return float(cache[level])
-
-    def range_query(self, query_obj, radius: float) -> list[int]:
-        results: list[int] = []
-        cache = self._query_level_dists(query_obj)
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            if node.is_leaf:
-                for object_id in node.ids:
-                    if self.space.d_id(query_obj, object_id) <= radius:
-                        results.append(object_id)
-                continue
-            d = self._level_dist(cache, query_obj, node.level)
-            for lo, hi, child in zip(node.lows, node.highs, node.children):
-                if interval_gap(d, lo, hi) <= radius:
-                    stack.append(child)
-        return sorted(results)
-
-    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
-        heap = KnnHeap(k)
-        cache = self._query_level_dists(query_obj)
-        counter = itertools.count()
-        pq: list[tuple[float, int, object]] = [(0.0, next(counter), self.root)]
-        while pq:
-            bound, _, node = heapq.heappop(pq)
-            if bound > heap.radius:
-                break
-            if node.is_leaf:
-                for object_id in node.ids:
-                    heap.consider(object_id, self.space.d_id(query_obj, object_id))
-                continue
-            d = self._level_dist(cache, query_obj, node.level)
-            for lo, hi, child in zip(node.lows, node.highs, node.children):
-                child_bound = max(bound, interval_gap(d, lo, hi))
-                if child_bound <= heap.radius:
-                    heapq.heappush(pq, (child_bound, next(counter), child))
-        return heap.neighbors()
+    def _frontier_pivot(self, key):
+        return self.space.dataset[self.pivot_ids[key]]
 
     # -- maintenance -------------------------------------------------------------
 

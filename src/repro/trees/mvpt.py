@@ -14,16 +14,13 @@ in Figures 16-17.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.index import MetricIndex
 from ..core.metric_space import MetricSpace
-from ..core.queries import KnnHeap, Neighbor
-from .common import interval_gap
+from .common import FrontierTreeMixin, interval_gap
 
 __all__ = ["MVPT", "VPT"]
 
@@ -45,7 +42,7 @@ class _MvptNode:
     is_leaf = False
 
 
-class MVPT(MetricIndex):
+class MVPT(FrontierTreeMixin, MetricIndex):
     """m-ary vantage point tree with shared per-level pivots."""
 
     name = "MVPT"
@@ -87,51 +84,22 @@ class MVPT(MetricIndex):
         if len(node.children) <= 1:
             # the pivot cannot separate these objects; stop splitting
             return _MvptLeaf(ids=list(ids))
+        # freeze the bounds as arrays: the frontier engine reads them as
+        # vectors on every visit, and inserts only mutate values in place
+        node.lows = np.asarray(node.lows, dtype=np.float64)
+        node.highs = np.asarray(node.highs, dtype=np.float64)
         return node
 
     # -- queries ----------------------------------------------------------------
+    # MRQ/MkNNQ (single and batched) come from FrontierTreeMixin; nodes at
+    # the same level share one pivot, so the engine's distance cache keys
+    # on the level.
 
-    def _level_dist(self, cache: np.ndarray, query_obj, level: int) -> float:
-        if np.isnan(cache[level]):
-            cache[level] = self.space.d_id(query_obj, self.pivot_ids[level])
-        return float(cache[level])
+    def _frontier_key(self, node):
+        return node.level
 
-    def range_query(self, query_obj, radius: float) -> list[int]:
-        results: list[int] = []
-        cache = np.full(len(self.pivot_ids), np.nan)
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            if node.is_leaf:
-                for object_id in node.ids:
-                    if self.space.d_id(query_obj, object_id) <= radius:
-                        results.append(object_id)
-                continue
-            d = self._level_dist(cache, query_obj, node.level)
-            for lo, hi, child in zip(node.lows, node.highs, node.children):
-                if interval_gap(d, lo, hi) <= radius:
-                    stack.append(child)
-        return sorted(results)
-
-    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
-        heap = KnnHeap(k)
-        cache = np.full(len(self.pivot_ids), np.nan)
-        counter = itertools.count()
-        pq: list[tuple[float, int, object]] = [(0.0, next(counter), self.root)]
-        while pq:
-            bound, _, node = heapq.heappop(pq)
-            if bound > heap.radius:
-                break
-            if node.is_leaf:
-                for object_id in node.ids:
-                    heap.consider(object_id, self.space.d_id(query_obj, object_id))
-                continue
-            d = self._level_dist(cache, query_obj, node.level)
-            for lo, hi, child in zip(node.lows, node.highs, node.children):
-                child_bound = max(bound, interval_gap(d, lo, hi))
-                if child_bound <= heap.radius:
-                    heapq.heappush(pq, (child_bound, next(counter), child))
-        return heap.neighbors()
+    def _frontier_pivot(self, key):
+        return self.space.dataset[self.pivot_ids[key]]
 
     # -- maintenance ----------------------------------------------------------------
 

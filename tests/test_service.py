@@ -676,3 +676,212 @@ def test_aesa_insert_signature_uniform(datasets):
         index.insert("newword")
     with pytest.raises(UnsupportedOperation):
         index.insert("newword", object_id=3)
+
+
+# ---------------------------------------------------------------------------
+# satellite: partial cache invalidation on insert/delete
+# ---------------------------------------------------------------------------
+
+
+class TestPartialInvalidation:
+    def _entry(self, cache, index_id, kind, query_obj, param, result):
+        key = cache.make_key(index_id, kind, query_obj, param)
+        cache.put(key, result, query_obj=query_obj)
+        return key
+
+    def test_insert_keeps_out_of_ball_range_entries(self):
+        cache = QueryResultCache(capacity=8)
+        distance = lambda a, b: abs(a - b)  # noqa: E731 - 1-d toy metric
+        near = self._entry(cache, "idx", "range", 10.0, 2.0, [1])
+        far = self._entry(cache, "idx", "range", 100.0, 2.0, [7])
+        dropped = cache.invalidate_affected("idx", obj=11.0, distance=distance)
+        assert dropped == 1  # only the entry whose ball contains 11.0
+        assert cache.get(near) is None
+        assert cache.get(far) == [7]
+
+    def test_insert_uses_knn_kth_distance_ball(self):
+        from repro.core.queries import Neighbor
+
+        cache = QueryResultCache(capacity=8)
+        distance = lambda a, b: abs(a - b)  # noqa: E731
+        answer = [Neighbor(1.0, 3), Neighbor(4.0, 8)]
+        key = self._entry(cache, "idx", "knn", 10.0, 2, list(answer))
+        # d(q, 20) = 10 > kth distance 4: provably outside, entry survives
+        assert cache.invalidate_affected("idx", obj=20.0, distance=distance) == 0
+        assert cache.get(key) == answer
+        # d(q, 13) = 3 <= 4: could enter the top-k, entry dies
+        assert cache.invalidate_affected("idx", obj=13.0, distance=distance) == 1
+        assert cache.get(key) is None
+
+    def test_insert_drops_short_knn_answers(self):
+        from repro.core.queries import Neighbor
+
+        cache = QueryResultCache(capacity=8)
+        distance = lambda a, b: abs(a - b)  # noqa: E731
+        key = self._entry(cache, "idx", "knn", 10.0, 5, [Neighbor(1.0, 3)])
+        # fewer than k answers known: any insert grows the answer
+        assert cache.invalidate_affected("idx", obj=999.0, distance=distance) == 1
+        assert cache.get(key) is None
+
+    def test_delete_drops_only_containing_entries(self):
+        cache = QueryResultCache(capacity=8)
+        with_victim = self._entry(cache, "idx", "range", "qa", 2.0, [1, 42])
+        without = self._entry(cache, "idx", "range", "qb", 2.0, [7])
+        assert cache.invalidate_affected("idx", object_id=42) == 1
+        assert cache.get(with_victim) is None
+        assert cache.get(without) == [7]
+
+    def test_missing_bound_falls_back_to_full_wipe(self):
+        cache = QueryResultCache(capacity=8)
+        self._entry(cache, "idx", "range", "qa", 2.0, [1])
+        self._entry(cache, "idx", "range", "qb", 2.0, [2])
+        # neither an insert bound nor a delete id: whole index wipes
+        assert cache.invalidate_affected("idx") == 2
+        assert len(cache) == 0
+
+    def test_entry_without_query_object_drops_conservatively(self):
+        cache = QueryResultCache(capacity=8)
+        key = cache.make_key("idx", "range", 10.0, 2.0)
+        cache.put(key, [1])  # stored without query_obj
+        distance = lambda a, b: abs(a - b)  # noqa: E731
+        assert cache.invalidate_affected("idx", obj=999.0, distance=distance) == 1
+        assert cache.get(key) is None
+
+    def test_cached_query_object_immune_to_caller_mutation(self):
+        """The ball test must see the value the answer was computed for,
+        even when the caller reuses its query buffer afterwards."""
+        cache = QueryResultCache(capacity=8)
+        q = np.array([1.0, 2.0])
+        key = cache.make_key("idx", "range", q, 2.0)
+        cache.put(key, [1], query_obj=q)
+        q[:] = 1e9  # caller recycles the array in place
+        distance = lambda a, b: float(np.abs(a - b).max())  # noqa: E731
+        # the mutated object is right next to the *recycled* buffer but far
+        # from the original query: the entry is provably unaffected
+        dropped = cache.invalidate_affected(
+            "idx", obj=np.array([1e9, 1e9]), distance=distance
+        )
+        assert dropped == 0
+        assert cache.get(key) == [1]
+
+    def test_partial_invalidation_bumps_generation(self):
+        cache = QueryResultCache(capacity=8)
+        distance = lambda a, b: abs(a - b)  # noqa: E731
+        generation = cache.generation("idx")
+        cache.invalidate_affected("idx", obj=0.0, distance=distance)
+        assert cache.generation("idx") != generation
+        # an in-flight answer computed before the mutation is dropped
+        key = cache.make_key("idx", "range", 50.0, 2.0)
+        cache.put(key, [9], generation=generation, query_obj=50.0)
+        assert cache.get(key) is None
+
+    def test_other_index_entries_untouched(self):
+        cache = QueryResultCache(capacity=8)
+        distance = lambda a, b: abs(a - b)  # noqa: E731
+        mine = self._entry(cache, "a", "range", 10.0, 2.0, [1])
+        other = self._entry(cache, "b", "range", 10.0, 2.0, [2])
+        cache.invalidate_affected("a", obj=10.0, distance=distance)
+        assert cache.get(mine) is None
+        assert cache.get(other) == [2]
+
+    def test_service_mutations_preserve_unaffected_entries(self, datasets, pivots):
+        """End to end: a far-away query's cached answer survives mutations."""
+        dataset = datasets["Words"]
+        space = MetricSpace(dataset, CostCounters())
+        index = LAESA.build(space, pivots["Words"])
+        q = dataset[0]
+        radius = 1.0  # tight ball: most mutations are provably outside it
+        with QueryService(index, use_dispatcher=False) as service:
+            before = service.range_query(q, radius)
+            far_victim = max(
+                range(len(dataset)),
+                key=lambda i: dataset.distance(q, dataset[i]),
+            )
+            hits_before = service.cache.hits
+            service.delete(far_victim)
+            assert service.range_query(q, radius) == before
+            assert service.cache.hits == hits_before + 1  # served from cache
+            service.insert(dataset[far_victim], object_id=far_victim)
+            assert service.range_query(q, radius) == before
+            assert service.cache.hits == hits_before + 2
+            assert service.cache.partial_survivors >= 2
+
+
+# ---------------------------------------------------------------------------
+# satellite: adaptive dispatcher wait
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveDispatcherWait:
+    def test_wait_tracks_arrival_rate_and_clamps(self):
+        key = ("range", 1.0)
+        with MicroBatchDispatcher(
+            _echo_executor, max_batch_size=8, max_wait_ms=50.0
+        ) as d:
+            assert d._wait_of(key) == pytest.approx(0.05)  # nothing observed yet
+            futures = [d.submit("range", i, 1.0) for i in range(20)]
+            for f in futures:
+                f.result(timeout=5)
+            # back-to-back submissions: the group's EWMA interval is tiny,
+            # so the derived wait collapses far below the configured bound
+            _, ewma, wait = d._rates[key]
+            assert ewma is not None
+            assert wait <= 0.05
+            assert wait == pytest.approx(min(0.05, ewma * 7))
+            stats = d.stats.as_dict()
+            assert stats["current_wait_ms"] == pytest.approx(wait * 1000.0, abs=1e-4)
+            assert stats["ewma_arrival_ms"] is not None
+
+    def test_sparse_traffic_collapses_wait_to_zero(self):
+        key = ("range", 1.0)
+        with MicroBatchDispatcher(
+            _echo_executor, max_batch_size=8, max_wait_ms=5.0
+        ) as d:
+            with d._wake:
+                # arrivals 1s apart dwarf the 5ms bound: no companion query
+                # is expected inside it, so waiting would stall for nothing
+                d._observe_arrival(key, 100.0)
+                d._observe_arrival(key, 101.0)
+            assert d._wait_of(key) == 0.0
+            # a single sparse submission still resolves promptly
+            assert d.submit("range", "lonely", 1.0).result(timeout=5) == (
+                "range",
+                1.0,
+                "lonely",
+            )
+
+    def test_rates_are_per_group_not_global(self):
+        """A dense mix of distinct parameters must stay sparse per group:
+        batches only form inside one (kind, param) group, so a globally
+        busy stream must not pin every group's wait at the full bound."""
+        with MicroBatchDispatcher(
+            _echo_executor, max_batch_size=8, max_wait_ms=5.0
+        ) as d:
+            with d._wake:
+                # 40 globally dense arrivals (0.8ms apart), but each radius
+                # only every 8ms -- sparse within its own group
+                for step in range(40):
+                    key = ("range", float(step % 10))
+                    d._observe_arrival(key, 200.0 + step * 0.0008)
+            for radius in range(10):
+                assert d._wait_of(("range", float(radius))) == 0.0
+
+    def test_adaptive_wait_off_keeps_configured_bound(self):
+        key = ("range", 1.0)
+        with MicroBatchDispatcher(
+            _echo_executor, max_batch_size=4, max_wait_ms=25.0, adaptive_wait=False
+        ) as d:
+            futures = [d.submit("range", i, 1.0) for i in range(12)]
+            for f in futures:
+                f.result(timeout=5)
+            assert d._wait_of(key) == pytest.approx(0.025)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError, match="ewma_alpha"):
+            MicroBatchDispatcher(_echo_executor, ewma_alpha=0.0)
+
+    def test_answers_stay_exact_under_adaptive_wait(self):
+        with MicroBatchDispatcher(_echo_executor, max_batch_size=4) as d:
+            futures = [d.submit("range", f"q{i}", 2.0) for i in range(30)]
+            results = [f.result(timeout=5) for f in futures]
+        assert results == [("range", 2.0, f"q{i}") for i in range(30)]
