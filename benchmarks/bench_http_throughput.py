@@ -1,0 +1,70 @@
+"""HTTP front-end overhead: batch endpoints vs in-process batch calls.
+
+Not a paper experiment -- this guards the repo's own serving subsystem: a
+batch of queries POSTed to :class:`~repro.service.http.HttpQueryServer`'s
+``/range_many`` / ``/knn_many`` endpoints must stay close to the identical
+in-process ``range_query_many`` / ``knn_query_many`` call.  Answers are
+asserted bit-for-bit equal inside :func:`repro.bench.run_http_comparison`
+before anything is timed, and the result cache is disabled on both sides so
+the comparison measures evaluation + wire, not a dict lookup.
+
+Two gates:
+
+* **Words (gated at <= 2x)** -- edit distance is compute-bound, so the
+  ratio honestly reports what the wire adds to real serving work (measured
+  ~1.0x: JSON codec + one localhost round trip disappear into evaluation).
+* **LA (gated on absolute overhead)** -- the vectorised L2 kernel answers a
+  whole batch in under a millisecond, so a *ratio* there would only measure
+  the JSON codec against an almost-free baseline and flap on CI runners.
+  Instead the absolute wire overhead per batch (http ms - inproc ms) is
+  bounded, which still catches codec regressions on numeric payloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import exp_http_throughput, format_table
+
+from _bench_common import built_indexes, emit, workloads  # noqa: F401  (fixtures)
+
+GATED_RATIO = "Words"
+GATED_OVERHEAD = "LA"
+MAX_RATIO = 2.0  # compute-bound workload: the wire must all but vanish
+MAX_OVERHEAD_MS = 25.0  # vector workload: absolute codec + round-trip budget
+
+
+@pytest.fixture(scope="module")
+def http_rows(workloads, built_indexes):
+    subset = {name: workloads[name] for name in (GATED_RATIO, GATED_OVERHEAD)}
+    built = {name: built_indexes(name) for name in subset}
+    return exp_http_throughput(subset, built=built, repeats=3)
+
+
+def test_http_throughput(http_rows, benchmark, workloads, built_indexes):
+    emit(
+        "http_throughput",
+        format_table(
+            http_rows,
+            title="HTTP loopback batch endpoints vs in-process *_query_many",
+            first_column="Dataset",
+        ),
+    )
+    by_dataset = {row["Dataset"]: row for row in http_rows}
+    words = by_dataset[GATED_RATIO]
+    assert words["MRQ ratio"] <= MAX_RATIO, words
+    assert words["kNN ratio"] <= MAX_RATIO, words
+    la = by_dataset[GATED_OVERHEAD]
+    assert la["MRQ http ms"] - la["MRQ inproc ms"] <= MAX_OVERHEAD_MS, la
+    assert la["kNN http ms"] - la["kNN inproc ms"] <= MAX_OVERHEAD_MS, la
+
+    from repro.service import QueryService
+    from repro.service.http import HttpQueryServer, ServiceClient
+
+    workload = workloads[GATED_OVERHEAD]
+    radius = workload.radius_for(0.16)
+    index = built_indexes(GATED_OVERHEAD)["LAESA"].index
+    with QueryService(index, cache_size=0, use_dispatcher=False) as service:
+        with HttpQueryServer(service).start() as server:
+            client = ServiceClient(port=server.port)
+            benchmark(client.range_query_many, workload.queries, radius)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""HTTP quickstart: snapshot an index, serve it over HTTP, query it remotely.
+
+The network half of the serving story (`serve_quickstart.py` covers the
+in-process half):
+
+1. build a pivot index once and snapshot it to disk,
+2. start an :class:`~repro.service.http.HttpQueryServer` over a
+   ``QueryService`` restored from the snapshot -- exactly what
+   ``python -m repro serve --http PORT --snapshot PATH`` runs,
+3. drive it with concurrent :class:`~repro.service.ServiceClient` callers:
+   single queries coalesce in the micro-batching dispatcher, repeats are
+   absorbed by the LRU cache, and every answer is bit-for-bit the direct
+   in-process answer,
+4. shut down gracefully (in-flight requests drain before the socket closes).
+
+Run:  python examples/http_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro import (
+    CostCounters,
+    HttpQueryServer,
+    MetricSpace,
+    QueryService,
+    ServiceClient,
+    make_words,
+    save_index,
+    select_pivots,
+)
+from repro.tables import LAESA
+
+
+def main() -> None:
+    # -- 1. build once, snapshot to disk ------------------------------------
+    words = make_words(3000, seed=7)
+    space = MetricSpace(words, CostCounters())
+    index = LAESA.build(space, select_pivots(MetricSpace(words), 5, strategy="hfi"))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snap_path = Path(tmp) / "laesa.snap"
+        save_index(index, snap_path)
+        print(f"snapshot written: {snap_path.name}")
+
+        # -- 2. restore and serve over HTTP ---------------------------------
+        service = QueryService.from_snapshot(snap_path, max_batch_size=16)
+        with service, HttpQueryServer(service, port=0).start() as server:
+            print(f"serving at http://{server.host}:{server.port}")
+            client = ServiceClient(port=server.port)
+            print(f"healthz: {client.healthz()}")
+
+            # -- 3. concurrent clients, mixed MRQ/MkNNQ ----------------------
+            sample = [words[i] for i in range(20)]
+
+            def one_client(i: int):
+                q = sample[i % len(sample)]
+                return client.range_query(q, 2.0), client.knn_query(q, k=5)
+
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=8) as clients:
+                answers = list(clients.map(one_client, range(80)))
+            seconds = time.perf_counter() - t0
+
+            # every wire answer is bit-for-bit the direct in-process answer
+            hits, nearest = answers[0]
+            direct = service.range_query(sample[0], 2.0)
+            assert hits == direct, "wire answers must equal direct answers"
+            print(
+                f"served {2 * len(answers)} requests in {seconds:.2f}s "
+                f"({2 * len(answers) / seconds:.0f} req/s) over loopback HTTP"
+            )
+            print(
+                f"sample: {len(hits)} words within edit distance 2, "
+                f"nearest neighbor at distance {nearest[0].distance:.0f}"
+            )
+
+            stats = client.stats()
+            print(
+                f"cache hit rate {stats['cache']['hit_rate']:.0%}; "
+                f"dispatcher coalesced {stats['dispatcher']['queries']} queries "
+                f"into {stats['dispatcher']['batches']} batches; "
+                f"http served {stats['http']['served']} "
+                f"(rejected {stats['http']['rejected']})"
+            )
+
+        # -- 4. the context managers drained and closed everything ----------
+        print("shut down cleanly: requests drained, dispatcher joined, socket closed")
+
+
+if __name__ == "__main__":
+    main()

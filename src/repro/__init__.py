@@ -83,9 +83,12 @@ from .external import (
     SPBTree,
 )
 from .service import (
+    HttpQueryServer,
     MicroBatchDispatcher,
     QueryResultCache,
     QueryService,
+    ServiceClient,
+    ServiceClientError,
     SnapshotError,
     SnapshotInfo,
     load_index,
@@ -150,6 +153,7 @@ __all__ = [
     "Measurement",
     "MetricDistance",
     "MetricIndex",
+    "HttpQueryServer",
     "MetricSpace",
     "MicroBatchDispatcher",
     "Neighbor",
@@ -164,6 +168,8 @@ __all__ = [
     "QueryStats",
     "RangeResult",
     "SPBTree",
+    "ServiceClient",
+    "ServiceClientError",
     "ShardedIndex",
     "SnapshotError",
     "SnapshotInfo",

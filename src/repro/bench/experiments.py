@@ -13,6 +13,7 @@ from ..core.dataset import dataset_statistics
 from .runner import (
     measure_build,
     run_batch_comparison,
+    run_http_comparison,
     run_knn_queries,
     run_page_access_comparison,
     run_range_queries,
@@ -38,6 +39,7 @@ __all__ = [
     "exp_ablation_sfc",
     "exp_batch_throughput",
     "exp_cpt_paging",
+    "exp_http_throughput",
     "exp_service_throughput",
     "build_all",
 ]
@@ -385,6 +387,46 @@ def exp_service_throughput(
                 repeats=repeats,
                 max_batch_size=max_batch_size,
                 max_wait_ms=max_wait_ms,
+            )
+            rows.append({"Dataset": wl_name, **row})
+    return rows
+
+
+def exp_http_throughput(
+    workloads: dict[str, Workload],
+    index_names=("LAESA",),
+    n_pivots: int = N_PIVOTS_DEFAULT,
+    selectivity: float = 0.16,
+    k: int = 10,
+    built: dict | None = None,
+    repeats: int = 3,
+    batch_copies: int = 4,
+) -> list[dict]:
+    """HTTP front-end overhead: batch endpoints vs in-process batch calls.
+
+    One ``POST /range_many`` / ``POST /knn_many`` per measured pass against
+    a loopback :class:`~repro.service.http.HttpQueryServer`, compared to
+    the identical ``*_query_many`` call in process (cache disabled on both
+    sides).  The reported ratio is what the JSON codec and one localhost
+    round trip cost, amortised over the batch; answers are asserted
+    bit-for-bit equal before timing.
+    """
+    rows = []
+    for wl_name, workload in workloads.items():
+        indexes = (built or {}).get(wl_name) or build_all(
+            workload, index_names, n_pivots
+        )
+        radius = workload.radius_for(selectivity)
+        for index_name in index_names:
+            if index_name not in indexes:
+                continue
+            row = run_http_comparison(
+                indexes[index_name].index,
+                workload.queries,
+                radius,
+                k,
+                repeats=repeats,
+                batch_copies=batch_copies,
             )
             rows.append({"Dataset": wl_name, **row})
     return rows

@@ -219,21 +219,69 @@ def _cmd_snapshot(args) -> int:
     return 0
 
 
+def _serve_http(service: QueryService, args) -> int:
+    """Run the HTTP front-end until interrupted, then drain and exit."""
+    from .service.http import HttpQueryServer
+
+    server = HttpQueryServer(
+        service, host=args.host, port=args.http, max_inflight=args.max_inflight
+    )
+    server.start()
+    print(
+        f"serving {service.index_id} at http://{args.host}:{server.port} "
+        f"(max in-flight {args.max_inflight})\n"
+        "endpoints: POST /range /knn /range_many /knn_many /insert /delete "
+        "/admin/reload; GET /healthz /stats -- Ctrl-C to stop",
+        flush=True,
+    )
+    died = False
+    try:
+        # exit the foreground wait if the accept loop ever dies (e.g. on
+        # fd exhaustion) instead of spinning on a dead thread forever
+        while server.is_serving:
+            server.join(timeout=0.5)
+        died = True
+        print("accept loop exited unexpectedly", flush=True)
+    except KeyboardInterrupt:
+        print(
+            "shutting down: draining in-flight requests and the dispatcher",
+            flush=True,
+        )
+    finally:
+        server.close()
+    print(
+        f"served {server.requests_served} requests "
+        f"({server.rejected} rejected); shut down cleanly",
+        flush=True,
+    )
+    return 1 if died else 0
+
+
 def _cmd_serve(args) -> int:
+    # everything that can fail (workload synthesis, snapshot header parse,
+    # index construction) runs *before* the service -- and with it the
+    # dispatcher worker thread -- exists; from construction on, the
+    # `with service:` below guarantees the thread is joined on every path
+    http_mode = getattr(args, "http", None) is not None
     if args.snapshot:
+        info = snapshot_info(args.snapshot)
+        workload = (
+            None
+            if http_mode
+            else make_workload(
+                info.dataset_name, n=info.n_objects, n_queries=args.queries
+            )
+        )
         service = QueryService.from_snapshot(
             args.snapshot,
             cache_size=args.cache_size,
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
         )
-        info = snapshot_info(args.snapshot)
-        dataset_name = info.dataset_name
-        print(
+        banner = (
             f"restored {info.index_name} ({info.n_objects} objects, "
             f"{info.distance_name}) from {args.snapshot} -- no rebuild"
         )
-        workload = make_workload(dataset_name, n=info.n_objects, n_queries=args.queries)
     else:
         workload = make_workload(args.dataset, n=args.n, n_queries=args.queries)
         pivots = shared_pivots(workload, args.pivots)
@@ -244,23 +292,28 @@ def _cmd_serve(args) -> int:
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
         )
-    radius = workload.radius_for(0.16)
-    # the request stream: single queries, mixed MRQ/MkNNQ, repeating the
-    # query sample (online traffic repeats popular queries)
-    requests = []
-    for _ in range(max(1, args.requests // (2 * len(workload.queries)) + 1)):
-        for q in workload.queries:
-            requests.append(("range", q, radius))
-            requests.append(("knn", q, args.k))
-    requests = requests[: args.requests]
-
-    def one(request):
-        kind, q, p = request
-        if kind == "range":
-            return service.range_query(q, p)
-        return service.knn_query(q, p)
-
+        banner = None
     with service:
+        if banner:
+            print(banner, flush=True)
+        if http_mode:
+            return _serve_http(service, args)
+        radius = workload.radius_for(0.16)
+        # the request stream: single queries, mixed MRQ/MkNNQ, repeating the
+        # query sample (online traffic repeats popular queries)
+        requests = []
+        for _ in range(max(1, args.requests // (2 * len(workload.queries)) + 1)):
+            for q in workload.queries:
+                requests.append(("range", q, radius))
+                requests.append(("knn", q, args.k))
+        requests = requests[: args.requests]
+
+        def one(request):
+            kind, q, p = request
+            if kind == "range":
+                return service.range_query(q, p)
+            return service.knn_query(q, p)
+
         with ThreadPoolExecutor(max_workers=args.clients) as pool:
             t0 = time.perf_counter()
             list(pool.map(one, requests))
@@ -367,6 +420,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-size", type=int, default=1024)
     p.add_argument("--batch-size", type=int, default=32)
     p.add_argument("--max-wait-ms", type=float, default=2.0)
+    p.add_argument(
+        "--http",
+        type=int,
+        metavar="PORT",
+        help="serve the JSON HTTP front-end on this port (0 picks a free "
+        "port) instead of running the synthetic traffic demo",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="HTTP backpressure: concurrent requests beyond this get 503",
+    )
     p.set_defaults(func=_cmd_serve)
     return parser
 

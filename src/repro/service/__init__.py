@@ -11,11 +11,14 @@ service (the ROADMAP's serving north star):
 * :mod:`~repro.service.dispatcher` -- coalesces concurrent single-query
   callers into the batch execution layer's vectorised multi-query calls;
 * :mod:`~repro.service.service` -- the :class:`QueryService` facade wiring
-  the three together (used by ``python -m repro serve``).
+  the three together (used by ``python -m repro serve``);
+* :mod:`~repro.service.http` -- the JSON HTTP front-end over the facade
+  (``python -m repro serve --http PORT``) and its :class:`ServiceClient`.
 """
 
 from .cache import QueryResultCache, query_key
 from .dispatcher import DispatcherStats, MicroBatchDispatcher
+from .http import HttpQueryServer, ServiceClient, ServiceClientError
 from .service import QueryService
 from .snapshot import (
     SNAPSHOT_FORMAT_VERSION,
@@ -31,9 +34,12 @@ from .snapshot import (
 
 __all__ = [
     "DispatcherStats",
+    "HttpQueryServer",
     "MicroBatchDispatcher",
     "QueryResultCache",
     "QueryService",
+    "ServiceClient",
+    "ServiceClientError",
     "SNAPSHOT_FORMAT_VERSION",
     "SNAPSHOT_MAGIC",
     "SnapshotError",

@@ -253,6 +253,7 @@ class QueryResultCache:
                 key, result, query_obj, obj, object_id, distance
             )
         ]
+        doomed_keys = set(doomed)
         with self._lock:
             dropped = 0
             for key in doomed:
@@ -261,7 +262,15 @@ class QueryResultCache:
                 # dropping a fresh answer is harmless, missing keys are not
                 if self._entries.pop(key, None) is not None:
                     dropped += 1
-            self.partial_survivors += len(candidates) - len(doomed)
+            # survivors are the entries this invalidation actually kept
+            # alive: proved unaffected AND still the same entry object --
+            # one concurrently evicted, or replaced by a fresh answer,
+            # wasn't kept by the proof and must not be credited to it
+            self.partial_survivors += sum(
+                1
+                for key, entry in candidates
+                if key not in doomed_keys and self._entries.get(key) is entry
+            )
         return dropped
 
     @staticmethod

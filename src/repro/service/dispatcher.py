@@ -47,9 +47,18 @@ __all__ = ["MicroBatchDispatcher", "DispatcherStats"]
 
 
 class DispatcherStats:
-    """Counts of what the dispatcher coalesced (read via ``stats()``)."""
+    """Counts of what the dispatcher coalesced (read via ``stats()``).
+
+    Written by the worker thread (:meth:`record`, per dispatched batch) and
+    by submitter threads (:meth:`record_wait`, per arrival) while
+    ``as_dict()`` is read concurrently from ``QueryService.stats()`` -- so
+    every update and every read holds one internal lock.  Without it a
+    reader can observe a torn snapshot (``queries`` already incremented,
+    ``batches`` not yet).
+    """
 
     def __init__(self):
+        self._lock = threading.Lock()
         self.queries = 0
         self.batches = 0
         self.largest_batch = 0
@@ -58,27 +67,38 @@ class DispatcherStats:
         self.ewma_arrival_ms: float | None = None
 
     def record(self, batch_size: int) -> None:
-        self.queries += batch_size
-        self.batches += 1
-        self.largest_batch = max(self.largest_batch, batch_size)
+        with self._lock:
+            self.queries += batch_size
+            self.batches += 1
+            self.largest_batch = max(self.largest_batch, batch_size)
+
+    def record_wait(self, wait_ms: float, ewma_ms: float | None) -> None:
+        """Publish the most recently active group's wait and arrival EWMA."""
+        with self._lock:
+            self.current_wait_ms = wait_ms
+            self.ewma_arrival_ms = ewma_ms
 
     @property
     def mean_batch_size(self) -> float:
-        return self.queries / self.batches if self.batches else 0.0
+        with self._lock:
+            return self.queries / self.batches if self.batches else 0.0
 
     def as_dict(self) -> dict:
-        return {
-            "queries": self.queries,
-            "batches": self.batches,
-            "mean_batch_size": round(self.mean_batch_size, 2),
-            "largest_batch": self.largest_batch,
-            "current_wait_ms": round(self.current_wait_ms, 4),
-            "ewma_arrival_ms": (
-                None
-                if self.ewma_arrival_ms is None
-                else round(self.ewma_arrival_ms, 4)
-            ),
-        }
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "batches": self.batches,
+                "mean_batch_size": (
+                    round(self.queries / self.batches, 2) if self.batches else 0.0
+                ),
+                "largest_batch": self.largest_batch,
+                "current_wait_ms": round(self.current_wait_ms, 4),
+                "ewma_arrival_ms": (
+                    None
+                    if self.ewma_arrival_ms is None
+                    else round(self.ewma_arrival_ms, 4)
+                ),
+            }
 
 
 class MicroBatchDispatcher:
@@ -134,7 +154,7 @@ class MicroBatchDispatcher:
         self._arrival: dict[tuple, float] = {}
         self._closed = False
         self.stats = DispatcherStats()
-        self.stats.current_wait_ms = self.max_wait * 1000.0
+        self.stats.record_wait(self.max_wait * 1000.0, None)
         self._worker = threading.Thread(
             target=self._run, name="repro-dispatcher", daemon=True
         )
@@ -204,8 +224,7 @@ class MicroBatchDispatcher:
             else:
                 rate[2] = min(self.max_wait, rate[1] * (self.max_batch_size - 1))
         # stats reflect the most recently active group
-        self.stats.ewma_arrival_ms = rate[1] * 1000.0
-        self.stats.current_wait_ms = rate[2] * 1000.0
+        self.stats.record_wait(rate[2] * 1000.0, rate[1] * 1000.0)
 
     def _wait_of(self, key: tuple) -> float:
         """The applied coalescing wait for one group (lock held)."""

@@ -1,0 +1,583 @@
+"""HTTP front-end: the :class:`QueryService` surface as JSON over a socket.
+
+Until this module, "serving" meant in-process concurrent callers -- the
+snapshots, the LRU result cache, and the micro-batching dispatcher were all
+unreachable from another process.  :class:`HttpQueryServer` closes that gap
+with a stdlib-only threaded HTTP server:
+
+* **endpoints** -- ``POST /range``, ``POST /knn``, their batch variants
+  ``POST /range_many`` / ``POST /knn_many``, mutations ``POST /insert`` /
+  ``POST /delete``, observability ``GET /stats`` / ``GET /healthz``, and
+  ``POST /admin/reload`` to hot-swap a newer snapshot;
+* **layering preserved** -- each handler thread calls straight into the
+  hosted :class:`~repro.service.service.QueryService`, so wire traffic
+  flows through the exact cache -> dispatcher -> batch stack in-process
+  callers use: concurrent HTTP clients' single queries coalesce into
+  vectorised ``*_query_many`` calls, and repeats are absorbed by the LRU;
+* **backpressure** -- at most ``max_inflight`` requests run at once;
+  excess requests are rejected immediately with ``503`` instead of
+  queueing without bound;
+* **graceful shutdown** -- :meth:`HttpQueryServer.close` stops admitting
+  work (new requests get 503), waits for every in-flight request to
+  finish, drains the dispatcher (``service.close()``), and only then
+  closes the listening socket.
+
+Wire format: JSON bodies both ways.  Vector queries travel as JSON arrays
+and are decoded to the hosted dataset's dtype, string queries (the Words
+workload) as JSON strings; kNN answers are ``[distance, object_id]``
+pairs.  Python's JSON float encoding is shortest-repr and round-trips
+float64 exactly, so HTTP answers are **bit-for-bit** the answers a direct
+:class:`QueryService` call returns -- asserted in ``tests/test_http.py``
+and by the CI loopback smoke.
+
+:class:`ServiceClient` is the matching programmatic client (one stdlib
+``http.client`` connection per call -- thread-safe by construction); see
+``examples/http_quickstart.py`` for the full lifecycle.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..core.queries import Neighbor
+from .snapshot import SnapshotError
+from .service import QueryService
+
+__all__ = [
+    "HttpQueryServer",
+    "ServiceClient",
+    "ServiceClientError",
+    "encode_object",
+    "encode_neighbors",
+    "decode_neighbors",
+]
+
+
+# -- wire codec ---------------------------------------------------------------
+
+
+def encode_object(obj):
+    """A JSON-safe representation of a query/dataset object.
+
+    Numpy vectors become JSON arrays (``tolist`` yields Python floats whose
+    shortest-repr JSON encoding round-trips float64 exactly); strings and
+    other JSON-native objects pass through.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return obj
+
+
+def encode_neighbors(neighbors) -> list:
+    """kNN answers as ``[distance, object_id]`` pairs."""
+    return [[float(n.distance), int(n.object_id)] for n in neighbors]
+
+
+def decode_neighbors(payload) -> list[Neighbor]:
+    """The inverse of :func:`encode_neighbors`."""
+    return [Neighbor(float(d), int(i)) for d, i in payload]
+
+
+class _BadRequest(ValueError):
+    """Raised by handlers for malformed bodies; mapped to HTTP 400."""
+
+
+# -- server -------------------------------------------------------------------
+
+
+class _ThreadedServer(ThreadingHTTPServer):
+    """One handler thread per connection, none of them blocking exit.
+
+    ``daemon_threads`` keeps idle keep-alive connections from pinning the
+    process; ``block_on_close`` is off because :meth:`HttpQueryServer.close`
+    performs its own (stronger) drain: it waits for in-flight *requests*,
+    not for connection threads that may sit idle in a keep-alive read.
+    """
+
+    daemon_threads = True
+    block_on_close = False
+    allow_reuse_address = True
+    # the socketserver default backlog of 5 resets bursts of concurrent
+    # connects; admission control is the app's job (max_inflight -> 503),
+    # so the kernel queue must be deep enough to let every burst reach it
+    request_queue_size = 128
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1"
+
+    @property
+    def app(self) -> "HttpQueryServer":
+        return self.server.app
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the access log is the caller's business, not stderr's
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        if self.close_connection:
+            # tell keep-alive clients the connection ends with this reply
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(blob)
+
+    # early-reply paths (404/503) discard the request body up to this much;
+    # a body any bigger is not worth reading just to be polite
+    _DRAIN_LIMIT = 1 << 20
+
+    def _drain_body(self) -> None:
+        """Consume the unread request body before an early reply.
+
+        Replying with body bytes still queued desynchronises keep-alive
+        parsing and -- worse -- makes the kernel RST the connection, which
+        can destroy the 503 before the client reads it.  Bodies within the
+        limit are drained fully (connection stays reusable); anything
+        larger is abandoned and the connection closed after the reply.
+        """
+        try:
+            remaining = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            remaining = 0
+        budget = self._DRAIN_LIMIT
+        while remaining > 0 and budget > 0:
+            chunk = self.rfile.read(min(65536, remaining, budget))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+            budget -= len(chunk)
+        if remaining > 0:
+            self.close_connection = True
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length > 0 else b""
+        if not body:
+            raise _BadRequest("request body must be a JSON object")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"malformed JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return payload
+
+    def do_GET(self) -> None:
+        # observability endpoints bypass backpressure: health checks and
+        # stats scrapes must keep answering while queries saturate the limit
+        if self.path == "/healthz":
+            self._send_json(200, self.app.health())
+        elif self.path == "/stats":
+            self._send_json(200, self.app.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:
+        app = self.app
+        route = app.post_routes.get(self.path)
+        if route is None:
+            self._drain_body()
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        if not app._begin_request():
+            self._drain_body()
+            self._send_json(
+                503,
+                {
+                    "error": (
+                        "draining: shutting down"
+                        if app.draining
+                        else f"at capacity ({app.max_inflight} in flight)"
+                    )
+                },
+            )
+            return
+        try:
+            payload = self._read_json()
+            self._send_json(200, route(payload))
+        except _BadRequest as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # index/service errors -> 500, not a hang
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            app._end_request()
+
+
+class HttpQueryServer:
+    """Expose one :class:`QueryService` as a threaded JSON HTTP server.
+
+    Args:
+        service: the (already built or restored) service to serve.
+        host / port: bind address; port 0 picks a free ephemeral port
+            (read it back from :attr:`port`).
+        max_inflight: bound on concurrently executing requests -- the
+            backpressure limit.  Requests beyond it receive ``503``
+            immediately; clients are expected to retry.
+
+    Use :meth:`start` to serve from a background thread and :meth:`close`
+    (or the context manager form) to shut down gracefully: draining
+    requests, then the dispatcher, then the socket -- in that order.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+    ):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.service = service
+        self.max_inflight = int(max_inflight)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._active = 0
+        self._draining = False
+        self._closed = False
+        self.requests_served = 0
+        self.rejected = 0
+        self._admin_lock = threading.Lock()  # one reload at a time
+        self.post_routes = {
+            "/range": self._handle_range,
+            "/knn": self._handle_knn,
+            "/range_many": self._handle_range_many,
+            "/knn_many": self._handle_knn_many,
+            "/insert": self._handle_insert,
+            "/delete": self._handle_delete,
+            "/admin/reload": self._handle_reload,
+        }
+        self._httpd = _ThreadedServer((host, port), _Handler)
+        self._httpd.app = self
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def is_serving(self) -> bool:
+        """True while the background accept loop is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "HttpQueryServer":
+        """Serve from a background thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def join(self, timeout: float | None = None) -> None:
+        """Block on the serving thread (the CLI's foreground wait)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def close(self, drain_timeout: float | None = None) -> bool:
+        """Graceful shutdown: requests, then dispatcher, then socket.
+
+        1. stop admitting work -- new requests are rejected with 503;
+        2. wait (up to ``drain_timeout``) for in-flight requests to finish;
+        3. ``service.close()`` drains and joins the dispatcher worker, so
+           every coalesced batch an HTTP thread is waiting on resolves;
+        4. only then stop the accept loop and close the listening socket.
+
+        Idempotent.  With the default ``drain_timeout=None`` the drain
+        waits as long as it takes, so requests admitted before the call
+        complete with real answers, never connection resets.  Returns True
+        for a clean drain; a finite timeout that expires returns False and
+        shuts down anyway -- requests still in flight at that point may
+        fail (the dispatcher they depend on is being closed), which is the
+        caller's explicit trade when bounding the wait.
+        """
+        drained = True
+        with self._idle:
+            already = self._closed
+            self._draining = True
+            if not already:
+                drained = self._idle.wait_for(
+                    lambda: self._active == 0, timeout=drain_timeout
+                )
+                self._closed = True
+        if already:
+            return drained
+        self.service.close()
+        if self._thread is not None:
+            # shutdown() handshakes with serve_forever; calling it on a
+            # never-started server would wait forever on an event only
+            # serve_forever's exit can set
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        return drained
+
+    def __enter__(self) -> "HttpQueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request admission (backpressure + drain accounting) ------------------
+
+    def _begin_request(self) -> bool:
+        with self._lock:
+            if self._draining or self._active >= self.max_inflight:
+                self.rejected += 1
+                return False
+            self._active += 1
+            return True
+
+    def _end_request(self) -> None:
+        with self._idle:
+            self._active -= 1
+            self.requests_served += 1
+            if self._active == 0:
+                self._idle.notify_all()
+
+    # -- observability ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "index": self.service.index_id,
+            "objects": len(self.service.index.space),
+        }
+
+    def stats(self) -> dict:
+        out = self.service.stats()
+        with self._lock:
+            out["http"] = {
+                "active": self._active,
+                "max_inflight": self.max_inflight,
+                "served": self.requests_served,
+                "rejected": self.rejected,
+                "draining": self._draining,
+            }
+        return out
+
+    # -- payload decoding ------------------------------------------------------
+
+    def _decode_object(self, value, field: str = "query"):
+        """A wire value as a query/dataset object of the hosted dataset.
+
+        Vector datasets decode JSON arrays to their numpy dtype (shape
+        checked against the dataset's dimensionality); everything else
+        (strings for Words) passes through as-is.
+        """
+        if value is None:
+            raise _BadRequest(f"missing {field!r}")
+        dataset = self.service.index.space.dataset
+        if dataset.is_vector:
+            try:
+                arr = np.asarray(value, dtype=dataset.objects.dtype)
+            except (TypeError, ValueError):
+                raise _BadRequest(
+                    f"{field!r} must be a numeric array for this index"
+                ) from None
+            if arr.shape != dataset.objects.shape[1:]:
+                raise _BadRequest(
+                    f"{field!r} has shape {arr.shape}, index expects "
+                    f"{dataset.objects.shape[1:]}"
+                )
+            return arr
+        return value
+
+    def _decode_many(self, payload) -> list:
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise _BadRequest("'queries' must be a non-empty JSON array")
+        return [self._decode_object(q, "queries[]") for q in queries]
+
+    @staticmethod
+    def _number(payload, field: str) -> float:
+        value = payload.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise _BadRequest(f"{field!r} must be a number")
+        return float(value)
+
+    def _k(self, payload) -> int:
+        k = self._number(payload, "k")
+        if k < 1 or k != int(k):
+            raise _BadRequest("'k' must be a positive integer")
+        return int(k)
+
+    # -- query endpoints -------------------------------------------------------
+
+    def _handle_range(self, payload: dict) -> dict:
+        query = self._decode_object(payload.get("query"))
+        radius = self._number(payload, "radius")
+        return {"ids": [int(i) for i in self.service.range_query(query, radius)]}
+
+    def _handle_knn(self, payload: dict) -> dict:
+        query = self._decode_object(payload.get("query"))
+        k = self._k(payload)
+        return {"neighbors": encode_neighbors(self.service.knn_query(query, k))}
+
+    def _handle_range_many(self, payload: dict) -> dict:
+        queries = self._decode_many(payload)
+        radius = self._number(payload, "radius")
+        answers = self.service.range_query_many(queries, radius)
+        return {"results": [[int(i) for i in ids] for ids in answers]}
+
+    def _handle_knn_many(self, payload: dict) -> dict:
+        queries = self._decode_many(payload)
+        k = self._k(payload)
+        answers = self.service.knn_query_many(queries, k)
+        return {"results": [encode_neighbors(a) for a in answers]}
+
+    # -- mutation + admin endpoints --------------------------------------------
+
+    @staticmethod
+    def _object_id(payload, required: bool) -> int | None:
+        object_id = payload.get("object_id")
+        if object_id is None and not required:
+            return None
+        # bool subclasses int: JSON true must not silently target id 1
+        if not isinstance(object_id, int) or isinstance(object_id, bool):
+            raise _BadRequest("'object_id' must be an integer")
+        return object_id
+
+    def _handle_insert(self, payload: dict) -> dict:
+        obj = self._decode_object(payload.get("object"), "object")
+        object_id = self._object_id(payload, required=False)
+        return {"object_id": int(self.service.insert(obj, object_id=object_id))}
+
+    def _handle_delete(self, payload: dict) -> dict:
+        object_id = self._object_id(payload, required=True)
+        self.service.delete(object_id)
+        return {"deleted": object_id}
+
+    def _handle_reload(self, payload: dict) -> dict:
+        path = payload.get("snapshot")
+        if not isinstance(path, str) or not path:
+            raise _BadRequest("'snapshot' must be a path string")
+        with self._admin_lock:
+            try:
+                info = self.service.reload_from_snapshot(path)
+            except (OSError, SnapshotError) as exc:
+                raise _BadRequest(f"cannot reload {path!r}: {exc}") from None
+        return {
+            "reloaded": path,
+            "index": info.index_name,
+            "objects": info.n_objects,
+            "distance": info.distance_name,
+            "dataset": info.dataset_name,
+        }
+
+
+# -- client -------------------------------------------------------------------
+
+
+class ServiceClientError(RuntimeError):
+    """A non-200 response from the server; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Programmatic client for :class:`HttpQueryServer` (stdlib only).
+
+    Each call opens its own connection, so one client instance may be
+    shared freely across threads.  Query objects are encoded with
+    :func:`encode_object` (numpy vectors accepted directly); kNN answers
+    come back as :class:`~repro.core.queries.Neighbor` lists, bit-for-bit
+    equal to a direct :class:`QueryService` call's.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            blob = response.read()
+            try:
+                out = json.loads(blob) if blob else {}
+            except json.JSONDecodeError:
+                out = {"error": blob.decode("utf-8", "replace")}
+            if response.status != 200:
+                raise ServiceClientError(
+                    response.status, out.get("error", "unexpected response")
+                )
+            return out
+        finally:
+            conn.close()
+
+    # -- queries ---------------------------------------------------------------
+
+    def range_query(self, query_obj, radius: float) -> list[int]:
+        payload = {"query": encode_object(query_obj), "radius": float(radius)}
+        return self._request("POST", "/range", payload)["ids"]
+
+    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+        payload = {"query": encode_object(query_obj), "k": int(k)}
+        return decode_neighbors(self._request("POST", "/knn", payload)["neighbors"])
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        payload = {
+            "queries": [encode_object(q) for q in queries],
+            "radius": float(radius),
+        }
+        return self._request("POST", "/range_many", payload)["results"]
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        payload = {"queries": [encode_object(q) for q in queries], "k": int(k)}
+        results = self._request("POST", "/knn_many", payload)["results"]
+        return [decode_neighbors(r) for r in results]
+
+    # -- mutations + admin -----------------------------------------------------
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        payload = {"object": encode_object(obj)}
+        if object_id is not None:
+            payload["object_id"] = int(object_id)
+        return int(self._request("POST", "/insert", payload)["object_id"])
+
+    def delete(self, object_id: int) -> None:
+        self._request("POST", "/delete", {"object_id": int(object_id)})
+
+    def reload(self, snapshot_path) -> dict:
+        return self._request("POST", "/admin/reload", {"snapshot": str(snapshot_path)})
+
+    # -- observability ---------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")

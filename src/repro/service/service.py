@@ -30,12 +30,14 @@ contain the mutated object are dropped; the rest keep serving (see
 
 from __future__ import annotations
 
+import threading
+
 from ..core.counters import CostCounters
 from ..core.index import MetricIndex
 from ..core.queries import Neighbor
 from .cache import QueryResultCache
 from .dispatcher import MicroBatchDispatcher
-from .snapshot import load_index, rebind_counters, save_index
+from .snapshot import load_index, rebind_counters, save_index, snapshot_info
 
 __all__ = ["QueryService"]
 
@@ -92,6 +94,7 @@ class QueryService:
             if use_dispatcher
             else None
         )
+        self._reload_lock = threading.Lock()
 
     # -- construction from disk ----------------------------------------------
 
@@ -110,6 +113,31 @@ class QueryService:
     def save(self, path):
         """Snapshot the hosted index to ``path`` (see :func:`save_index`)."""
         return save_index(self.index, path)
+
+    def reload_from_snapshot(self, path):
+        """Hot-swap the hosted index for one restored from ``path``.
+
+        The restore (file IO + unpickling) happens before the swap, so the
+        service keeps answering from the old index until the new one is
+        fully ready; the swap itself is one attribute assignment followed
+        by a cache invalidation of the index's namespace.  Correctness
+        under concurrency: each batch call binds ``self.index`` exactly
+        once *after* capturing the cache generation, and the invalidation
+        bumps that generation -- so an in-flight answer computed against
+        the old index can never be cached as the new index's answer (the
+        conditional ``put`` drops it), and every stale cached entry is
+        gone by the time :meth:`reload_from_snapshot` returns.
+
+        The cache namespace (``index_id``) and the shared counters are
+        kept, so serving stats accumulate across the swap.  Returns the
+        new snapshot's :class:`~repro.service.snapshot.SnapshotInfo`.
+        """
+        info = snapshot_info(path)  # validate the header before restoring
+        index = load_index(path, counters=self.counters)
+        with self._reload_lock:
+            self.index = index
+            self.cache.invalidate(self.index_id)
+        return info
 
     # -- query surface --------------------------------------------------------
 
@@ -130,21 +158,27 @@ class QueryService:
         # capture the invalidation epoch before evaluating: if a concurrent
         # insert/delete lands mid-evaluation, these answers predate it and
         # the conditional put drops them instead of caching stale results
-        generation = self.cache.generation(self.index_id)
+        caching = self.cache.capacity > 0
+        generation = self.cache.generation(self.index_id) if caching else 0
         if kind == "range":
             answers = self.index.range_query_many(distinct, param)
         else:
             answers = self.index.knn_query_many(distinct, int(param))
         for (key, positions), answer in zip(positions_by_key.items(), answers):
-            self.cache.put(
-                key, answer, generation=generation, query_obj=queries[positions[0]]
-            )
+            if caching:
+                self.cache.put(
+                    key, answer, generation=generation, query_obj=queries[positions[0]]
+                )
             for i in positions:
                 results[i] = list(answer)
         return results
 
     def _execute_batch(self, kind: str, param: float, queries: list) -> list:
         """Cache-aware batch: hits from the LRU, misses in one index call."""
+        if self.cache.capacity == 0:
+            # disabled cache: every lookup would be a guaranteed miss --
+            # skip the key hashing and the misleading miss accounting
+            return self._execute_misses(kind, param, queries)
         results: list = [None] * len(queries)
         misses: list[int] = []
         for i, query_obj in enumerate(queries):
@@ -165,12 +199,15 @@ class QueryService:
 
         The cache lookup runs in the calling thread, so warm repeat
         traffic never pays the dispatcher's handoff or coalescing wait;
-        only misses are enqueued for batching.
+        only misses are enqueued for batching.  A disabled cache
+        (capacity 0) is bypassed entirely -- no key is hashed and no
+        ``cache_miss`` is counted for a lookup that cannot ever hit.
         """
-        key = self.cache.make_key(self.index_id, kind, query_obj, param)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return cached
+        if self.cache.capacity > 0:
+            key = self.cache.make_key(self.index_id, kind, query_obj, param)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
         if self.dispatcher is not None:
             return self.dispatcher.submit(kind, query_obj, param).result()
         return self._execute_misses(kind, param, [query_obj])[0]
@@ -194,14 +231,15 @@ class QueryService:
     def _submit(self, kind: str, query_obj, param: float):
         if self.dispatcher is None:
             raise RuntimeError("service was built with use_dispatcher=False")
-        key = self.cache.make_key(self.index_id, kind, query_obj, param)
-        cached = self.cache.get(key)
-        if cached is not None:
-            from concurrent.futures import Future
+        if self.cache.capacity > 0:
+            key = self.cache.make_key(self.index_id, kind, query_obj, param)
+            cached = self.cache.get(key)
+            if cached is not None:
+                from concurrent.futures import Future
 
-            future: Future = Future()
-            future.set_result(cached)
-            return future
+                future: Future = Future()
+                future.set_result(cached)
+                return future
         return self.dispatcher.submit(kind, query_obj, param)
 
     def range_query_many(self, queries, radius: float) -> list[list[int]]:
@@ -220,18 +258,23 @@ class QueryService:
         whose radius ball (or kNN kth-distance ball) could contain the new
         object -- everything provably out of reach survives.  The ball
         checks use the raw (uncounted) metric so cache maintenance never
-        inflates compdists."""
-        new_id = self.index.insert(obj, object_id=object_id)
-        self.cache.invalidate_affected(
-            self.index_id, obj=obj, distance=self.index.space.distance
-        )
+        inflates compdists.
+
+        Mutations hold the reload lock: an acknowledged insert must land
+        in the index that keeps serving, never in one a concurrent
+        :meth:`reload_from_snapshot` is about to discard."""
+        with self._reload_lock:
+            new_id = self.index.insert(obj, object_id=object_id)
+            distance = self.index.space.distance
+        self.cache.invalidate_affected(self.index_id, obj=obj, distance=distance)
         return new_id
 
     def delete(self, object_id: int) -> None:
         """Delete from the hosted index, dropping only the cached results
         that contained the victim (a non-member's removal cannot change an
-        answer)."""
-        self.index.delete(object_id)
+        answer).  Holds the reload lock like :meth:`insert`."""
+        with self._reload_lock:
+            self.index.delete(object_id)
         self.cache.invalidate_affected(self.index_id, object_id=object_id)
 
     # -- observability ---------------------------------------------------------

@@ -163,6 +163,17 @@ class BufferPool:
             if victim_dirty:
                 self.store.write(victim_id, victim)
 
+    def resident_bytes(self, page_id: int) -> int | None:
+        """Serialised size of a pooled page's node, or None when absent.
+
+        For a dirty (or never-flushed) page the pool's copy is the
+        authoritative content -- the store still holds the previous blob
+        (or nothing at all) -- so size-weighted accounting must prefer this
+        over :meth:`PageStore.page_bytes`.  Does not touch the LRU order.
+        """
+        entry = self._entries.get(page_id)
+        return entry[1] if entry is not None else None
+
     def flush(self) -> None:
         """Write all dirty pages back to the store (keeps them cached)."""
         for page_id, (node, nbytes, dirty) in list(self._entries.items()):
@@ -235,7 +246,13 @@ class Pager:
         grouped = 0
         for page_id in page_ids:
             if page_id in nodes:
-                grouped += self.store.pages_spanned(self.store.page_bytes(page_id))
+                # weight by the pooled node's serialised size when resident:
+                # for a dirty or never-flushed page the store's blob is stale
+                # (or empty, which would flatten a multi-page leaf to 1)
+                nbytes = self.pool.resident_bytes(page_id)
+                if nbytes is None:
+                    nbytes = self.store.page_bytes(page_id)
+                grouped += self.store.pages_spanned(nbytes)
                 continue
             nodes[page_id] = self.pool.read(page_id)
         if grouped:

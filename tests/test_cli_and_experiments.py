@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.bench import (
@@ -140,3 +142,93 @@ class TestCli:
         )
         out = capsys.readouterr().out
         assert "skipping BKT" in out
+
+    def test_serve_command_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--dataset",
+                    "Words",
+                    "--n",
+                    "150",
+                    "--queries",
+                    "2",
+                    "--requests",
+                    "8",
+                    "--clients",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "served 8 requests" in out
+        assert not _dispatcher_threads()
+
+
+def _dispatcher_threads():
+    return [
+        t
+        for t in threading.enumerate()
+        if t.name == "repro-dispatcher" and t.is_alive()
+    ]
+
+
+class TestServeAlwaysClosesService:
+    """`repro serve` must never leak the dispatcher worker thread.
+
+    The defect: the service (whose constructor starts the worker) was
+    built *before* workload synthesis and radius calibration -- an
+    exception in either leaked the thread.  Now everything fallible runs
+    before construction or inside `with service:`.
+    """
+
+    def _snapshot(self, tmp_path):
+        from repro import CostCounters, MetricSpace, make_words, save_index
+        from repro.core.pivot_selection import select_pivots
+        from repro.tables import LAESA
+
+        words = make_words(80, seed=3)
+        space = MetricSpace(words, CostCounters())
+        index = LAESA.build(
+            space, select_pivots(MetricSpace(words), 3, strategy="hfi", seed=0)
+        )
+        path = tmp_path / "serve.snap"
+        save_index(index, path)
+        return path
+
+    def test_workload_failure_leaks_no_dispatcher_thread(
+        self, tmp_path, monkeypatch
+    ):
+        """The reproduction from the issue: make_workload raising while
+        serving a snapshot used to strand the freshly started worker."""
+        import repro.cli as cli
+
+        path = self._snapshot(tmp_path)
+        before = len(_dispatcher_threads())
+
+        def broken_workload(*args, **kwargs):
+            raise RuntimeError("synthetic workload failure")
+
+        monkeypatch.setattr(cli, "make_workload", broken_workload)
+        with pytest.raises(RuntimeError, match="synthetic workload failure"):
+            main(["serve", "--snapshot", str(path), "--requests", "4"])
+        assert len(_dispatcher_threads()) == before
+
+    def test_traffic_failure_still_closes_service(self, tmp_path, monkeypatch):
+        """An exception after construction (here: the client pool) must
+        close the service on the way out."""
+        import repro.cli as cli
+
+        path = self._snapshot(tmp_path)
+        before = len(_dispatcher_threads())
+
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("no pool for you")
+
+        monkeypatch.setattr(cli, "ThreadPoolExecutor", BrokenPool)
+        with pytest.raises(RuntimeError, match="no pool for you"):
+            main(["serve", "--snapshot", str(path), "--requests", "4"])
+        assert len(_dispatcher_threads()) == before

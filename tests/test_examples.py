@@ -25,6 +25,7 @@ def test_all_examples_exist():
     assert {
         "quickstart.py",
         "serve_quickstart.py",
+        "http_quickstart.py",
         "spell_checker.py",
         "geo_search.py",
         "multimedia_retrieval.py",
@@ -76,3 +77,17 @@ def test_serve_quickstart_runs():
     assert "restored with 0 distance computations" in result.stdout
     assert "hit rate" in result.stdout
     assert "vectorised batches" in result.stdout
+
+
+def test_http_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "http_quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=_ENV,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "serving at http://127.0.0.1:" in result.stdout
+    assert "over loopback HTTP" in result.stdout
+    assert "shut down cleanly" in result.stdout

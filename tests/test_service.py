@@ -784,6 +784,52 @@ class TestPartialInvalidation:
         assert cache.get(mine) is None
         assert cache.get(other) == [2]
 
+    def test_survivors_exclude_concurrently_evicted_entries(self):
+        """The ball checks run outside the lock; entries evicted meanwhile
+        were not kept by the proof and must not be credited as survivors.
+        (Reproduces the defect: the old accounting added
+        len(candidates) - len(doomed) regardless of what still existed.)
+        The side-effecting metric stands in for a concurrent writer --
+        it runs at exactly the point where real concurrent traffic can."""
+        cache = QueryResultCache(capacity=2)
+        for query in (100.0, 200.0):  # both far from the mutation: provable
+            key = cache.make_key("idx", "range", query, 2.0)
+            cache.put(key, [int(query)], query_obj=query)
+
+        def evicting_distance(a, b):
+            # each check pushes two fresh entries: capacity 2 evicts both
+            # candidates while invalidate_affected is still deciding
+            for i in (1, 2):
+                other = cache.make_key("idx", "range", f"intruder-{a}-{i}", 9.0)
+                cache.put(other, [0], query_obj=f"intruder-{a}-{i}")
+            return abs(a - b)
+
+        dropped = cache.invalidate_affected(
+            "idx", obj=0.0, distance=evicting_distance
+        )
+        assert dropped == 0  # nothing affected, nothing left to drop
+        assert cache.partial_survivors == 0  # ...and nothing survived either
+
+    def test_survivors_exclude_concurrently_replaced_entries(self):
+        """A candidate replaced by a fresh post-mutation answer is present
+        under the same key but was not kept by the invalidation proof."""
+        cache = QueryResultCache(capacity=8)
+        key = cache.make_key("idx", "range", 100.0, 2.0)
+        cache.put(key, [1], query_obj=100.0)
+        kept_key = cache.make_key("idx", "range", 500.0, 2.0)
+        cache.put(kept_key, [5], query_obj=500.0)
+
+        def replacing_distance(a, b):
+            if a == 100.0:  # replace this candidate mid-check
+                cache.put(key, [99], query_obj=100.0)
+            return abs(a - b)
+
+        cache.invalidate_affected("idx", obj=0.0, distance=replacing_distance)
+        # exactly one genuine survivor: the untouched far entry
+        assert cache.partial_survivors == 1
+        assert cache.get(key) == [99]  # the replacement itself is untouched
+        assert cache.get(kept_key) == [5]
+
     def test_service_mutations_preserve_unaffected_entries(self, datasets, pivots):
         """End to end: a far-away query's cached answer survives mutations."""
         dataset = datasets["Words"]
@@ -805,6 +851,164 @@ class TestPartialInvalidation:
             assert service.range_query(q, radius) == before
             assert service.cache.hits == hits_before + 2
             assert service.cache.partial_survivors >= 2
+
+
+# ---------------------------------------------------------------------------
+# satellite: dispatcher stats are read/written under one lock
+# ---------------------------------------------------------------------------
+
+
+def test_dispatcher_stats_never_torn_under_concurrent_reads():
+    """record() increments queries and batches as one atomic step: a reader
+    must never observe a snapshot where one moved and the other did not.
+    (The old code updated them without a lock; on GIL builds the tear
+    window is real but needs unlucky preemption -- this pins the invariant
+    so free-threaded builds and future edits cannot regress it.)"""
+    import sys
+
+    from repro.service import DispatcherStats
+
+    stats = DispatcherStats()
+    stop = threading.Event()
+
+    def worker():
+        while not stop.is_set():
+            stats.record(4)  # a constant batch size keeps the invariant exact
+
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    thread = threading.Thread(target=worker)
+    thread.start()
+    try:
+        for _ in range(4000):
+            snap = stats.as_dict()
+            assert snap["queries"] == 4 * snap["batches"], snap
+            assert snap["mean_batch_size"] in (0.0, 4.0), snap
+    finally:
+        stop.set()
+        thread.join()
+        sys.setswitchinterval(old_interval)
+
+
+def test_dispatcher_stats_updates_and_reads_share_one_lock():
+    """The synchronization contract itself: while a reader holds the stats
+    lock, record(), record_wait(), and as_dict() must all block -- updates
+    and reads are serialized, never interleaved."""
+    from repro.service import DispatcherStats
+
+    stats = DispatcherStats()
+    stats.record(2)
+    results = []
+    with stats._lock:
+        blocked = threading.Thread(target=lambda: (stats.record(3), results.append(stats.as_dict())))
+        blocked.start()
+        blocked.join(timeout=0.2)
+        assert blocked.is_alive()  # record() is waiting on the held lock
+        assert not results
+    blocked.join(timeout=5)
+    assert not blocked.is_alive()
+    assert results[0]["queries"] == 5 and results[0]["batches"] == 2
+
+
+def test_service_stats_consistent_under_load(datasets, built_indexes):
+    """End to end: QueryService.stats() while traffic flows must report a
+    dispatcher snapshot whose totals are mutually consistent."""
+    index = built_indexes("Words", "LAESA")
+    queries = _sample_queries(datasets["Words"], n=8)
+    radius = RADIUS["Words"]
+    with QueryService(index, cache_size=0, max_wait_ms=1.0) as service:
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                snap = service.stats()["dispatcher"]
+                if snap["queries"] < snap["batches"]:
+                    torn.append(snap)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                list(
+                    pool.map(
+                        lambda i: service.range_query(queries[i % 8], radius),
+                        range(64),
+                    )
+                )
+        finally:
+            stop.set()
+            thread.join()
+    assert not torn, torn[:3]
+
+
+# ---------------------------------------------------------------------------
+# satellite: a disabled cache is truly bypassed
+# ---------------------------------------------------------------------------
+
+
+def test_zero_capacity_cache_records_no_misses(datasets, built_indexes):
+    """cache_size=0 is documented as 'disables caching entirely' -- so no
+    lookup may run and no cache_miss may be counted for traffic that can
+    never hit.  (Reproduces the defect: the old code counted one miss per
+    query and hashed every query vector.)"""
+    dataset = datasets["Words"]
+    index = built_indexes("Words", "LAESA")
+    queries = _sample_queries(dataset, n=4)
+    radius = RADIUS["Words"]
+    counters = CostCounters()
+    with QueryService(
+        index, counters=counters, cache_size=0, use_dispatcher=False
+    ) as service:
+        single = [service.range_query(q, radius) for q in queries]
+        batched = service.range_query_many(queries, radius)
+    assert batched == single == [index.range_query(q, radius) for q in queries]
+    assert counters.cache_misses == 0
+    assert counters.cache_hits == 0
+    assert service.cache.misses == 0
+
+
+def test_zero_capacity_cache_never_consulted(datasets, built_indexes):
+    """No get() call at all with capacity 0 -- the key construction and the
+    lookup are short-circuited, not just the counter."""
+    index = built_indexes("Words", "LAESA")
+    q = datasets["Words"][0]
+    with QueryService(index, cache_size=0, max_wait_ms=1.0) as service:
+
+        def forbidden(key):  # pragma: no cover - only on regression
+            raise AssertionError("cache.get() reached despite capacity 0")
+
+        service.cache.get = forbidden
+        assert service.range_query(q, RADIUS["Words"]) == index.range_query(
+            q, RADIUS["Words"]
+        )
+        future = service.submit_range(q, RADIUS["Words"])
+        assert future.result(timeout=5) == index.range_query(q, RADIUS["Words"])
+
+
+def test_zero_capacity_service_still_deduplicates_in_flight(
+    datasets, built_indexes
+):
+    """In-batch dedup is independent of caching and must survive the
+    bypass: four identical queries still cost one evaluation."""
+    dataset = datasets["Words"]
+    index = built_indexes("Words", "LAESA")
+    q = dataset[3]
+    radius = RADIUS["Words"]
+    expected = index.range_query(q, radius)
+    counters = CostCounters()
+    with QueryService(
+        index, counters=counters, cache_size=0, use_dispatcher=False
+    ) as service:
+        answers = service.range_query_many([q, q, q, q], radius)
+        batched_cost = counters.distance_computations
+    assert answers == [expected] * 4
+    single = CostCounters()
+    with QueryService(
+        index, counters=single, cache_size=0, use_dispatcher=False
+    ) as fresh:
+        fresh.range_query(q, radius)
+    assert batched_cost == single.distance_computations
 
 
 # ---------------------------------------------------------------------------

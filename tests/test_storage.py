@@ -158,6 +158,62 @@ class TestPager:
         with pytest.raises(KeyError):
             pager.read(page)
 
+    def test_read_many_weights_never_flushed_page_by_pooled_size(self):
+        """Grouped hits on a buffered, never-flushed multi-page node must be
+        weighted by the pooled node's serialised size.  (Reproduces the
+        defect: the store still holds b"" for such a page, so the old
+        weighting collapsed every repeat to 1 page.)"""
+        import pickle
+
+        counters = CostCounters()
+        pager = Pager(page_size=64, counters=counters, cache_bytes=64 * 1024)
+        page = pager.allocate()
+        node = {"payload": list(range(200))}  # pickles to several 64B pages
+        span = pager.store.pages_spanned(
+            len(pickle.dumps(node, protocol=pickle.HIGHEST_PROTOCOL))
+        )
+        assert span > 1
+        pager.write(page, node)  # dirty in the pool, never flushed
+        assert pager.store.page_bytes(page) == 0  # the stale source of truth
+        counters.reset()
+        nodes = pager.read_many([page, page, page])
+        assert nodes == {page: node}
+        assert counters.grouped_hits == 2 * span  # not 2 * 1
+        assert counters.page_reads == 0  # served by the pool throughout
+        assert counters.buffer_hits == span
+
+    def test_read_many_weights_rewritten_page_by_current_size(self):
+        """A page rewritten (dirty) with bigger content must weight grouped
+        hits by the pool's current node, not the store's stale blob."""
+        counters = CostCounters()
+        pager = Pager(page_size=64, counters=counters, cache_bytes=64 * 1024)
+        page = pager.allocate()
+        pager.write(page, "tiny")
+        pager.flush()  # the store now holds the small (soon stale) blob
+        big = {"payload": list(range(200))}
+        pager.write(page, big)  # dirty rewrite: pool and store now disagree
+        span = pager.store.pages_spanned(pager.pool.resident_bytes(page))
+        assert span > 1
+        assert pager.store.pages_spanned(pager.store.page_bytes(page)) == 1
+        counters.reset()
+        pager.read_many([page, page])
+        assert counters.grouped_hits == span
+
+    def test_read_many_falls_back_to_store_bytes_without_pool(self):
+        """With the pool disabled the store is authoritative -- the old
+        weighting path still holds for cold multi-page reads."""
+        counters = CostCounters()
+        pager = Pager(page_size=64, counters=counters, cache_bytes=0)
+        page = pager.allocate()
+        node = list(range(200))
+        pager.write(page, node)  # write-through: the store blob is current
+        span = pager.store.pages_spanned(pager.store.page_bytes(page))
+        assert span > 1
+        counters.reset()
+        pager.read_many([page, page])
+        assert counters.grouped_hits == span
+        assert counters.page_reads == span  # one real multi-page read
+
 
 class TestRandomAccessFile:
     def test_append_read(self):
