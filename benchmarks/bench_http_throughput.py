@@ -66,5 +66,5 @@ def test_http_throughput(http_rows, benchmark, workloads, built_indexes):
     index = built_indexes(GATED_OVERHEAD)["LAESA"].index
     with QueryService(index, cache_size=0, use_dispatcher=False) as service:
         with HttpQueryServer(service).start() as server:
-            client = ServiceClient(port=server.port)
-            benchmark(client.range_query_many, workload.queries, radius)
+            with ServiceClient(port=server.port) as client:
+                benchmark(client.range_query_many, workload.queries, radius)

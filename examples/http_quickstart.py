@@ -50,9 +50,9 @@ def main() -> None:
 
         # -- 2. restore and serve over HTTP ---------------------------------
         service = QueryService.from_snapshot(snap_path, max_batch_size=16)
-        with service, HttpQueryServer(service, port=0).start() as server:
+        with service, HttpQueryServer(service, port=0).start() as server, \
+                ServiceClient(port=server.port) as client:
             print(f"serving at http://{server.host}:{server.port}")
-            client = ServiceClient(port=server.port)
             print(f"healthz: {client.healthz()}")
 
             # -- 3. concurrent clients, mixed MRQ/MkNNQ ----------------------

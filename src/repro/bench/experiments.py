@@ -48,9 +48,29 @@ __all__ = [
 # batch throughput experiment (other indexes fall back to the sequential
 # default, so comparing them would only measure noise).  The tables share
 # one q x l query-pivot matrix; the tree category shares per-node pivot
-# evaluations through the batch frontier engine (repro.trees.common);
-# discrete-only trees are skipped automatically on continuous datasets.
-BATCH_INDEX_NAMES = ("LAESA", "EPT*", "CPT", "MVPT", "VPT", "BKT", "FQT", "FQA")
+# evaluations through the batch frontier engine (repro.trees.common); the
+# external category (Omni family, M-index/M-index*, SPB-tree, PM-tree,
+# DEPT) traverses its structure once per batch with 2-D MBB bounds and
+# page-grouped RAF fetches (repro.external.batch); discrete-only trees are
+# skipped automatically on continuous datasets.
+BATCH_INDEX_NAMES = (
+    "LAESA",
+    "EPT*",
+    "CPT",
+    "MVPT",
+    "VPT",
+    "BKT",
+    "FQT",
+    "FQA",
+    "PM-tree",
+    "Omni-seq",
+    "OmniB+",
+    "OmniR-tree",
+    "M-index",
+    "M-index*",
+    "SPB-tree",
+    "DEPT",
+)
 
 N_PIVOTS_DEFAULT = 5
 

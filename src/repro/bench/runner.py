@@ -517,19 +517,21 @@ def run_http_comparison(
         server = HttpQueryServer(service)
         server.start()
         try:
-            client = ServiceClient(port=server.port)
-            wire_range = client.range_query_many(queries, radius)
-            wire_knn = client.knn_query_many(queries, k)
-            if wire_range != expected_range:
-                raise AssertionError(f"{index.name}: HTTP MRQ answers diverge")
-            if wire_knn != expected_knn:
-                raise AssertionError(f"{index.name}: HTTP MkNNQ answers diverge")
-            inproc_range = best_seconds(
-                lambda: service.range_query_many(queries, radius)
-            )
-            http_range = best_seconds(lambda: client.range_query_many(queries, radius))
-            inproc_knn = best_seconds(lambda: service.knn_query_many(queries, k))
-            http_knn = best_seconds(lambda: client.knn_query_many(queries, k))
+            with ServiceClient(port=server.port) as client:
+                wire_range = client.range_query_many(queries, radius)
+                wire_knn = client.knn_query_many(queries, k)
+                if wire_range != expected_range:
+                    raise AssertionError(f"{index.name}: HTTP MRQ answers diverge")
+                if wire_knn != expected_knn:
+                    raise AssertionError(f"{index.name}: HTTP MkNNQ answers diverge")
+                inproc_range = best_seconds(
+                    lambda: service.range_query_many(queries, radius)
+                )
+                http_range = best_seconds(
+                    lambda: client.range_query_many(queries, radius)
+                )
+                inproc_knn = best_seconds(lambda: service.knn_query_many(queries, k))
+                http_knn = best_seconds(lambda: client.knn_query_many(queries, k))
         finally:
             server.close()
 

@@ -41,9 +41,13 @@ __all__ = [
     "range_pivot_min_dist",
     "double_pivot_can_prune",
     "mbb_min_dist",
+    "mbb_min_dist_many_queries",
     "mbb_max_dist",
+    "mbb_max_dist_many_queries",
     "mbb_can_prune",
     "mbb_can_validate",
+    "mbb_prune_mask_many_queries",
+    "mbb_validate_mask_many_queries",
 ]
 
 
@@ -194,3 +198,75 @@ def mbb_can_prune(query_pivot_dists, lows, highs, radius: float) -> bool:
 def mbb_can_validate(query_pivot_dists, lows, highs, radius: float) -> bool:
     """Lemma 4 on a whole region: every object in the MBB is an answer."""
     return mbb_max_dist(query_pivot_dists, lows, highs) <= radius
+
+
+def mbb_min_dist_many_queries(query_pivot_matrix, lows, highs) -> np.ndarray:
+    """:func:`mbb_min_dist` for a batch of queries over a batch of MBBs.
+
+    ``query_pivot_matrix`` is ``q x l`` (one row per I(q_i)); ``lows`` /
+    ``highs`` are ``c x l`` (one row per region MBB).  Entry (i, j) equals
+    ``mbb_min_dist(query_pivot_matrix[i], lows[j], highs[j])`` -- the
+    ``q x c`` matrix of region lower bounds that drives batched pruning and
+    best-first orderings over clusters/nodes of the external category.
+    """
+    qmat = np.atleast_2d(np.asarray(query_pivot_matrix, dtype=np.float64))
+    lo = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    hi = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    n_queries = qmat.shape[0]
+    n_regions = lo.shape[0]
+    if qmat.size == 0 or lo.size == 0:
+        return np.zeros((n_queries, n_regions), dtype=np.float64)
+    out = np.empty((n_queries, n_regions), dtype=np.float64)
+    step = query_chunk(n_regions, lo.shape[1])
+    for start in range(0, n_queries, step):
+        block = qmat[start : start + step, None, :]
+        out[start : start + step] = np.maximum(
+            np.maximum(lo[None, :, :] - block, block - hi[None, :, :]), 0.0
+        ).max(axis=2)
+    return out
+
+
+def mbb_max_dist_many_queries(query_pivot_matrix, lows, highs) -> np.ndarray:
+    """:func:`mbb_max_dist` for a batch of queries over a batch of MBBs.
+
+    Returns the ``q x c`` matrix of region upper bounds (Lemma 4 lifted to
+    MBBs); ``lows`` is accepted for signature symmetry but, as in the
+    scalar form, only the ``highs`` corners matter.
+    """
+    qmat = np.atleast_2d(np.asarray(query_pivot_matrix, dtype=np.float64))
+    hi = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    n_queries = qmat.shape[0]
+    n_regions = hi.shape[0]
+    if qmat.size == 0 or hi.size == 0:
+        return np.full((n_queries, n_regions), np.inf)
+    out = np.empty((n_queries, n_regions), dtype=np.float64)
+    step = query_chunk(n_regions, hi.shape[1])
+    for start in range(0, n_queries, step):
+        block = qmat[start : start + step, None, :]
+        out[start : start + step] = (block + hi[None, :, :]).min(axis=2)
+    return out
+
+
+def mbb_prune_mask_many_queries(query_pivot_matrix, lows, highs, radius) -> np.ndarray:
+    """Lemma 1 prune mask over (queries x regions).
+
+    ``radius`` may be a scalar (shared MRQ radius) or a per-query array
+    (MkNNQ heap radii); entry (i, j) is True when region j is provably
+    outside query i's ball.
+    """
+    r = np.asarray(radius, dtype=np.float64)
+    return mbb_min_dist_many_queries(query_pivot_matrix, lows, highs) > (
+        r[:, None] if r.ndim else r
+    )
+
+
+def mbb_validate_mask_many_queries(query_pivot_matrix, lows, highs, radius) -> np.ndarray:
+    """Lemma 4 validate mask over (queries x regions).
+
+    Entry (i, j) is True when every object inside region j is provably an
+    answer of query i (no fetch, no distance computation needed).
+    """
+    r = np.asarray(radius, dtype=np.float64)
+    return mbb_max_dist_many_queries(query_pivot_matrix, lows, highs) <= (
+        r[:, None] if r.ndim else r
+    )

@@ -169,16 +169,17 @@ def hfi(
     chosen: list[int] = []
     chosen_cols: list[int] = []
     current = np.zeros(ratios.shape[0], dtype=np.float64)
-    while len(chosen) < n_pivots:
-        best_score, best_col = -1.0, -1
-        for col in range(len(candidates)):
-            if col in chosen_cols:
-                continue
-            score = float(np.maximum(current, ratios[:, col]).mean())
-            if score > best_score:
-                best_score, best_col = score, col
-        if best_col < 0:
+    while len(chosen) < n_pivots and ratios.shape[0]:
+        if len(chosen_cols) == len(candidates):
             break
+        # one |candidates| x |pairs| reduction scores every candidate at
+        # once; the candidates-major layout keeps each row's summation
+        # order (and hence the chosen pivots) bit-identical to the scalar
+        # per-column loop, and argmax keeps its first-best tie-breaking
+        scores = np.maximum(current[None, :], ratios.T).mean(axis=1)
+        if chosen_cols:
+            scores[chosen_cols] = -np.inf
+        best_col = int(np.argmax(scores))
         chosen_cols.append(best_col)
         chosen.append(candidates[best_col])
         current = np.maximum(current, ratios[:, best_col])

@@ -1,0 +1,113 @@
+"""Shared pieces of the external category's batch query paths.
+
+The external indexes (Omni family, M-index/M-index*, SPB-tree, PM-tree,
+DEPT) all follow the same batch recipe:
+
+1. one counted ``pairwise`` call maps the whole query batch into pivot
+   space (a ``q x l`` matrix -- the same total computations as ``q``
+   sequential ``map_query`` calls);
+2. the structure is traversed **once per batch** with an active-query
+   subset carried along (the frontier pattern of ``repro.trees.common``),
+   pruning with the 2-D MBB bounds of :mod:`repro.core.pivot_filter`;
+3. surviving candidates are fetched from the RAF **grouped by page** so
+   each touched page is read at most once per batch
+   (:meth:`~repro.storage.raf.RandomAccessFile.read_many` for eager range
+   verification, :class:`~repro.storage.pager.BatchReadCache` for lazy
+   best-first MkNNQ verification).
+
+This module holds the two helpers steps 2-3 share across indexes: bounded
+page-ordered record chunking, and the key-interval union that lets the
+B+-tree-backed indexes scan each contiguous key run once per batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FETCH_CHUNK",
+    "drain_record_chunks",
+    "iter_record_chunks",
+    "merge_intervals",
+    "query_selector",
+]
+
+# candidates resident in memory at once during batch verification; the
+# external category's premise is that objects only fit on disk, so the
+# union of a big batch's candidates must not be materialised wholesale
+FETCH_CHUNK = 1024
+
+
+def iter_record_chunks(raf, pointer_of, ids, chunk: int = FETCH_CHUNK):
+    """Yield ``{object_id: record}`` maps over page-ordered bounded chunks.
+
+    ``ids`` may repeat across queries; each distinct id is fetched once.
+    Chunks are ordered by owning RAF page, so every touched page is read at
+    most once per chunk (only a chunk-boundary page can be read twice),
+    with repeats inside a chunk counted as ``grouped_hits`` by
+    :meth:`~repro.storage.pager.Pager.read_many`.
+    """
+    distinct = list(dict.fromkeys(ids))
+    distinct.sort(key=lambda i: (pointer_of[i].page_id, pointer_of[i].slot))
+    for start in range(0, len(distinct), chunk):
+        block = distinct[start : start + chunk]
+        yield dict(zip(block, raf.read_many(pointer_of[i] for i in block)))
+
+
+def drain_record_chunks(raf, pointer_of, pending, handle, chunk: int = FETCH_CHUNK):
+    """Verify per-query pending candidates through page-grouped chunks.
+
+    ``pending`` is one mutable id list per query (repeats across queries
+    fine); the union is fetched via :func:`iter_record_chunks` and, per
+    chunk, ``handle(qi, ids, records)`` is called with each query's
+    resident ids before they are removed from its pending list.  This is
+    the one copy of the chunk-accounting bookkeeping every eager batch
+    range verification shares.
+    """
+    union = [i for ids in pending for i in ids]
+    for records in iter_record_chunks(raf, pointer_of, union, chunk=chunk):
+        for qi in range(len(pending)):
+            ids = [i for i in pending[qi] if i in records]
+            if not ids:
+                continue
+            handle(qi, ids, records)
+            if len(ids) < len(pending[qi]):
+                pending[qi] = [i for i in pending[qi] if i not in records]
+            else:
+                pending[qi] = []
+
+
+def merge_intervals(intervals):
+    """Union of closed ``[lo, hi]`` intervals as a sorted disjoint list.
+
+    The batched key-run merge: each query contributes its own B+-tree scan
+    range; the merged runs cover exactly their union, so one scan per run
+    reads every needed leaf page once no matter how many queries' ranges
+    overlap it.  Empty (``lo > hi``) intervals are dropped.
+    """
+    spans = sorted((lo, hi) for lo, hi in intervals if lo <= hi)
+    merged: list[list] = []
+    for lo, hi in spans:
+        if merged and lo <= merged[-1][1]:
+            if hi > merged[-1][1]:
+                merged[-1][1] = hi
+        else:
+            merged.append([lo, hi])
+    return [(lo, hi) for lo, hi in merged]
+
+
+def query_selector(dataset, queries):
+    """``take(idxs) -> query batch`` for active-subset traversals.
+
+    Vector datasets get one up-front 2-D matrix so subsets are a fancy
+    index; everything else (strings, ragged objects) falls back to list
+    selection -- the same contract as the tree frontier engine's selector.
+    """
+    if dataset.is_vector:
+        try:
+            qmat = np.asarray(queries)
+            if qmat.ndim == 2:
+                return qmat.__getitem__
+        except (ValueError, TypeError):
+            pass
+    return lambda idxs: [queries[i] for i in idxs]

@@ -27,9 +27,10 @@ import numpy as np
 from ..core.index import MetricIndex
 from ..core.metric_space import MetricSpace
 from ..core.pivot_selection import hf
-from ..core.queries import KnnHeap, Neighbor
+from ..core.queries import KnnHeap, Neighbor, best_first_knn
 from ..storage.pager import Pager
 from ..storage.raf import RandomAccessFile, RecordPointer
+from .batch import drain_record_chunks
 
 __all__ = ["DEPT"]
 
@@ -204,6 +205,113 @@ class DEPT(MetricIndex):
 
         self._scan(query_obj, lambda: heap.radius, handler)
         return heap.neighbors()
+
+    # -- batch queries ---------------------------------------------------------
+
+    def _scan_bounds_many(self, queries) -> tuple[list[int], np.ndarray]:
+        """One table-block pass for the whole batch (table-style override).
+
+        Each table page is read once per batch (the sequential scan reads
+        every page once *per query*); query-pivot distances are computed
+        with a single counted ``pairwise`` call covering exactly the
+        candidate columns the sequential lazy cache would touch (the union
+        of the live objects' group pivots), so MRQ compdists match the
+        sequential loop.  Returns live ids in storage order and the
+        ``q x n`` Lemma 1 lower-bound matrix over each object's own group
+        pivots.
+        """
+        pages: list[tuple[list[int], np.ndarray, list[int]]] = []
+        used_cols: list[int] = []
+        seen_groups: set[int] = set()
+        for page in self._table_pages:
+            block_ids, rows, block_groups = self.pager.read(page)
+            pages.append((block_ids, np.asarray(rows, dtype=np.float64), block_groups))
+            for object_id, group in zip(block_ids, block_groups):
+                if object_id in self._pointers and group not in seen_groups:
+                    seen_groups.add(group)
+                    for col in self.group_pivots[group]:
+                        if col not in used_cols:
+                            used_cols.append(col)
+        if not used_cols:
+            return [], np.empty((len(queries), 0), dtype=np.float64)
+        col_pos = {col: pos for pos, col in enumerate(used_cols)}
+        pivot_objs = self.space.dataset.gather(
+            [self.candidate_ids[col] for col in used_cols]
+        )
+        qdists = self.space.pairwise_objects(queries, pivot_objs)  # q x |used|
+        ids: list[int] = []
+        blocks: list[np.ndarray] = []
+        for block_ids, rows, block_groups in pages:
+            live = [
+                i for i, object_id in enumerate(block_ids)
+                if object_id in self._pointers
+            ]
+            if not live:
+                continue
+            bounds = np.empty((len(queries), len(live)), dtype=np.float64)
+            for out_pos, i in enumerate(live):
+                cols = [col_pos[c] for c in self.group_pivots[block_groups[i]]]
+                bounds[:, out_pos] = np.abs(qdists[:, cols] - rows[i]).max(axis=1)
+            ids.extend(block_ids[i] for i in live)
+            blocks.append(bounds)
+        if not ids:
+            return [], np.empty((len(queries), 0), dtype=np.float64)
+        return ids, np.concatenate(blocks, axis=1)
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batch MRQ: shared bound matrix + page-grouped RAF verification."""
+        queries = list(queries)
+        if not queries:
+            return []
+        ids, lower = self._scan_bounds_many(queries)
+        survivors = lower <= radius
+        ids_arr = np.asarray(ids, dtype=np.intp)
+        results: list[list[int]] = [[] for _ in queries]
+        pending = [
+            [int(i) for i in ids_arr[survivors[qi]]] for qi in range(len(queries))
+        ]
+
+        def handle(qi, ids, records):
+            dists = self.space.d_many(queries[qi], [records[i][1] for i in ids])
+            results[qi].extend(o for o, d in zip(ids, dists) if d <= radius)
+
+        drain_record_chunks(self.raf, self._pointers, pending, handle)
+        return [sorted(r) for r in results]
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batch MkNNQ: best-first verification over the shared bounds.
+
+        Candidates verify in ascending lower-bound order per query (fewer
+        computations than the sequential storage-order scan, identical
+        answers) through a batch-scoped RAF page cache, so each touched
+        record page is read at most once per batch.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        live = len(self._pointers)
+        if live == 0:
+            return [[] for _ in queries]
+        ids, lower = self._scan_bounds_many(queries)
+        if not ids:
+            return [[] for _ in queries]
+        row_ids = np.asarray(ids, dtype=np.intp)
+        cache = self.pager.batch_reader()
+
+        def verifier(q):
+            def verify(cand_ids):
+                objs = [
+                    self.raf.read_cached(cache, self._pointers[i])[1]
+                    for i in cand_ids
+                ]
+                return self.space.d_many(q, objs)
+
+            return verify
+
+        return [
+            best_first_knn(lower[qi], row_ids, min(k, live), verifier(q))
+            for qi, q in enumerate(queries)
+        ]
 
     # -- maintenance ----------------------------------------------------------
 

@@ -45,11 +45,14 @@ from ..core.pivot_filter import (
     lower_bound,
     mbb_max_dist,
     mbb_min_dist,
+    mbb_min_dist_many_queries,
+    mbb_validate_mask_many_queries,
     upper_bound,
 )
 from ..core.queries import KnnHeap, Neighbor
 from ..storage.pager import Pager
 from ..storage.raf import RandomAccessFile, RecordPointer
+from .batch import drain_record_chunks, merge_intervals
 
 __all__ = ["MIndex", "MIndexStar"]
 
@@ -284,6 +287,187 @@ class MIndex(MetricIndex):
                 continue  # Lemma 1, no distance computation
             handler(object_id, obj, vec)
 
+    # -- batched cluster machinery ---------------------------------------------
+
+    def _candidate_clusters_many(self, qmat: np.ndarray, radii: np.ndarray, active):
+        """Batched :meth:`_candidate_clusters`: one descent per batch.
+
+        ``radii`` is a full-length per-query radius vector (shared for MRQ,
+        the round radius for the expanding MkNNQ); ``active`` indexes the
+        queries still alive.  Yields (leaf, query subset) pairs where the
+        subset is exactly the set of queries whose sequential traversal
+        would reach the leaf.
+        """
+        stack = [(self.root, frozenset(), np.asarray(active, dtype=np.intp))]
+        while stack:
+            node, used, act = stack.pop()
+            if not act.size:
+                continue
+            if node.is_leaf:
+                if node.count == 0:
+                    continue
+                first = node.path[0]
+                d1 = qmat[act, first]
+                r = radii[act]
+                keep = (d1 - r <= node.max_dist) & (d1 + r >= node.min_dist)
+                sub = act[keep]
+                if sub.size:
+                    yield node, sub
+                continue
+            remaining = [j for j in range(self.mapping.n_pivots) if j not in used]
+            if not remaining:
+                continue
+            best = qmat[np.ix_(act, remaining)].min(axis=1)
+            for pivot, child in node.children.items():
+                keep = qmat[act, pivot] - best <= 2.0 * radii[act]
+                if keep.any():
+                    stack.append((child, used | {pivot}, act[keep]))
+
+    def _collect_cluster_candidates(
+        self, leaf, qmat: np.ndarray, radii: np.ndarray, sub, candidates
+    ) -> None:
+        """Merged key-run scan of one cluster for a query subset.
+
+        The subset's scan ranges are merged, each disjoint run is scanned
+        once for the whole batch, and every query selects entries with the
+        exact inclusive predicate the sequential :meth:`_scan_cluster`
+        applies -- so per-query candidate sets are identical while each
+        touched B+-tree leaf page is read once per batch.
+        """
+        first = leaf.path[0]
+        spans = {
+            int(qi): (
+                float(qmat[qi, first]) - float(radii[qi]),
+                float(qmat[qi, first]) + float(radii[qi]),
+            )
+            for qi in sub
+        }
+        keys: list[float] = []
+        ids: list[int] = []
+        for lo, hi in merge_intervals(spans.values()):
+            for key, (object_id, _pointer) in self.btree.range_scan(
+                (leaf.path, lo), (leaf.path, hi)
+            ):
+                if object_id not in self._pointers:
+                    continue  # deleted
+                keys.append(key[1])
+                ids.append(object_id)
+        if not keys:
+            return
+        key_arr = np.asarray(keys, dtype=np.float64)
+        for qi in sub:
+            lo, hi = spans[int(qi)]
+            sel = (key_arr >= lo) & (key_arr <= hi)
+            candidates[qi].extend(ids[j] for j in np.flatnonzero(sel))
+
+    def _verify_candidates_into(
+        self, queries, qmat: np.ndarray, radius: float, candidates, results
+    ) -> None:
+        """Grouped RAF verification: Lemma 1 on the stored vector, then d.
+
+        Candidates are fetched page-grouped (each touched RAF page read at
+        most once per batch); each query then applies the per-record checks
+        of the sequential scan in one vectorised pass per chunk.
+        """
+        pending = [list(ids) for ids in candidates]
+        drain_record_chunks(
+            self.raf,
+            self._pointers,
+            pending,
+            lambda qi, ids, records: self._filter_records(
+                qi, queries[qi], qmat, radius, ids, records, results
+            ),
+        )
+
+    def _filter_records(self, qi, q, qmat, radius, ids, records, results) -> None:
+        """Per-record Lemma 1 filter + verification for one query's chunk."""
+        vecs = np.asarray([records[i][2] for i in ids], dtype=np.float64)
+        lb = np.abs(qmat[qi] - vecs).max(axis=1)
+        survivors = [i for i, b in zip(ids, lb) if b <= radius]
+        if survivors:
+            dists = self.space.d_many(q, [records[i][1] for i in survivors])
+            results[qi].extend(o for o, d in zip(survivors, dists) if d <= radius)
+
+    # -- batch queries -----------------------------------------------------------
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batch MRQ: one cluster-tree descent, merged key runs, grouped RAF."""
+        queries = list(queries)
+        if not queries:
+            return []
+        qmat = self.mapping.map_query_many(queries)
+        radii = np.full(len(queries), float(radius))
+        candidates: list[list[int]] = [[] for _ in queries]
+        every = np.arange(len(queries), dtype=np.intp)
+        for leaf, sub in self._candidate_clusters_many(qmat, radii, every):
+            self._collect_cluster_candidates(leaf, qmat, radii, sub, candidates)
+        results: list[list[int]] = [[] for _ in queries]
+        self._verify_candidates_into(queries, qmat, radius, candidates, results)
+        return [sorted(r) for r in results]
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batch MkNNQ: the expanding-radius rounds run batch-wide.
+
+        Every query follows the sequential radius schedule (same start,
+        doubling), so each round shares one cluster-tree descent and one
+        merged key-run scan per surviving cluster; records are read through
+        a batch-scoped page cache, so the re-scanned rings of later rounds
+        -- the M-index weakness the paper measures -- cost each RAF page at
+        most one read per *batch* instead of per round per query.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        live = len(self._pointers)
+        if live == 0:
+            return [[] for _ in queries]
+        kk = min(k, live)
+        qmat = self.mapping.map_query_many(queries)
+        heaps = [KnnHeap(kk) for _ in queries]
+        computed: list[set[int]] = [set() for _ in queries]
+        cache = self.pager.batch_reader()
+        radius = max(self.mapping.max_distance_bound() / 128.0, 1e-9)
+        active = np.arange(len(queries), dtype=np.intp)
+        while active.size:
+            radii = np.full(len(queries), radius)
+            candidates: list[list[int]] = [[] for _ in queries]
+            for leaf, sub in self._candidate_clusters_many(qmat, radii, active):
+                self._collect_cluster_candidates(leaf, qmat, radii, sub, candidates)
+            for qi in active:
+                ids = sorted(
+                    candidates[qi],
+                    key=lambda i: (
+                        self._pointers[i].page_id,
+                        self._pointers[i].slot,
+                    ),
+                )
+                fresh: list[int] = []
+                objs: list = []
+                for i in ids:
+                    record = self.raf.read_cached(cache, self._pointers[i])
+                    if np.abs(qmat[qi] - record[2]).max() > radius:
+                        continue  # Lemma 1, as in the sequential scan
+                    if i in computed[qi]:
+                        continue
+                    computed[qi].add(i)
+                    fresh.append(i)
+                    objs.append(record[1])
+                if fresh:
+                    dists = self.space.d_many(queries[qi], objs)
+                    for object_id, d in zip(fresh, dists):
+                        heaps[qi].consider(object_id, float(d))
+            active = np.asarray(
+                [
+                    qi
+                    for qi in active
+                    if not (heaps[qi].is_full() and heaps[qi].radius <= radius)
+                    and len(computed[qi]) < live
+                ],
+                dtype=np.intp,
+            )
+            radius *= 2.0
+        return [heap.neighbors() for heap in heaps]
+
     # -- queries ----------------------------------------------------------------------
 
     def range_query(self, query_obj, radius: float) -> list[int]:
@@ -386,6 +570,18 @@ class MIndexStar(MIndex):
                 continue
             yield leaf
 
+    def _candidate_clusters_many(self, qmat: np.ndarray, radii: np.ndarray, active):
+        """2-D Lemma 1 MBB pruning over (surviving queries x cluster)."""
+        for leaf, sub in super()._candidate_clusters_many(qmat, radii, active):
+            if leaf.mbb_lows is not None:
+                box = mbb_min_dist_many_queries(
+                    qmat[sub], leaf.mbb_lows, leaf.mbb_highs
+                )[:, 0]
+                sub = sub[box <= radii[sub]]
+                if not sub.size:
+                    continue
+            yield leaf, sub
+
     def range_query(self, query_obj, radius: float) -> list[int]:
         qdists = self.mapping.map_query(query_obj)
         results: list[int] = []
@@ -410,6 +606,64 @@ class MIndexStar(MIndex):
 
             self._scan_cluster(leaf, qdists, radius, handler)
         return sorted(results)
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batch MRQ with whole-cluster Lemma 4 validation.
+
+        Clusters validated for *any* of their surviving queries enumerate
+        their B+-tree key run once and serve every validated query from
+        that single scan (no RAF reads, no computations -- the sequential
+        fast path, now amortised across the batch); the remaining queries
+        go through the merged key runs and grouped RAF verification of the
+        base class.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        qmat = self.mapping.map_query_many(queries)
+        radii = np.full(len(queries), float(radius))
+        candidates: list[list[int]] = [[] for _ in queries]
+        results: list[list[int]] = [[] for _ in queries]
+        every = np.arange(len(queries), dtype=np.intp)
+        for leaf, sub in self._candidate_clusters_many(qmat, radii, every):
+            if leaf.mbb_lows is not None:
+                validated = mbb_validate_mask_many_queries(
+                    qmat[sub], leaf.mbb_lows, leaf.mbb_highs, radius
+                )[:, 0]
+            else:
+                validated = np.zeros(sub.size, dtype=bool)
+            if validated.any():
+                low = (leaf.path, -float("inf"))
+                high = (leaf.path, float("inf"))
+                members = [
+                    object_id
+                    for _, (object_id, _ptr) in self.btree.range_scan(low, high)
+                    if object_id in self._pointers
+                ]
+                for qi in sub[validated]:
+                    results[qi].extend(members)
+            rest = sub[~validated]
+            if rest.size:
+                self._collect_cluster_candidates(leaf, qmat, radii, rest, candidates)
+        self._verify_candidates_into(queries, qmat, radius, candidates, results)
+        return [sorted(r) for r in results]
+
+    def _filter_records(self, qi, q, qmat, radius, ids, records, results) -> None:
+        """Adds per-record Lemma 4 validation before any computation."""
+        vecs = np.asarray([records[i][2] for i in ids], dtype=np.float64)
+        lb = np.abs(qmat[qi] - vecs).max(axis=1)
+        upper = (qmat[qi] + vecs).min(axis=1)
+        survivors: list[int] = []
+        for i, b, u in zip(ids, lb, upper):
+            if b > radius:
+                continue  # Lemma 1
+            if u <= radius:
+                results[qi].append(i)  # Lemma 4: no distance computation
+            else:
+                survivors.append(i)
+        if survivors:
+            dists = self.space.d_many(q, [records[i][1] for i in survivors])
+            results[qi].extend(o for o, d in zip(survivors, dists) if d <= radius)
 
     def knn_query(self, query_obj, k: int) -> list[Neighbor]:
         """Single best-first pass: clusters by MBB bound, entries by ring bound.
@@ -464,6 +718,111 @@ class MIndexStar(MIndex):
                         pq, (entry_bound, next(counter), 1, (object_id, pointer))
                     )
         return heap.neighbors()
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batch MkNNQ: one shared best-first pass for the whole batch.
+
+        Clusters enter a shared priority queue with the active query
+        subset and the 2-D MBB bounds; popping a cluster scans its B+-tree
+        key run **once per batch** and re-queues per-(query, entry) items
+        under ``max(cluster bound, ring bound)``, exactly as the sequential
+        single traversal does per query.  Entry pops verify through a
+        batch-scoped RAF page cache, so duplicate RAF accesses across
+        queries -- the cost the paper's Figure 15 discussion is about --
+        collapse to one read per touched page per batch.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        live = len(self._pointers)
+        if live == 0:
+            return [[] for _ in queries]
+        kk = min(k, live)
+        qmat = self.mapping.map_query_many(queries)
+        heaps = [KnnHeap(kk) for _ in queries]
+        counter = itertools.count()
+        cache = self.pager.batch_reader()
+        every = np.arange(len(queries), dtype=np.intp)
+        # queue items: (bound, seq, kind, payload, active, bounds);
+        # kind 0 = cluster (subset entry), 1 = (query, entry)
+        pq: list[tuple] = []
+        leaves = [leaf for leaf in self._all_leaves(self.root) if leaf.count > 0]
+        if leaves:
+            boxed = [leaf for leaf in leaves if leaf.mbb_lows is not None]
+            bounds = np.zeros((len(queries), len(leaves)))
+            if boxed and len(boxed) == len(leaves):
+                bounds = mbb_min_dist_many_queries(
+                    qmat,
+                    np.asarray([leaf.mbb_lows for leaf in leaves]),
+                    np.asarray([leaf.mbb_highs for leaf in leaves]),
+                )
+            else:
+                for ci, leaf in enumerate(leaves):
+                    if leaf.mbb_lows is not None:
+                        bounds[:, ci] = mbb_min_dist_many_queries(
+                            qmat, leaf.mbb_lows, leaf.mbb_highs
+                        )[:, 0]
+            for ci, leaf in enumerate(leaves):
+                heapq.heappush(
+                    pq,
+                    (
+                        float(bounds[:, ci].min()),
+                        next(counter),
+                        0,
+                        leaf,
+                        every,
+                        bounds[:, ci],
+                    ),
+                )
+        while pq:
+            bound, _, kind, payload, active, bounds = heapq.heappop(pq)
+            if bound > max(heap.radius for heap in heaps):
+                break
+            if kind == 1:
+                qi, object_id, pointer = payload
+                heap = heaps[qi]
+                if bound > heap.radius or object_id not in self._pointers:
+                    continue
+                record = self.raf.read_cached(cache, pointer)
+                if lower_bound(qmat[qi], record[2]) > heap.radius:
+                    continue  # Lemma 1 with the full vector, post-tightening
+                heap.consider(object_id, self.space.d(queries[qi], record[1]))
+                continue
+            leaf = payload
+            radii = np.asarray([heaps[qi].radius for qi in active])
+            alive = bounds <= radii
+            if not alive.any():
+                continue
+            active, bounds = active[alive], bounds[alive]
+            first = leaf.path[0]
+            low = (leaf.path, -float("inf"))
+            high = (leaf.path, float("inf"))
+            entries = [
+                (key[1], value)
+                for key, value in self.btree.range_scan(low, high)
+                if value[0] in self._pointers
+            ]
+            if not entries:
+                continue
+            key_arr = np.asarray([key for key, _ in entries], dtype=np.float64)
+            for ai, qi in enumerate(active):
+                ring = np.abs(float(qmat[qi, first]) - key_arr)
+                entry_bounds = np.maximum(bounds[ai], ring)
+                r = heaps[qi].radius
+                for j in np.flatnonzero(entry_bounds <= r):
+                    object_id, pointer = entries[j][1]
+                    heapq.heappush(
+                        pq,
+                        (
+                            float(entry_bounds[j]),
+                            next(counter),
+                            1,
+                            (int(qi), object_id, pointer),
+                            None,
+                            None,
+                        ),
+                    )
+        return [heap.neighbors() for heap in heaps]
 
     def _all_leaves(self, node: _ClusterNode):
         if node.is_leaf:

@@ -14,9 +14,17 @@ dictate the node layout.  They differ in how the mapped vectors are indexed:
 
 Queries verify candidates by fetching the object from the RAF (a counted
 page access) and computing the true distance.
+
+Batch queries (``range_query_many`` / ``knn_query_many``) share one q x l
+query-pivot matrix, evaluate Lemma 1 as 2-D masks per vector page / key
+run / R-tree node, and fetch RAF candidates grouped by page -- see
+:mod:`repro.external.batch` for the common recipe.
 """
 
 from __future__ import annotations
+
+import heapq
+import itertools
 
 import numpy as np
 
@@ -24,12 +32,18 @@ from ..btree.bptree import BPlusTree
 from ..core.index import MetricIndex
 from ..core.mapping import PivotMapping
 from ..core.metric_space import MetricSpace
-from ..core.pivot_filter import lower_bound_many
-from ..core.queries import KnnHeap, Neighbor
+from ..core.pivot_filter import (
+    lower_bound_many,
+    lower_bound_many_queries,
+    mbb_min_dist_many_queries,
+    mbb_prune_mask_many_queries,
+)
+from ..core.queries import KnnHeap, Neighbor, best_first_knn
 from ..rtree.geometry import Rect
 from ..rtree.rtree import RTree
 from ..storage.pager import Pager
 from ..storage.raf import RandomAccessFile, RecordPointer
+from .batch import drain_record_chunks, merge_intervals
 
 __all__ = ["OmniSequentialFile", "OmniBPlusTree", "OmniRTree"]
 
@@ -59,6 +73,38 @@ class _OmniBase(MetricIndex):
 
     def _verify(self, query_obj, object_id: int) -> float:
         return self.space.d(query_obj, self._fetch(object_id))
+
+    def _verify_range_grouped(self, queries, radius, ids_per_query) -> list[list[int]]:
+        """Batch MRQ verification with page-grouped RAF fetches.
+
+        Every distinct candidate of the batch is fetched once (chunked,
+        page-ordered), each query then verifies its own candidates with one
+        vectorised distance call per chunk -- identical counted
+        computations to the sequential per-candidate loop, far fewer page
+        accesses.  Returns unsorted per-query id lists.
+        """
+        results: list[list[int]] = [[] for _ in queries]
+        pending = [
+            [i for i in ids if i in self._pointers] for ids in ids_per_query
+        ]
+
+        def handle(qi, ids, records):
+            dists = self.space.d_many(queries[qi], [records[i][1] for i in ids])
+            results[qi].extend(o for o, d in zip(ids, dists) if d <= radius)
+
+        drain_record_chunks(self.raf, self._pointers, pending, handle)
+        return results
+
+    def _batch_knn_verifier(self, cache, query_obj):
+        """Per-query ``verify_many`` over a shared batch-scoped page cache."""
+
+        def verify(ids):
+            objs = [
+                self.raf.read_cached(cache, self._pointers[i])[1] for i in ids
+            ]
+            return self.space.d_many(query_obj, objs)
+
+        return verify
 
     def storage_bytes(self) -> dict[str, int]:
         return {
@@ -130,6 +176,63 @@ class OmniSequentialFile(_OmniBase):
                 continue
             heap.consider(object_id, self._verify(query_obj, object_id))
         return heap.neighbors()
+
+    # -- batch queries --------------------------------------------------------
+
+    def _scan_bounds_many(self, qmat: np.ndarray):
+        """One pass over the vector pages for the whole batch.
+
+        Each page is read once (the sequential loop reads every page once
+        *per query*) and contributes a ``q x b`` Lemma 1 bound block.
+        Returns ``(ids, q x n lower bounds)`` in storage order.
+        """
+        ids: list[int] = []
+        blocks: list[np.ndarray] = []
+        for page in self._vector_pages:
+            block_ids, vectors = self.pager.read(page)
+            if len(block_ids) == 0:
+                continue
+            ids.extend(block_ids)
+            blocks.append(lower_bound_many_queries(qmat, vectors))
+        if not ids:
+            return [], np.empty((qmat.shape[0], 0), dtype=np.float64)
+        return ids, np.concatenate(blocks, axis=1)
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batch MRQ: one scan of the vector file, grouped RAF verification."""
+        queries = list(queries)
+        if not queries:
+            return []
+        qmat = self.mapping.map_query_many(queries)
+        ids, lower = self._scan_bounds_many(qmat)
+        survivors = lower <= radius
+        ids_arr = np.asarray(ids, dtype=np.intp)
+        candidates = [
+            [int(i) for i in ids_arr[survivors[qi]]] for qi in range(len(queries))
+        ]
+        results = self._verify_range_grouped(queries, radius, candidates)
+        return [sorted(r) for r in results]
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batch MkNNQ: shared bound matrix, best-first verification, one
+        RAF page read per touched page per batch."""
+        queries = list(queries)
+        if not queries:
+            return []
+        qmat = self.mapping.map_query_many(queries)
+        ids, lower = self._scan_bounds_many(qmat)
+        live = [j for j, oid in enumerate(ids) if oid in self._pointers]
+        if not live:
+            return [[] for _ in queries]
+        row_ids = np.asarray([ids[j] for j in live], dtype=np.intp)
+        lower = lower[:, live]
+        cache = self.pager.batch_reader()
+        return [
+            best_first_knn(
+                lower[qi], row_ids, k, self._batch_knn_verifier(cache, q)
+            )
+            for qi, q in enumerate(queries)
+        ]
 
     def delete(self, object_id: int) -> None:
         """Remove the vector row in place, tombstone the RAF record."""
@@ -254,6 +357,113 @@ class OmniBPlusTree(_OmniBase):
         span = float(self.mapping.matrix.max() - self.mapping.matrix.min())
         return max(span / 64.0, 1e-9)
 
+    # -- batch queries --------------------------------------------------------
+
+    def _candidates_many(
+        self, qmat: np.ndarray, radius: float, query_idx
+    ) -> dict[int, set[int]]:
+        """Per-query candidate id sets for a shared radius.
+
+        For each pivot's B+-tree the queries' scan ranges are merged into
+        disjoint key runs (:func:`~repro.external.batch.merge_intervals`),
+        each run is scanned **once** for the whole batch, and every query
+        selects its ids from the collected (key, id) pairs with the exact
+        predicate the sequential scan applies -- so candidate sets (and
+        hence verification compdists) match the sequential loop while each
+        touched leaf page is read once per pivot per batch.
+        """
+        candidates: dict[int, set[int] | None] = {qi: None for qi in query_idx}
+        for j, tree in enumerate(self.trees):
+            alive = [qi for qi in query_idx if candidates[qi] is None or candidates[qi]]
+            if not alive:
+                break
+            spans = {
+                qi: (float(qmat[qi, j]) - radius, float(qmat[qi, j]) + radius)
+                for qi in alive
+            }
+            keys: list[float] = []
+            ids: list[int] = []
+            for lo, hi in merge_intervals(spans.values()):
+                for key, object_id in tree.range_scan(lo, hi):
+                    keys.append(key)
+                    ids.append(object_id)
+            key_arr = np.asarray(keys, dtype=np.float64)
+            id_arr = np.asarray(ids, dtype=np.intp)
+            for qi in alive:
+                lo, hi = spans[qi]
+                sel = (key_arr >= lo) & (key_arr <= hi) if len(keys) else []
+                found = {int(i) for i in id_arr[sel]} if len(keys) else set()
+                prev = candidates[qi]
+                candidates[qi] = found if prev is None else prev & found
+        return {qi: (s or set()) for qi, s in candidates.items()}
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batch MRQ: merged per-pivot key runs + grouped RAF verification."""
+        queries = list(queries)
+        if not queries:
+            return []
+        qmat = self.mapping.map_query_many(queries)
+        candidates = self._candidates_many(qmat, radius, range(len(queries)))
+        results = self._verify_range_grouped(
+            queries, radius, [sorted(candidates[qi]) for qi in range(len(queries))]
+        )
+        return [sorted(r) for r in results]
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batch MkNNQ: the expanding-radius rounds run batch-wide.
+
+        Every query starts from the same initial radius and doubles in
+        lockstep (the sequential schedule), so each round's surviving
+        queries share one merged-key-run scan per pivot; new candidates are
+        verified through a batch-scoped RAF page cache, so however many
+        rounds and queries touch a record page, it is read once per batch.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        live = len(self._pointers)
+        if live == 0:
+            return [[] for _ in queries]
+        kk = min(k, live)
+        qmat = self.mapping.map_query_many(queries)
+        heaps = [KnnHeap(kk) for _ in queries]
+        seen: list[set[int]] = [set() for _ in queries]
+        cache = self.pager.batch_reader()
+        radius = self._initial_radius()
+        active = list(range(len(queries)))
+        while active:
+            candidates = self._candidates_many(qmat, radius, active)
+            for qi in active:
+                fresh = [
+                    i
+                    for i in candidates[qi]
+                    if i not in seen[qi] and i in self._pointers
+                ]
+                if not fresh:
+                    continue
+                seen[qi].update(fresh)
+                fresh.sort(
+                    key=lambda i: (
+                        self._pointers[i].page_id,
+                        self._pointers[i].slot,
+                    )
+                )
+                objs = [
+                    self.raf.read_cached(cache, self._pointers[i])[1]
+                    for i in fresh
+                ]
+                dists = self.space.d_many(queries[qi], objs)
+                for object_id, d in zip(fresh, dists):
+                    heaps[qi].consider(object_id, float(d))
+            active = [
+                qi
+                for qi in active
+                if not (heaps[qi].is_full() and heaps[qi].radius <= radius)
+                and len(seen[qi]) < live
+            ]
+            radius *= 2.0
+        return [heap.neighbors() for heap in heaps]
+
     def delete(self, object_id: int) -> None:
         pointer = self._pointers.pop(object_id, None)
         if pointer is None:
@@ -333,6 +543,141 @@ class OmniRTree(_OmniBase):
                 continue
             heap.consider(object_id, self._verify(query_obj, object_id))
         return heap.neighbors()
+
+    # -- batch queries --------------------------------------------------------
+
+    @staticmethod
+    def _child_rect_arrays(node) -> tuple[np.ndarray, np.ndarray]:
+        lows = np.asarray([rect.lows for rect in node.rects], dtype=np.float64)
+        highs = np.asarray([rect.highs for rect in node.rects], dtype=np.float64)
+        return lows, highs
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batch MRQ: one shared R-tree descent with active query subsets.
+
+        A window SR(q) intersects a node MBB exactly when the L-infinity
+        mindist is within the radius, so the 2-D
+        :func:`~repro.core.pivot_filter.mbb_min_dist_many_queries` bound
+        over (active queries x children) replaces one window test per
+        query per node; every touched node page is read once per batch.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        qmat = self.mapping.map_query_many(queries)
+        candidates: list[list[int]] = [[] for _ in queries]
+        stack = [(self.rtree.root_page, np.arange(len(queries), dtype=np.intp))]
+        while stack:
+            page_id, active = stack.pop()
+            node = self.rtree.pager.read(page_id)
+            if node.is_leaf:
+                if not node.points:
+                    continue
+                lower = lower_bound_many_queries(
+                    qmat[active], np.asarray(node.points)
+                )
+                keep = lower <= radius
+                for ai, qi in enumerate(active):
+                    candidates[qi].extend(
+                        node.payloads[j] for j in np.flatnonzero(keep[ai])
+                    )
+            else:
+                if not node.children:
+                    continue
+                lows, highs = self._child_rect_arrays(node)
+                prune = mbb_prune_mask_many_queries(qmat[active], lows, highs, radius)
+                for j, child in enumerate(node.children):
+                    keep = ~prune[:, j]
+                    if keep.any():
+                        stack.append((child, active[keep]))
+        results = self._verify_range_grouped(queries, radius, candidates)
+        return [sorted(r) for r in results]
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batch MkNNQ: shared best-first frontier, per-query heaps.
+
+        Frontier entries carry the active queries still alive at a node
+        with their accumulated L-infinity bounds; the shared priority is
+        the smallest of them (the batch analogue of the sequential
+        best-first walk, exactly as the tree engine argues).  Leaf points
+        are re-queued per (query, point) just like the sequential
+        ``nearest_linf`` consumer, but RAF pages are read through a
+        batch-scoped cache -- at most once per batch.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        qmat = self.mapping.map_query_many(queries)
+        heaps = [KnnHeap(k) for _ in queries]
+        counter = itertools.count()
+        cache = self.pager.batch_reader()
+        every = np.arange(len(queries), dtype=np.intp)
+        pq: list[tuple] = [
+            (0.0, next(counter), 0, self.rtree.root_page, every, np.zeros(len(queries)))
+        ]
+        while pq:
+            priority, _, kind, payload, active, bounds = heapq.heappop(pq)
+            if priority > max(heap.radius for heap in heaps):
+                break
+            if kind == 1:
+                qi, object_id = payload
+                if priority > heaps[qi].radius or object_id not in self._pointers:
+                    continue
+                obj = self.raf.read_cached(cache, self._pointers[object_id])[1]
+                heaps[qi].consider(object_id, self.space.d(queries[qi], obj))
+                continue
+            radii = np.asarray([heaps[qi].radius for qi in active])
+            alive = bounds <= radii
+            if not alive.any():
+                continue
+            active, bounds = active[alive], bounds[alive]
+            node = self.rtree.pager.read(payload)
+            if node.is_leaf:
+                if not node.points:
+                    continue
+                lower = np.maximum(
+                    bounds[:, None],
+                    lower_bound_many_queries(qmat[active], np.asarray(node.points)),
+                )
+                for ai, qi in enumerate(active):
+                    r = heaps[qi].radius
+                    for j in np.flatnonzero(lower[ai] <= r):
+                        heapq.heappush(
+                            pq,
+                            (
+                                float(lower[ai, j]),
+                                next(counter),
+                                1,
+                                (int(qi), node.payloads[j]),
+                                None,
+                                None,
+                            ),
+                        )
+            else:
+                if not node.children:
+                    continue
+                lows, highs = self._child_rect_arrays(node)
+                child_bounds = np.maximum(
+                    bounds[:, None], mbb_min_dist_many_queries(qmat[active], lows, highs)
+                )
+                radii = np.asarray([heaps[qi].radius for qi in active])
+                for j, child in enumerate(node.children):
+                    cb = child_bounds[:, j]
+                    keep = cb <= radii
+                    if keep.any():
+                        kept = cb[keep]
+                        heapq.heappush(
+                            pq,
+                            (
+                                float(kept.min()),
+                                next(counter),
+                                0,
+                                child,
+                                active[keep],
+                                kept,
+                            ),
+                        )
+        return [heap.neighbors() for heap in heaps]
 
     def delete(self, object_id: int) -> None:
         pointer = self._pointers.pop(object_id, None)

@@ -24,10 +24,11 @@ import numpy as np
 from ..core.index import MetricIndex
 from ..core.mapping import PivotMapping
 from ..core.metric_space import MetricSpace
-from ..core.pivot_filter import lower_bound, mbb_min_dist
+from ..core.pivot_filter import lower_bound, mbb_min_dist, mbb_min_dist_many_queries
 from ..core.queries import KnnHeap, Neighbor
 from ..mtree.mtree import MLeafEntry, MTree
 from ..storage.pager import Pager
+from .batch import query_selector
 
 __all__ = ["PMTree"]
 
@@ -141,6 +142,160 @@ class PMTree(MetricIndex):
                             pq, (child_bound, next(counter), e.child_page, d)
                         )
         return heap.neighbors()
+
+    # -- batch queries -----------------------------------------------------------
+
+    @staticmethod
+    def _entry_box_bounds(entry, qblock: np.ndarray) -> np.ndarray:
+        """Lemma 1 MBB lower bounds of one routing entry for many queries."""
+        return mbb_min_dist_many_queries(qblock, entry.mbb_lows, entry.mbb_highs)[:, 0]
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batch MRQ: one depth-first descent with active query subsets.
+
+        A frontier entry carries the queries that reached the node and
+        their distances to the parent routing object, so the parent-
+        distance prefilter, the MBB box filter, and the leaf-level Lemma 1
+        all run as vectorized masks over the active subset; each routing /
+        leaf object's distance is computed with one counted ``pairwise``
+        call over exactly the queries whose sequential traversal would
+        compute it -- and each node page is read once per batch.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        qmat = self.mapping.map_query_many(queries)
+        take = query_selector(self.space.dataset, queries)
+        results: list[list[int]] = [[] for _ in queries]
+        every = np.arange(len(queries), dtype=np.intp)
+        # stack items: (page, active query ids, per-active d(q, parent) or None)
+        stack: list[tuple[int, np.ndarray, np.ndarray | None]] = [
+            (self.mtree.root_page, every, None)
+        ]
+        while stack:
+            page_id, active, d_parent = stack.pop()
+            node = self.mtree.read_node(page_id)
+            if node.is_leaf:
+                for e in node.entries:
+                    mask = np.ones(active.size, dtype=bool)
+                    if d_parent is not None:
+                        mask &= np.abs(d_parent - e.parent_dist) <= radius
+                    if e.vec is not None and mask.any():
+                        lb = np.abs(qmat[active[mask]] - e.vec).max(axis=1)
+                        idx = np.flatnonzero(mask)
+                        mask[idx[lb > radius]] = False
+                    sub = active[mask]
+                    if sub.size:
+                        dists = self.space.pairwise_objects(take(sub), [e.obj])[:, 0]
+                        for qi, d in zip(sub, dists):
+                            if d <= radius:
+                                results[qi].append(e.object_id)
+            else:
+                for e in node.entries:
+                    mask = np.ones(active.size, dtype=bool)
+                    if d_parent is not None:
+                        mask &= np.abs(d_parent - e.parent_dist) <= radius + e.radius
+                    if e.mbb_lows is not None and mask.any():
+                        box = self._entry_box_bounds(e, qmat[active[mask]])
+                        idx = np.flatnonzero(mask)
+                        mask[idx[box > radius]] = False
+                    sub = active[mask]
+                    if sub.size:
+                        d = self.space.pairwise_objects(take(sub), [e.obj])[:, 0]
+                        keep = d <= radius + e.radius  # Lemma 2
+                        if keep.any():
+                            stack.append((e.child_page, sub[keep], d[keep]))
+        return [sorted(r) for r in results]
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batch MkNNQ: shared best-first frontier, per-query heaps.
+
+        Node priority is the smallest per-query bound carried by the
+        frontier entry (``max`` of ball, box, and inherited bounds); a
+        query drops out of an entry once its bound exceeds its own heap
+        radius.  Bounds only grow down the tree and pruning only ever uses
+        a query's own radius, so with the canonical (distance, id) heap the
+        answers are the sequential ones bit for bit.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        qmat = self.mapping.map_query_many(queries)
+        take = query_selector(self.space.dataset, queries)
+        heaps = [KnnHeap(k) for _ in queries]
+        counter = itertools.count()
+        every = np.arange(len(queries), dtype=np.intp)
+        pq: list[tuple] = [
+            (
+                0.0,
+                next(counter),
+                self.mtree.root_page,
+                every,
+                np.zeros(len(queries)),
+                None,
+            )
+        ]
+        while pq:
+            priority, _, page_id, active, bounds, d_parent = heapq.heappop(pq)
+            if priority > max(heap.radius for heap in heaps):
+                break
+            radii = np.asarray([heaps[qi].radius for qi in active])
+            alive = bounds <= radii
+            if not alive.any():
+                continue
+            active, bounds = active[alive], bounds[alive]
+            if d_parent is not None:
+                d_parent = d_parent[alive]
+            node = self.mtree.read_node(page_id)
+            if node.is_leaf:
+                for e in node.entries:
+                    radii = np.asarray([heaps[qi].radius for qi in active])
+                    mask = np.ones(active.size, dtype=bool)
+                    if d_parent is not None:
+                        mask &= np.abs(d_parent - e.parent_dist) <= radii
+                    if e.vec is not None and mask.any():
+                        lb = np.abs(qmat[active[mask]] - e.vec).max(axis=1)
+                        idx = np.flatnonzero(mask)
+                        mask[idx[lb > radii[mask]]] = False
+                    sub = active[mask]
+                    if sub.size:
+                        dists = self.space.pairwise_objects(take(sub), [e.obj])[:, 0]
+                        for qi, d in zip(sub, dists):
+                            heaps[qi].consider(e.object_id, float(d))
+            else:
+                # routing entries only push to the frontier -- no heap ever
+                # tightens inside this loop, so the radii are loop-invariant
+                radii = np.asarray([heaps[qi].radius for qi in active])
+                for e in node.entries:
+                    mask = np.ones(active.size, dtype=bool)
+                    if d_parent is not None:
+                        mask &= np.abs(d_parent - e.parent_dist) <= radii + e.radius
+                    box = np.zeros(active.size)
+                    if e.mbb_lows is not None and mask.any():
+                        box[mask] = self._entry_box_bounds(e, qmat[active[mask]])
+                        mask &= box <= radii
+                    sub = active[mask]
+                    if sub.size:
+                        d = self.space.pairwise_objects(take(sub), [e.obj])[:, 0]
+                        ball = np.maximum(0.0, d - e.radius)
+                        child_bounds = np.maximum(
+                            np.maximum(ball, box[mask]), bounds[mask]
+                        )
+                        keep = child_bounds <= radii[mask]
+                        if keep.any():
+                            kept = child_bounds[keep]
+                            heapq.heappush(
+                                pq,
+                                (
+                                    float(kept.min()),
+                                    next(counter),
+                                    e.child_page,
+                                    sub[keep],
+                                    kept,
+                                    d[keep],
+                                ),
+                            )
+        return [heap.neighbors() for heap in heaps]
 
     # -- maintenance -------------------------------------------------------------
 

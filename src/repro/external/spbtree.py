@@ -30,10 +30,15 @@ from ..btree.bptree import Augmentation, BPlusTree
 from ..core.index import MetricIndex
 from ..core.mapping import PivotMapping
 from ..core.metric_space import MetricSpace
+from ..core.pivot_filter import (
+    mbb_max_dist_many_queries,
+    mbb_min_dist_many_queries,
+)
 from ..core.queries import KnnHeap, Neighbor
 from ..sfc.hilbert import HilbertCurve
 from ..storage.pager import Pager
 from ..storage.raf import RandomAccessFile, RecordPointer
+from .batch import drain_record_chunks
 
 __all__ = ["SPBTree"]
 
@@ -223,6 +228,188 @@ class SPBTree(MetricIndex):
                     if child_bound <= heap.radius:
                         heapq.heappush(pq, (child_bound, next(counter), False, child))
         return heap.neighbors()
+
+    # -- batch queries ---------------------------------------------------------------------
+
+    def _leaf_cell_bounds_many(
+        self, qmat: np.ndarray, coords: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-(query, entry) grid lower/upper bounds, decoded once per leaf.
+
+        ``coords`` is the ``m x l`` matrix of grid cells of one leaf's keys
+        (decoded once for the whole batch).  Mirrors
+        :meth:`_cell_lower_bound` / :meth:`_cell_upper_bound` exactly,
+        including the clipped-cell rule that disables Lemma 4 on cells at
+        the grid edge.
+        """
+        lows = coords * self.eps
+        highs = (coords + 1.0) * self.eps
+        lower = mbb_min_dist_many_queries(qmat, lows, highs)
+        upper = mbb_max_dist_many_queries(qmat, lows, highs)
+        clipped = coords.max(axis=1) >= self.curve.max_coordinate
+        if clipped.any():
+            upper[:, clipped] = np.inf
+        return lower, upper
+
+    def _node_child_subsets(
+        self, node, qmat: np.ndarray, active: np.ndarray, radii: np.ndarray
+    ):
+        """(child page, surviving query subset, bounds) for an internal node."""
+        out = []
+        for child, aux in zip(node.children, node.aux):
+            if aux is None:
+                out.append((child, active, np.zeros(active.size)))
+                continue
+            clows, _ = self._cell_bounds(aux[0])
+            _, chighs = self._cell_bounds(aux[1])
+            gaps = mbb_min_dist_many_queries(qmat[active], clows, chighs)[:, 0]
+            keep = gaps <= radii
+            if keep.any():
+                out.append((child, active[keep], gaps[keep]))
+        return out
+
+    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+        """Batch MRQ: one B+-tree descent, grouped RAF verification.
+
+        The whole batch descends the tree once with active query subsets
+        (each touched node page read once per batch, versus once per
+        visiting query sequentially); leaf keys are SFC-decoded once per
+        batch, Lemma 1 / Lemma 4 run as (queries x entries) masks on the
+        grid bounds, and the un-validated survivors are fetched from the
+        RAF page-grouped before one vectorised verification per query.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        qmat = self.mapping.map_query_many(queries)
+        results: list[list[int]] = [[] for _ in queries]
+        candidates: list[list[int]] = [[] for _ in queries]
+        pointer_of: dict[int, RecordPointer] = {}
+        radii_template = np.full(len(queries), float(radius))
+        stack = [(self.btree.root_page, np.arange(len(queries), dtype=np.intp))]
+        while stack:
+            page_id, active = stack.pop()
+            node = self.btree.read_node(page_id)
+            if node.is_leaf:
+                live = [
+                    (j, object_id, pointer)
+                    for j, (object_id, pointer) in enumerate(node.values)
+                    if object_id in self._pointers
+                ]
+                if not live:
+                    continue
+                coords = np.asarray(
+                    [self.curve.decode(node.keys[j]) for j, _, _ in live]
+                )
+                lower, upper = self._leaf_cell_bounds_many(qmat[active], coords)
+                for ai, qi in enumerate(active):
+                    for pos in np.flatnonzero(lower[ai] <= radius):
+                        _, object_id, pointer = live[pos]
+                        if upper[ai, pos] <= radius:
+                            results[qi].append(object_id)  # Lemma 4: no I/O
+                        else:
+                            candidates[qi].append(object_id)
+                            pointer_of[object_id] = pointer
+            else:
+                subsets = self._node_child_subsets(
+                    node, qmat, active, radii_template[active]
+                )
+                for child, sub, _bounds in subsets:
+                    stack.append((child, sub))
+        def handle(qi, ids, records):
+            dists = self.space.d_many(queries[qi], [records[i][1] for i in ids])
+            results[qi].extend(o for o, d in zip(ids, dists) if d <= radius)
+
+        drain_record_chunks(self.raf, pointer_of, [list(ids) for ids in candidates], handle)
+        return [sorted(r) for r in results]
+
+    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+        """Batch MkNNQ: shared best-first frontier over nodes and entries.
+
+        Node pops carry active query subsets (so each touched B+-tree page
+        is read once per batch); leaf entries re-queue per (query, entry)
+        under their grid lower bound, exactly like the sequential
+        best-first walk, and entry pops verify through a batch-scoped RAF
+        page cache -- at most one read per touched record page per batch.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        live = len(self._pointers)
+        if live == 0:
+            return [[] for _ in queries]
+        kk = min(k, live)
+        qmat = self.mapping.map_query_many(queries)
+        heaps = [KnnHeap(kk) for _ in queries]
+        counter = itertools.count()
+        cache = self.pager.batch_reader()
+        every = np.arange(len(queries), dtype=np.intp)
+        # queue items: (bound, seq, kind, payload, active, bounds);
+        # kind 0 = node with query subset, 1 = (query, entry)
+        pq: list[tuple] = [
+            (0.0, next(counter), 0, self.btree.root_page, every, np.zeros(len(queries)))
+        ]
+        while pq:
+            bound, _, kind, payload, active, bounds = heapq.heappop(pq)
+            if bound > max(heap.radius for heap in heaps):
+                break
+            if kind == 1:
+                qi, object_id, pointer = payload
+                if bound > heaps[qi].radius or object_id not in self._pointers:
+                    continue
+                record = self.raf.read_cached(cache, pointer)
+                heaps[qi].consider(object_id, self.space.d(queries[qi], record[1]))
+                continue
+            radii = np.asarray([heaps[qi].radius for qi in active])
+            alive = bounds <= radii
+            if not alive.any():
+                continue
+            active = active[alive]
+            node = self.btree.read_node(payload)
+            if node.is_leaf:
+                live_entries = [
+                    (j, object_id, pointer)
+                    for j, (object_id, pointer) in enumerate(node.values)
+                    if object_id in self._pointers
+                ]
+                if not live_entries:
+                    continue
+                coords = np.asarray(
+                    [self.curve.decode(node.keys[j]) for j, _, _ in live_entries]
+                )
+                lower, _ = self._leaf_cell_bounds_many(qmat[active], coords)
+                for ai, qi in enumerate(active):
+                    r = heaps[qi].radius
+                    for pos in np.flatnonzero(lower[ai] <= r):
+                        _, object_id, pointer = live_entries[pos]
+                        heapq.heappush(
+                            pq,
+                            (
+                                float(lower[ai, pos]),
+                                next(counter),
+                                1,
+                                (int(qi), object_id, pointer),
+                                None,
+                                None,
+                            ),
+                        )
+            else:
+                radii = np.asarray([heaps[qi].radius for qi in active])
+                for child, sub, child_bounds in self._node_child_subsets(
+                    node, qmat, active, radii
+                ):
+                    heapq.heappush(
+                        pq,
+                        (
+                            float(child_bounds.min()),
+                            next(counter),
+                            0,
+                            child,
+                            sub,
+                            child_bounds,
+                        ),
+                    )
+        return [heap.neighbors() for heap in heaps]
 
     # -- maintenance -----------------------------------------------------------------------
 

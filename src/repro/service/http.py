@@ -30,14 +30,17 @@ float64 exactly, so HTTP answers are **bit-for-bit** the answers a direct
 :class:`QueryService` call returns -- asserted in ``tests/test_http.py``
 and by the CI loopback smoke.
 
-:class:`ServiceClient` is the matching programmatic client (one stdlib
-``http.client`` connection per call -- thread-safe by construction); see
-``examples/http_quickstart.py`` for the full lifecycle.
+:class:`ServiceClient` is the matching programmatic client (one pooled
+stdlib ``http.client`` keep-alive connection per client, transparently
+re-established on stale sockets); see ``examples/http_quickstart.py`` for
+the full lifecycle.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import threading
 from http.client import HTTPConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -111,6 +114,10 @@ class _ThreadedServer(ThreadingHTTPServer):
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-service/1"
+    # keep-alive clients send many small request/response pairs on one
+    # socket; without TCP_NODELAY the Nagle + delayed-ACK interaction can
+    # stall each exchange by ~40 ms
+    disable_nagle_algorithm = True
 
     @property
     def app(self) -> "HttpQueryServer":
@@ -120,6 +127,11 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # the access log is the caller's business, not stderr's
 
     def _send_json(self, status: int, payload: dict) -> None:
+        if self.app.draining:
+            # graceful drain: answer, then shed the keep-alive connection so
+            # pooled clients reconnect (and find the listener gone once the
+            # drain completes) instead of talking to a lingering handler
+            self.close_connection = True
         blob = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -503,40 +515,155 @@ class ServiceClientError(RuntimeError):
 class ServiceClient:
     """Programmatic client for :class:`HttpQueryServer` (stdlib only).
 
-    Each call opens its own connection, so one client instance may be
-    shared freely across threads.  Query objects are encoded with
-    :func:`encode_object` (numpy vectors accepted directly); kNN answers
-    come back as :class:`~repro.core.queries.Neighbor` lists, bit-for-bit
-    equal to a direct :class:`QueryService` call's.
+    Connections are **pooled keep-alive**: the server speaks HTTP/1.1, so
+    sequential calls from a thread reuse one TCP connection instead of
+    paying a handshake per request (``connections_opened`` counts how many
+    sockets were actually created).  The pool is per *thread* -- a client
+    shared across threads gives each thread its own pooled connection, so
+    concurrent callers still fan out in parallel (and still coalesce in
+    the server's dispatcher).  A request that hits a stale pooled socket
+    -- the server dropped an idle keep-alive connection, or the process
+    was restarted -- is transparently retried once on a fresh connection;
+    errors on a brand-new connection propagate, and mutations
+    (:meth:`insert` / :meth:`delete`) are never resent -- a retry could
+    double-apply one whose connection died after the server processed it.
+    Use as a context manager (or call :meth:`close`) to release the
+    pooled sockets.
+
+    Query objects are encoded with :func:`encode_object` (numpy vectors
+    accepted directly); kNN answers come back as
+    :class:`~repro.core.queries.Neighbor` lists, bit-for-bit equal to a
+    direct :class:`QueryService` call's.
     """
+
+    # a stale pooled socket surfaces as one of these on the next request;
+    # they are safe to retry once on a fresh connection because the request
+    # never reached (or never completed at) the application layer
+    _RETRYABLE = (
+        http.client.RemoteDisconnected,
+        http.client.CannotSendRequest,
+        http.client.BadStatusLine,
+        ConnectionResetError,
+        BrokenPipeError,
+    )
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.connections_opened = 0
+        self._local = threading.local()
+        self._lock = threading.Lock()  # guards the counter and registry
+        # (owning thread, connection) pairs: the registry lets close()
+        # release every thread's pooled socket, and lets _connect prune
+        # sockets whose owning thread exited (nothing would reuse them,
+        # and each pins a server handler thread in a keep-alive read)
+        self._conns: list[tuple[threading.Thread, HTTPConnection]] = []
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    # -- connection pool -------------------------------------------------------
+
+    def _pooled(self) -> HTTPConnection | None:
+        """This thread's live pooled connection, if any."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and conn.sock is None:
+            # closed underneath (close() was called, or the exchange that
+            # carried a Connection: close reply already dropped the socket)
+            self._discard(conn)
+            conn = None
+        return conn
+
+    def _connect(self) -> HTTPConnection:
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            body = None
-            headers = {}
-            if payload is not None:
-                body = json.dumps(payload).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            blob = response.read()
-            try:
-                out = json.loads(blob) if blob else {}
-            except json.JSONDecodeError:
-                out = {"error": blob.decode("utf-8", "replace")}
-            if response.status != 200:
-                raise ServiceClientError(
-                    response.status, out.get("error", "unexpected response")
-                )
-            return out
-        finally:
+        conn.connect()
+        # pooled sockets carry many small exchanges: disable Nagle so a
+        # request is not held back waiting for the previous delayed ACK
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._lock:
+            self.connections_opened += 1
+            kept = []
+            for thread, pooled in self._conns:
+                if thread.is_alive():
+                    kept.append((thread, pooled))
+                else:
+                    pooled.close()
+            kept.append((threading.current_thread(), conn))
+            self._conns = kept
+        self._local.conn = conn
+        return conn
+
+    def _discard(self, conn: HTTPConnection) -> None:
+        conn.close()
+        if getattr(self._local, "conn", None) is conn:
+            self._local.conn = None
+        with self._lock:
+            self._conns = [(t, c) for t, c in self._conns if c is not conn]
+
+    def close(self) -> None:
+        """Close every pooled connection (the client stays usable)."""
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for _thread, conn in conns:
             conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request machinery -----------------------------------------------------
+
+    def _exchange(self, conn: HTTPConnection, method, path, body, headers):
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        blob = response.read()  # drain fully so the connection stays reusable
+        if response.will_close:
+            self._discard(conn)
+        return response.status, blob
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        idempotent: bool = True,
+    ) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = self._pooled()
+        reused = conn is not None
+        if conn is None:
+            conn = self._connect()
+        try:
+            status, blob = self._exchange(conn, method, path, body, headers)
+        except self._RETRYABLE:
+            self._discard(conn)
+            # only idempotent requests may be resent: a mutation whose
+            # connection died *after* the server processed it (response
+            # phase) would double-apply on retry
+            if not reused or not idempotent:
+                raise
+            conn = self._connect()
+            try:
+                status, blob = self._exchange(conn, method, path, body, headers)
+            except Exception:
+                self._discard(conn)
+                raise
+        except Exception:
+            # unknown failure mid-exchange: the connection state is
+            # indeterminate, so do not reuse it
+            self._discard(conn)
+            raise
+        try:
+            out = json.loads(blob) if blob else {}
+        except json.JSONDecodeError:
+            out = {"error": blob.decode("utf-8", "replace")}
+        if status != 200:
+            raise ServiceClientError(status, out.get("error", "unexpected response"))
+        return out
 
     # -- queries ---------------------------------------------------------------
 
@@ -566,10 +693,12 @@ class ServiceClient:
         payload = {"object": encode_object(obj)}
         if object_id is not None:
             payload["object_id"] = int(object_id)
-        return int(self._request("POST", "/insert", payload)["object_id"])
+        return int(
+            self._request("POST", "/insert", payload, idempotent=False)["object_id"]
+        )
 
     def delete(self, object_id: int) -> None:
-        self._request("POST", "/delete", {"object_id": int(object_id)})
+        self._request("POST", "/delete", {"object_id": int(object_id)}, idempotent=False)
 
     def reload(self, snapshot_path) -> dict:
         return self._request("POST", "/admin/reload", {"snapshot": str(snapshot_path)})

@@ -27,7 +27,7 @@ from typing import Any
 
 from ..core.counters import CostCounters
 
-__all__ = ["PageStore", "BufferPool", "Pager", "DEFAULT_PAGE_SIZE"]
+__all__ = ["PageStore", "BufferPool", "Pager", "BatchReadCache", "DEFAULT_PAGE_SIZE"]
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -246,13 +246,7 @@ class Pager:
         grouped = 0
         for page_id in page_ids:
             if page_id in nodes:
-                # weight by the pooled node's serialised size when resident:
-                # for a dirty or never-flushed page the store's blob is stale
-                # (or empty, which would flatten a multi-page leaf to 1)
-                nbytes = self.pool.resident_bytes(page_id)
-                if nbytes is None:
-                    nbytes = self.store.page_bytes(page_id)
-                grouped += self.store.pages_spanned(nbytes)
+                grouped += self.grouped_weight(page_id)
                 continue
             nodes[page_id] = self.pool.read(page_id)
         if grouped:
@@ -261,6 +255,24 @@ class Pager:
 
     def write(self, page_id: int, node: Any) -> None:
         self.pool.write(page_id, node)
+
+    def batch_reader(self) -> "BatchReadCache":
+        """A batch-scoped read cache over this pager (see BatchReadCache)."""
+        return BatchReadCache(self)
+
+    def grouped_weight(self, page_id: int) -> int:
+        """Spanned-page weight of one avoided re-read of ``page_id``.
+
+        The shared accounting rule of :meth:`read_many` and
+        :class:`BatchReadCache`: weight by the pooled node's serialised
+        size when resident -- for a dirty or never-flushed page the
+        store's blob is stale (or empty, which would flatten a multi-page
+        node to 1) -- falling back to the store's blob size.
+        """
+        nbytes = self.pool.resident_bytes(page_id)
+        if nbytes is None:
+            nbytes = self.store.page_bytes(page_id)
+        return self.store.pages_spanned(nbytes)
 
     def free(self, page_id: int) -> None:
         self.pool.invalidate(page_id)
@@ -282,3 +294,34 @@ class Pager:
     def disk_bytes(self) -> int:
         self.pool.flush()
         return self.store.total_bytes()
+
+
+class BatchReadCache:
+    """Read-through page cache scoped to one batch of queries.
+
+    The lazy batch paths (best-first MkNNQ over RAF-backed indexes) cannot
+    know their full page working set up front the way
+    :meth:`Pager.read_many` requires, yet must still read each touched page
+    at most once per batch.  A ``BatchReadCache`` memoises nodes for the
+    duration of one ``*_query_many`` call: the first read of a page goes
+    through the pager (a cold ``page_read`` or a ``buffer_hit``, as usual);
+    every repeat is served from the memo and counted as a ``grouped_hit``
+    with the same spanned-page weighting ``read_many`` uses -- the I/O the
+    batch saved over the sequential loop's re-reads.
+
+    The cache holds deserialised nodes, so it must not outlive the batch
+    (drop it when the call returns) and must never be used across writes to
+    the cached pages.
+    """
+
+    def __init__(self, pager: Pager):
+        self.pager = pager
+        self._nodes: dict[int, Any] = {}
+
+    def read(self, page_id: int) -> Any:
+        if page_id in self._nodes:
+            self.pager.counters.add_grouped_hit(self.pager.grouped_weight(page_id))
+            return self._nodes[page_id]
+        node = self.pager.read(page_id)
+        self._nodes[page_id] = node
+        return node

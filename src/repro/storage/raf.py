@@ -89,6 +89,39 @@ class RandomAccessFile:
         except (IndexError, TypeError):
             raise KeyError(f"no record at {pointer}") from None
 
+    def read_many(self, pointers) -> list[Any]:
+        """Fetch a batch of records with each distinct page read once.
+
+        The storage half of the external category's grouped candidate
+        fetching: pointers are resolved page-first through
+        :meth:`~repro.storage.pager.Pager.read_many`, so however many
+        queries of a batch share a record page, it costs one read (repeats
+        are counted as ``grouped_hits``).  Records come back in input order.
+        """
+        pointers = list(pointers)
+        nodes = self.pager.read_many(p.page_id for p in pointers)
+        out = []
+        for pointer in pointers:
+            try:
+                out.append(nodes[pointer.page_id][pointer.slot])
+            except (IndexError, TypeError):
+                raise KeyError(f"no record at {pointer}") from None
+        return out
+
+    def read_cached(self, cache, pointer: RecordPointer) -> Any:
+        """Fetch one record through a batch-scoped page cache.
+
+        The lazy counterpart of :meth:`read_many` for best-first MkNNQ:
+        ``cache`` is a :class:`~repro.storage.pager.BatchReadCache`, so the
+        record's page is read at most once per batch no matter how many
+        queries pop candidates from it.
+        """
+        records = cache.read(pointer.page_id)
+        try:
+            return records[pointer.slot]
+        except (IndexError, TypeError):
+            raise KeyError(f"no record at {pointer}") from None
+
     def update(self, pointer: RecordPointer, record: Any) -> None:
         """Rewrite a record in place."""
         records = self.pager.read(pointer.page_id)

@@ -234,6 +234,85 @@ def test_32_concurrent_mixed_clients_exact_and_coalesced(served, datasets):
 
 
 # ---------------------------------------------------------------------------
+# keep-alive connection pooling
+# ---------------------------------------------------------------------------
+
+
+def test_keep_alive_reuses_one_connection(served, datasets):
+    """N sequential calls ride one pooled keep-alive connection."""
+    index, service, server, client = served
+    dataset = datasets["Words"]
+    radius = RADIUS["Words"]
+    with ServiceClient(port=server.port) as fresh:
+        assert fresh.connections_opened == 0
+        for i in range(6):
+            q = dataset[i]
+            assert fresh.range_query(q, radius) == index.range_query(q, radius)
+            assert fresh.knn_query(q, K) == index.knn_query(q, K)
+        assert fresh.healthz()["status"] == "ok"
+        # GETs bypass admission accounting; the 12 POSTs were all served
+        assert fresh.stats()["http"]["served"] >= 12
+        assert fresh.connections_opened == 1
+
+
+def test_keep_alive_reconnects_on_stale_socket(served, datasets):
+    """A dead pooled socket is replaced transparently, one retry, no error."""
+    import socket
+
+    index, service, server, client = served
+    dataset = datasets["Words"]
+    radius = RADIUS["Words"]
+    with ServiceClient(port=server.port) as fresh:
+        q = dataset[0]
+        expected = index.range_query(q, radius)
+        assert fresh.range_query(q, radius) == expected
+        assert fresh.connections_opened == 1
+        # simulate the server dropping the idle keep-alive connection: the
+        # next request hits a dead socket and must retry on a fresh one
+        fresh._local.conn.sock.shutdown(socket.SHUT_RDWR)
+        assert fresh.range_query(q, radius) == expected
+        assert fresh.connections_opened == 2
+        # the replacement connection is pooled and reused thereafter
+        assert fresh.knn_query(q, K) == index.knn_query(q, K)
+        assert fresh.connections_opened == 2
+
+
+def test_keep_alive_close_releases_and_reopens(served, datasets):
+    """close() drops pooled sockets; the client stays usable afterwards."""
+    index, service, server, client = served
+    dataset = datasets["Words"]
+    radius = RADIUS["Words"]
+    fresh = ServiceClient(port=server.port)
+    q = dataset[1]
+    expected = index.range_query(q, radius)
+    assert fresh.range_query(q, radius) == expected
+    fresh.close()
+    assert fresh._conns == []
+    assert fresh.range_query(q, radius) == expected  # reopens cleanly
+    assert fresh.connections_opened == 2
+    fresh.close()
+
+
+def test_keep_alive_pools_per_thread(served, datasets):
+    """A shared client fans out: one pooled connection per calling thread."""
+    index, service, server, client = served
+    dataset = datasets["Words"]
+    radius = RADIUS["Words"]
+    with ServiceClient(port=server.port) as fresh:
+        expected = {i: index.range_query(dataset[i], radius) for i in range(4)}
+
+        def worker(i):
+            # two sequential calls per thread: the second reuses the first's
+            # pooled connection, so total connections == thread count
+            assert fresh.range_query(dataset[i], radius) == expected[i]
+            assert fresh.range_query(dataset[i], radius) == expected[i]
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(worker, range(4)))
+        assert 1 <= fresh.connections_opened <= 4
+
+
+# ---------------------------------------------------------------------------
 # backpressure
 # ---------------------------------------------------------------------------
 

@@ -237,3 +237,145 @@ class TestPivotSelection:
     def test_max_variance_pivots(self):
         pivots = max_variance_pivots(self.space, 3, seed=5)
         assert len(set(pivots)) == 3
+
+
+class TestManyQueriesMbbBounds:
+    """2-D MBB bounds: agree with the scalar forms, masks stay safe."""
+
+    def _boxes(self, n_boxes=12, l=4, seed=9):
+        rng = np.random.default_rng(seed)
+        lows = rng.uniform(0, 50, size=(n_boxes, l))
+        highs = lows + rng.uniform(0, 30, size=(n_boxes, l))
+        qmat = rng.uniform(0, 80, size=(7, l))
+        return qmat, lows, highs
+
+    def test_agree_with_scalar_forms(self):
+        from repro.core.pivot_filter import (
+            mbb_max_dist_many_queries,
+            mbb_min_dist_many_queries,
+        )
+
+        qmat, lows, highs = self._boxes()
+        mins = mbb_min_dist_many_queries(qmat, lows, highs)
+        maxs = mbb_max_dist_many_queries(qmat, lows, highs)
+        assert mins.shape == maxs.shape == (7, 12)
+        for i in range(qmat.shape[0]):
+            for j in range(lows.shape[0]):
+                assert mins[i, j] == mbb_min_dist(qmat[i], lows[j], highs[j])
+                assert maxs[i, j] == mbb_max_dist(qmat[i], lows[j], highs[j])
+
+    def test_single_box_broadcast(self):
+        from repro.core.pivot_filter import (
+            mbb_max_dist_many_queries,
+            mbb_min_dist_many_queries,
+        )
+
+        qmat, lows, highs = self._boxes()
+        one = mbb_min_dist_many_queries(qmat, lows[0], highs[0])
+        assert one.shape == (7, 1)
+        assert one[3, 0] == mbb_min_dist(qmat[3], lows[0], highs[0])
+        assert mbb_max_dist_many_queries(qmat, lows[0], highs[0]).shape == (7, 1)
+
+    def test_masks_match_scalar_decisions(self):
+        from repro.core.pivot_filter import (
+            mbb_prune_mask_many_queries,
+            mbb_validate_mask_many_queries,
+        )
+
+        qmat, lows, highs = self._boxes()
+        radius = 25.0
+        prune = mbb_prune_mask_many_queries(qmat, lows, highs, radius)
+        validate = mbb_validate_mask_many_queries(qmat, lows, highs, radius)
+        for i in range(qmat.shape[0]):
+            for j in range(lows.shape[0]):
+                assert prune[i, j] == mbb_can_prune(qmat[i], lows[j], highs[j], radius)
+                assert validate[i, j] == mbb_can_validate(
+                    qmat[i], lows[j], highs[j], radius
+                )
+
+    def test_per_query_radii(self):
+        from repro.core.pivot_filter import mbb_prune_mask_many_queries
+
+        qmat, lows, highs = self._boxes()
+        radii = np.linspace(5.0, 60.0, qmat.shape[0])
+        masks = mbb_prune_mask_many_queries(qmat, lows, highs, radii)
+        for i, r in enumerate(radii):
+            for j in range(lows.shape[0]):
+                assert masks[i, j] == mbb_can_prune(qmat[i], lows[j], highs[j], r)
+
+
+def _hfi_reference(space, n_pivots, candidate_scale=40, sample_pairs=200, seed=0):
+    """The pre-vectorization HFI incremental selection (scalar inner loop).
+
+    A faithful copy of the original per-candidate Python loop, kept as the
+    oracle for the vectorized reduction in
+    :func:`repro.core.pivot_selection.hfi` -- both must choose identical
+    pivots (scores are reduced in the same float summation order and ties
+    break toward the first candidate either way).
+    """
+    rng = np.random.default_rng(seed)
+    n = len(space)
+    n_candidates = min(max(candidate_scale, n_pivots), n)
+    candidates = hf(space, n_candidates, seed=seed)
+
+    pair_left = rng.integers(0, n, size=sample_pairs)
+    pair_right = rng.integers(0, n, size=sample_pairs)
+    keep = pair_left != pair_right
+    pair_left = [int(i) for i in pair_left[keep]]
+    pair_right = [int(i) for i in pair_right[keep]]
+    true_d = np.array(
+        [space.d_between_ids(i, j) for i, j in zip(pair_left, pair_right)],
+        dtype=np.float64,
+    )
+    positive = true_d > 0
+    left_mat = space.pairwise_ids(pair_left, candidates)
+    right_mat = space.pairwise_ids(pair_right, candidates)
+    gaps = np.abs(left_mat - right_mat)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(
+            positive[:, None], gaps / np.maximum(true_d[:, None], 1e-12), 0.0
+        )
+
+    chosen: list[int] = []
+    chosen_cols: list[int] = []
+    current = np.zeros(ratios.shape[0], dtype=np.float64)
+    while len(chosen) < n_pivots:
+        best_score, best_col = -1.0, -1
+        for col in range(len(candidates)):
+            if col in chosen_cols:
+                continue
+            score = float(np.maximum(current, ratios[:, col]).mean())
+            if score > best_score:
+                best_score, best_col = score, col
+        if best_col < 0:
+            break
+        chosen_cols.append(best_col)
+        chosen.append(candidates[best_col])
+        current = np.maximum(current, ratios[:, best_col])
+    if len(chosen) < n_pivots:
+        extra = [i for i in range(n) if i not in chosen]
+        rng.shuffle(extra)
+        chosen.extend(extra[: n_pivots - len(chosen)])
+    return chosen
+
+
+class TestHfiVectorization:
+    """The vectorized incremental selection picks identical pivots."""
+
+    @pytest.mark.parametrize("seed", (0, 1, 7))
+    def test_identical_pivots_on_la(self, seed):
+        space = MetricSpace(make_la(300, seed=11))
+        assert hfi(space, 5, seed=seed) == _hfi_reference(space, 5, seed=seed)
+
+    def test_identical_pivots_on_words(self):
+        space = MetricSpace(make_words(200, seed=13))
+        assert hfi(space, 4, seed=2) == _hfi_reference(space, 4, seed=2)
+
+    def test_exhausting_candidates_falls_back(self):
+        # more pivots than candidates: the greedy loop must stop cleanly
+        # and fill from the random fallback, exactly like the scalar loop
+        space = MetricSpace(make_la(12, seed=5))
+        got = hfi(space, 12, candidate_scale=4, seed=3)
+        ref = _hfi_reference(space, 12, candidate_scale=4, seed=3)
+        assert got == ref
+        assert len(set(got)) == 12
