@@ -14,6 +14,11 @@ in-process half):
    in-process answer,
 4. shut down gracefully (in-flight requests drain before the socket closes).
 
+Serving vectors instead of strings?  ``ServiceClient(port=..., binary=True)``
+negotiates the binary wire protocol (``repro.service.wire``): query batches
+travel as one raw float64 matrix and answers come back as columnar buffers
+-- same API, same bit-for-bit answers, none of the JSON codec tax.
+
 Run:  python examples/http_quickstart.py
 """
 

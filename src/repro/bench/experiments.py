@@ -421,13 +421,17 @@ def exp_http_throughput(
     built: dict | None = None,
     repeats: int = 3,
     batch_copies: int = 4,
+    codecs=("json", "binary"),
 ) -> list[dict]:
     """HTTP front-end overhead: batch endpoints vs in-process batch calls.
 
     One ``POST /range_many`` / ``POST /knn_many`` per measured pass against
     a loopback :class:`~repro.service.http.HttpQueryServer`, compared to
     the identical ``*_query_many`` call in process (cache disabled on both
-    sides).  The reported ratio is what the JSON codec and one localhost
+    sides).  Each workload is measured once per wire ``codec`` -- the
+    default JSON protocol and the raw-buffer binary frames -- so the table
+    shows exactly what the per-element JSON tax costs and what the binary
+    path recovers.  The reported ratio is what the codec and one localhost
     round trip cost, amortised over the batch; answers are asserted
     bit-for-bit equal before timing.
     """
@@ -440,15 +444,17 @@ def exp_http_throughput(
         for index_name in index_names:
             if index_name not in indexes:
                 continue
-            row = run_http_comparison(
-                indexes[index_name].index,
-                workload.queries,
-                radius,
-                k,
-                repeats=repeats,
-                batch_copies=batch_copies,
-            )
-            rows.append({"Dataset": wl_name, **row})
+            for codec in codecs:
+                row = run_http_comparison(
+                    indexes[index_name].index,
+                    workload.queries,
+                    radius,
+                    k,
+                    repeats=repeats,
+                    batch_copies=batch_copies,
+                    codec=codec,
+                )
+                rows.append({"Dataset": wl_name, **row})
     return rows
 
 

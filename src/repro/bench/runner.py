@@ -485,18 +485,22 @@ def run_http_comparison(
     k: int,
     repeats: int = 3,
     batch_copies: int = 4,
+    codec: str = "json",
 ) -> dict:
     """Batch queries in process vs the same batches over HTTP loopback.
 
     Guards the HTTP front-end's overhead budget: one ``POST /range_many``
     (or ``/knn_many``) carrying a whole batch must stay within a small
     constant factor of calling ``range_query_many`` / ``knn_query_many``
-    directly -- JSON codec plus one localhost round trip, amortised over
-    the batch, is all the wire may cost.
+    directly -- the codec plus one localhost round trip, amortised over
+    the batch, is all the wire may cost.  ``codec`` selects the wire
+    format: ``"json"`` (the default protocol) or ``"binary"``
+    (:mod:`repro.service.wire` raw-buffer frames, the fast path that
+    removes the per-element codec tax on vector workloads).
 
     The hosting service runs with the result cache *disabled* so both
     sides pay the full evaluation each pass; with a warm cache the
-    comparison would degenerate into a dict lookup vs the JSON codec and
+    comparison would degenerate into a dict lookup vs the wire codec and
     say nothing about serving real traffic.  The query sample is repeated
     ``batch_copies`` times so the batch is big enough to amortise the round
     trip the way production batches do.  Wire answers are asserted
@@ -505,6 +509,8 @@ def run_http_comparison(
     from ..service import QueryService
     from ..service.http import HttpQueryServer, ServiceClient
 
+    if codec not in ("json", "binary"):
+        raise ValueError(f"codec must be 'json' or 'binary', got {codec!r}")
     queries = list(queries) * batch_copies
     n = len(queries)
 
@@ -517,7 +523,7 @@ def run_http_comparison(
         server = HttpQueryServer(service)
         server.start()
         try:
-            with ServiceClient(port=server.port) as client:
+            with ServiceClient(port=server.port, binary=codec == "binary") as client:
                 wire_range = client.range_query_many(queries, radius)
                 wire_knn = client.knn_query_many(queries, k)
                 if wire_range != expected_range:
@@ -537,6 +543,7 @@ def run_http_comparison(
 
     return {
         "Index": index.name,
+        "codec": codec,
         "batch": n,
         "MRQ inproc ms": round(inproc_range * 1000.0, 2),
         "MRQ http ms": round(http_range * 1000.0, 2),

@@ -192,12 +192,14 @@ def _cmd_snapshot(args) -> int:
     pivots = shared_pivots(workload, args.pivots)
     result = measure_build(args.index, workload, pivots)
     t0 = time.perf_counter()
-    info = save_index(result.index, args.out)
+    info = save_index(result.index, args.out, format_version=args.format_version)
     save_s = time.perf_counter() - t0
     print(
         f"built {args.index} on {args.dataset} (n={args.n}): "
         f"{result.compdists} compdists, {result.seconds:.2f}s; "
-        f"saved to {args.out} ({info.payload_bytes} bytes, {save_s:.2f}s)"
+        f"saved to {args.out} (format {info.format_version}, "
+        f"{info.payload_bytes} pickle bytes + {info.region_bytes} region "
+        f"bytes, {save_s:.2f}s)"
     )
     if args.verify:
         from .core.counters import CostCounters
@@ -223,8 +225,18 @@ def _serve_http(service: QueryService, args) -> int:
     """Run the HTTP front-end until interrupted, then drain and exit."""
     from .service.http import HttpQueryServer
 
+    access_log = None
+    access_log_path = getattr(args, "access_log", None)
+    if access_log_path == "-":
+        access_log = sys.stderr
+    elif access_log_path:
+        access_log = open(access_log_path, "a", encoding="utf-8")
     server = HttpQueryServer(
-        service, host=args.host, port=args.http, max_inflight=args.max_inflight
+        service,
+        host=args.host,
+        port=args.http,
+        max_inflight=args.max_inflight,
+        access_log=access_log,
     )
     server.start()
     print(
@@ -249,6 +261,8 @@ def _serve_http(service: QueryService, args) -> int:
         )
     finally:
         server.close()
+        if access_log is not None and access_log is not sys.stderr:
+            access_log.close()
     print(
         f"served {server.requests_served} requests "
         f"({server.rejected} rejected); shut down cleanly",
@@ -275,6 +289,7 @@ def _cmd_serve(args) -> int:
         service = QueryService.from_snapshot(
             args.snapshot,
             cache_size=args.cache_size,
+            cache_bytes=args.cache_bytes,
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
         )
@@ -289,6 +304,7 @@ def _cmd_serve(args) -> int:
         service = QueryService(
             result.index,
             cache_size=args.cache_size,
+            cache_bytes=args.cache_bytes,
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
         )
@@ -402,6 +418,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--info", metavar="PATH", help="inspect an existing snapshot header and exit"
     )
+    p.add_argument(
+        "--format-version",
+        type=int,
+        choices=(1, 2),
+        default=2,
+        help="snapshot format: 2 (memmap regions, default) or 1 (legacy "
+        "all-pickle)",
+    )
     p.set_defaults(func=_cmd_snapshot)
 
     p = sub.add_parser(
@@ -418,6 +442,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clients", type=int, default=8, help="concurrent callers")
     p.add_argument("--k", type=int, default=10)
     p.add_argument("--cache-size", type=int, default=1024)
+    p.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="byte budget for the result cache (evict by accounted result "
+        "size, not just entry count)",
+    )
     p.add_argument("--batch-size", type=int, default=32)
     p.add_argument("--max-wait-ms", type=float, default=2.0)
     p.add_argument(
@@ -433,6 +464,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="HTTP backpressure: concurrent requests beyond this get 503",
+    )
+    p.add_argument(
+        "--access-log",
+        metavar="PATH",
+        default=None,
+        help="write one JSON line per HTTP request (method, path, status, "
+        "bytes, wall ms, codec) to PATH; '-' for stderr",
     )
     p.set_defaults(func=_cmd_serve)
     return parser

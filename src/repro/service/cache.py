@@ -41,8 +41,31 @@ from typing import Hashable
 import numpy as np
 
 from ..core.counters import CostCounters
+from ..core.queries import Neighbor
 
 __all__ = ["QueryResultCache", "query_key"]
+
+# flat per-entry accounting overhead: key tuple, OrderedDict slot, result
+# list header -- a round constant, deliberately not a profiler
+_ENTRY_OVERHEAD = 256
+
+
+def _entry_bytes(result: list, query_obj) -> int:
+    """Approximate retained bytes of one cache entry.
+
+    Counted as the columnar payload of the answer (8 bytes per id, 16 per
+    neighbor -- the binary wire sizes) plus the frozen query's buffer and
+    a flat per-entry overhead.  A huge range result (thousands of ids) is
+    charged accordingly; a 5-NN answer stays cheap -- which is exactly the
+    asymmetry entry-count capacities cannot see.
+    """
+    per = 16 if result and isinstance(result[0], Neighbor) else 8
+    nbytes = _ENTRY_OVERHEAD + per * len(result)
+    if isinstance(query_obj, np.ndarray):
+        nbytes += int(query_obj.nbytes)
+    elif isinstance(query_obj, (str, bytes)):
+        nbytes += len(query_obj)
+    return nbytes
 
 
 def query_key(query_obj) -> Hashable:
@@ -80,21 +103,37 @@ class QueryResultCache:
     """Bounded LRU mapping from (index, kind, query, parameter) to answers.
 
     Args:
-        capacity: maximum number of cached results (entries, not bytes);
+        capacity: maximum number of cached results (entries);
             0 disables caching (every lookup is a miss, nothing is stored).
         counters: optional shared cost accumulator; hit/miss/eviction
             counts are added to it so cache behaviour shows up in the same
             measurements as compdists and PA.
+        capacity_bytes: optional byte budget over the entries' accounted
+            sizes (:func:`_entry_bytes`); when set, least-recently-used
+            entries are evicted while the budget is exceeded -- so one
+            huge range answer displaces proportionally many small kNN
+            answers instead of counting as "one entry".  Both bounds
+            apply when both are set; 0 disables caching.
     """
 
-    def __init__(self, capacity: int = 1024, counters: CostCounters | None = None):
+    def __init__(
+        self,
+        capacity: int = 1024,
+        counters: CostCounters | None = None,
+        capacity_bytes: int | None = None,
+    ):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
         self.capacity = capacity
+        self.capacity_bytes = capacity_bytes
         self.counters = counters
-        # key -> (result list, raw query object or None); the query object
-        # is what lets invalidate_affected re-derive each entry's ball
-        self._entries: OrderedDict[Hashable, tuple[list, object]] = OrderedDict()
+        # key -> (result list, raw query object or None, accounted bytes);
+        # the query object is what lets invalidate_affected re-derive each
+        # entry's ball
+        self._entries: OrderedDict[Hashable, tuple[list, object, int]] = OrderedDict()
+        self._used_bytes = 0
         self._generations: dict[str, int] = {}
         self._global_generation = 0
         self._lock = threading.Lock()
@@ -162,18 +201,29 @@ class QueryResultCache:
         entry alive across mutations that provably cannot change it;
         entries stored without it are always dropped conservatively.
         """
-        if self.capacity == 0:
+        if self.capacity == 0 or self.capacity_bytes == 0:
             return
+        frozen = _freeze_query(query_obj)
+        nbytes = _entry_bytes(result, frozen)
         evicted = 0
         with self._lock:
             current = self._global_generation + self._generations.get(key[0], 0)
             if generation is not None and generation != current:
                 return
-            if key in self._entries:
-                self._entries.move_to_end(key)
-            self._entries[key] = (list(result), _freeze_query(query_obj))
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._used_bytes -= old[2]
+            self._entries[key] = (list(result), frozen, nbytes)
+            self._used_bytes += nbytes
+            while self._entries and (
+                len(self._entries) > self.capacity
+                or (
+                    self.capacity_bytes is not None
+                    and self._used_bytes > self.capacity_bytes
+                )
+            ):
+                _, victim = self._entries.popitem(last=False)
+                self._used_bytes -= victim[2]
                 self.evictions += 1
                 evicted += 1
         if evicted and self.counters is not None:
@@ -192,11 +242,12 @@ class QueryResultCache:
             if index_id is None:
                 dropped = len(self._entries)
                 self._entries.clear()
+                self._used_bytes = 0
                 self._global_generation += 1
                 return dropped
             doomed = [key for key in self._entries if key[0] == index_id]
             for key in doomed:
-                del self._entries[key]
+                self._used_bytes -= self._entries.pop(key)[2]
             self._generations[index_id] = self._generations.get(index_id, 0) + 1
             return len(doomed)
 
@@ -248,7 +299,7 @@ class QueryResultCache:
             ]
         doomed = [
             key
-            for key, (result, query_obj) in candidates
+            for key, (result, query_obj, _nbytes) in candidates
             if not self._entry_unaffected(
                 key, result, query_obj, obj, object_id, distance
             )
@@ -260,7 +311,9 @@ class QueryResultCache:
                 # pop, not del: a concurrent post-mutation answer may have
                 # replaced (or an eviction removed) the entry meanwhile --
                 # dropping a fresh answer is harmless, missing keys are not
-                if self._entries.pop(key, None) is not None:
+                victim = self._entries.pop(key, None)
+                if victim is not None:
+                    self._used_bytes -= victim[2]
                     dropped += 1
             # survivors are the entries this invalidation actually kept
             # alive: proved unaffected AND still the same entry object --
@@ -311,6 +364,8 @@ class QueryResultCache:
             return {
                 "entries": len(self._entries),
                 "capacity": self.capacity,
+                "cache_bytes": self._used_bytes,
+                "capacity_bytes": self.capacity_bytes,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,

@@ -22,18 +22,32 @@ with a stdlib-only threaded HTTP server:
   finish, drains the dispatcher (``service.close()``), and only then
   closes the listening socket.
 
-Wire format: JSON bodies both ways.  Vector queries travel as JSON arrays
-and are decoded to the hosted dataset's dtype, string queries (the Words
-workload) as JSON strings; kNN answers are ``[distance, object_id]``
-pairs.  Python's JSON float encoding is shortest-repr and round-trips
-float64 exactly, so HTTP answers are **bit-for-bit** the answers a direct
-:class:`QueryService` call returns -- asserted in ``tests/test_http.py``
-and by the CI loopback smoke.
+Wire formats: **JSON** (the default; bodies both ways) and the **binary
+fast path** of :mod:`repro.service.wire`, negotiated per request via
+``Content-Type`` (request body) and ``Accept`` (response body) naming
+``application/x-repro-binary`` -- JSON clients keep working unchanged
+against a binary-capable server.  Under JSON, vector queries travel as
+JSON arrays and are decoded to the hosted dataset's dtype, string queries
+(the Words workload) as JSON strings; kNN answers are
+``[distance, object_id]`` pairs.  Python's JSON float encoding is
+shortest-repr and round-trips float64 exactly; the binary frames carry
+raw little-endian buffers.  Either way HTTP answers are **bit-for-bit**
+the answers a direct :class:`QueryService` call returns -- asserted in
+``tests/test_http.py`` and by the CI loopback smoke.  Binary request
+bodies decode straight to numpy (one ``frombuffer`` view for a whole
+query batch, no per-element Python objects), which is what removes the
+codec tax on the 282-d Color workload.
+
+An optional **structured access log** (``access_log=<file-like>``, off by
+default; ``repro serve --http --access-log PATH``) writes one JSON line
+per request: method, path, status, response bytes, wall milliseconds, and
+the negotiated codec.
 
 :class:`ServiceClient` is the matching programmatic client (one pooled
 stdlib ``http.client`` keep-alive connection per client, transparently
-re-established on stale sockets); see ``examples/http_quickstart.py`` for
-the full lifecycle.
+re-established on stale sockets; ``binary=True`` switches it to the
+binary protocol); see ``examples/http_quickstart.py`` for the full
+lifecycle.
 """
 
 from __future__ import annotations
@@ -42,14 +56,17 @@ import http.client
 import json
 import socket
 import threading
+import time
 from http.client import HTTPConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
 from ..core.queries import Neighbor
+from . import wire
 from .snapshot import SnapshotError
 from .service import QueryService
+from .wire import BINARY_CONTENT_TYPE, WireError
 
 __all__ = [
     "HttpQueryServer",
@@ -58,6 +75,7 @@ __all__ = [
     "encode_object",
     "encode_neighbors",
     "decode_neighbors",
+    "BINARY_CONTENT_TYPE",
 ]
 
 
@@ -124,17 +142,36 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.app
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # the access log is the caller's business, not stderr's
+        pass  # the structured access log replaces stderr noise
+
+    # set per request by _send_json / do_*; consumed by the access log
+    _log_status = 0
+    _log_bytes = 0
+    _log_codec = "json"
 
     def _send_json(self, status: int, payload: dict) -> None:
+        """Send a response in the request's negotiated codec.
+
+        Despite the name (kept for the JSON-era tests that monkeypatch
+        around it), the payload is encoded with the binary wire codec when
+        the request's ``Accept`` header asked for it -- error payloads
+        included, so a binary client never has to guess a response's
+        format from its status code.
+        """
         if self.app.draining:
             # graceful drain: answer, then shed the keep-alive connection so
             # pooled clients reconnect (and find the listener gone once the
             # drain completes) instead of talking to a lingering handler
             self.close_connection = True
-        blob = json.dumps(payload).encode("utf-8")
+        if getattr(self, "_binary_accept", False):
+            blob = wire.dumps(payload)
+            content_type = BINARY_CONTENT_TYPE
+        else:
+            blob = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        self._log_status, self._log_bytes = status, len(blob)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(blob)))
         if self.close_connection:
             # tell keep-alive clients the connection ends with this reply
@@ -169,20 +206,61 @@ class _Handler(BaseHTTPRequestHandler):
         if remaining > 0:
             self.close_connection = True
 
-    def _read_json(self) -> dict:
+    def _read_payload(self) -> dict:
+        """The request body as a payload dict, per its ``Content-Type``."""
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length > 0 else b""
         if not body:
-            raise _BadRequest("request body must be a JSON object")
-        try:
-            payload = json.loads(body)
-        except json.JSONDecodeError as exc:
-            raise _BadRequest(f"malformed JSON body: {exc}") from None
+            raise _BadRequest("request body must be a payload object")
+        if wire.accepts_binary(self.headers.get("Content-Type")):
+            try:
+                payload = wire.loads(body)
+            except WireError as exc:
+                raise _BadRequest(f"malformed binary body: {exc}") from None
+        else:
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as exc:
+                raise _BadRequest(f"malformed JSON body: {exc}") from None
         if not isinstance(payload, dict):
-            raise _BadRequest("request body must be a JSON object")
+            raise _BadRequest("request body must be a payload object")
         return payload
 
+    def _negotiate(self) -> bool:
+        """Fix this request's response codec from its ``Accept`` header."""
+        self._binary_accept = wire.accepts_binary(self.headers.get("Accept"))
+        if self._binary_accept or wire.accepts_binary(
+            self.headers.get("Content-Type")
+        ):
+            self._log_codec = "binary"
+        return self._binary_accept
+
     def do_GET(self) -> None:
+        self._logged(self._handle_get)
+
+    def do_POST(self) -> None:
+        self._logged(self._handle_post)
+
+    def _logged(self, inner) -> None:
+        """Run one request, then emit its structured access-log line."""
+        if self.app.access_log is None:
+            inner()
+            return
+        t0 = time.perf_counter()
+        try:
+            inner()
+        finally:
+            self.app._log_access(
+                method=self.command,
+                path=self.path,
+                status=self._log_status,
+                nbytes=self._log_bytes,
+                wall_ms=(time.perf_counter() - t0) * 1000.0,
+                codec=self._log_codec,
+            )
+
+    def _handle_get(self) -> None:
+        self._negotiate()
         # observability endpoints bypass backpressure: health checks and
         # stats scrapes must keep answering while queries saturate the limit
         if self.path == "/healthz":
@@ -192,8 +270,9 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
-    def do_POST(self) -> None:
+    def _handle_post(self) -> None:
         app = self.app
+        binary = self._negotiate()
         route = app.post_routes.get(self.path)
         if route is None:
             self._drain_body()
@@ -213,8 +292,8 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         try:
-            payload = self._read_json()
-            self._send_json(200, route(payload))
+            payload = self._read_payload()
+            self._send_json(200, route(payload, binary))
         except _BadRequest as exc:
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # index/service errors -> 500, not a hang
@@ -233,6 +312,10 @@ class HttpQueryServer:
         max_inflight: bound on concurrently executing requests -- the
             backpressure limit.  Requests beyond it receive ``503``
             immediately; clients are expected to retry.
+        access_log: optional file-like object; when given, every request
+            appends one JSON line (method, path, status, bytes, wall ms,
+            codec).  Off by default -- serving must not pay logging IO
+            unless asked to.
 
     Use :meth:`start` to serve from a background thread and :meth:`close`
     (or the context manager form) to shut down gracefully: draining
@@ -245,11 +328,14 @@ class HttpQueryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_inflight: int = 64,
+        access_log=None,
     ):
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.service = service
         self.max_inflight = int(max_inflight)
+        self.access_log = access_log
+        self._access_lock = threading.Lock()
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._active = 0
@@ -391,14 +477,27 @@ class HttpQueryServer:
             }
         return out
 
+    def _log_access(self, **fields) -> None:
+        """Append one JSON access-log line (called per request when enabled)."""
+        fields["ts"] = round(time.time(), 6)
+        fields["wall_ms"] = round(fields["wall_ms"], 3)
+        line = json.dumps(fields, sort_keys=True)
+        with self._access_lock:
+            try:
+                self.access_log.write(line + "\n")
+                self.access_log.flush()
+            except (OSError, ValueError):
+                pass  # a full disk or closed sink must never fail a request
+
     # -- payload decoding ------------------------------------------------------
 
     def _decode_object(self, value, field: str = "query"):
         """A wire value as a query/dataset object of the hosted dataset.
 
-        Vector datasets decode JSON arrays to their numpy dtype (shape
-        checked against the dataset's dimensionality); everything else
-        (strings for Words) passes through as-is.
+        Vector datasets decode JSON arrays -- or binary-frame numpy views
+        -- to their numpy dtype (shape checked against the dataset's
+        dimensionality); everything else (strings for Words) passes
+        through as-is.
         """
         if value is None:
             raise _BadRequest(f"missing {field!r}")
@@ -416,10 +515,27 @@ class HttpQueryServer:
                     f"{dataset.objects.shape[1:]}"
                 )
             return arr
+        if isinstance(value, np.ndarray):
+            raise _BadRequest(f"{field!r} must not be an array for this index")
         return value
 
     def _decode_many(self, payload) -> list:
         queries = payload.get("queries")
+        if isinstance(queries, np.ndarray):
+            # binary fast path: one 2-d (batch x dim) buffer for the whole
+            # batch -- validate once, hand the index row views, never touch
+            # a per-element Python object
+            dataset = self.service.index.space.dataset
+            if not dataset.is_vector:
+                raise _BadRequest("'queries' must not be an array for this index")
+            if queries.ndim != 2 or queries.shape[1:] != dataset.objects.shape[1:]:
+                raise _BadRequest(
+                    f"'queries' has shape {queries.shape}, index expects "
+                    f"(batch, {', '.join(map(str, dataset.objects.shape[1:]))})"
+                )
+            if queries.shape[0] == 0:
+                raise _BadRequest("'queries' must be a non-empty batch")
+            return list(np.asarray(queries, dtype=dataset.objects.dtype))
         if not isinstance(queries, list) or not queries:
             raise _BadRequest("'queries' must be a non-empty JSON array")
         return [self._decode_object(q, "queries[]") for q in queries]
@@ -439,26 +555,36 @@ class HttpQueryServer:
 
     # -- query endpoints -------------------------------------------------------
 
-    def _handle_range(self, payload: dict) -> dict:
+    def _handle_range(self, payload: dict, binary: bool = False) -> dict:
         query = self._decode_object(payload.get("query"))
         radius = self._number(payload, "radius")
-        return {"ids": [int(i) for i in self.service.range_query(query, radius)]}
+        ids = self.service.range_query(query, radius)
+        if binary:
+            return {"ids": wire.pack_id_list(ids)}
+        return {"ids": [int(i) for i in ids]}
 
-    def _handle_knn(self, payload: dict) -> dict:
+    def _handle_knn(self, payload: dict, binary: bool = False) -> dict:
         query = self._decode_object(payload.get("query"))
         k = self._k(payload)
-        return {"neighbors": encode_neighbors(self.service.knn_query(query, k))}
+        neighbors = self.service.knn_query(query, k)
+        if binary:
+            return {"neighbors": wire.pack_neighbors(neighbors)}
+        return {"neighbors": encode_neighbors(neighbors)}
 
-    def _handle_range_many(self, payload: dict) -> dict:
+    def _handle_range_many(self, payload: dict, binary: bool = False) -> dict:
         queries = self._decode_many(payload)
         radius = self._number(payload, "radius")
         answers = self.service.range_query_many(queries, radius)
+        if binary:
+            return {"results": wire.pack_id_lists(answers)}
         return {"results": [[int(i) for i in ids] for ids in answers]}
 
-    def _handle_knn_many(self, payload: dict) -> dict:
+    def _handle_knn_many(self, payload: dict, binary: bool = False) -> dict:
         queries = self._decode_many(payload)
         k = self._k(payload)
         answers = self.service.knn_query_many(queries, k)
+        if binary:
+            return {"results": wire.pack_neighbor_lists(answers)}
         return {"results": [encode_neighbors(a) for a in answers]}
 
     # -- mutation + admin endpoints --------------------------------------------
@@ -473,17 +599,17 @@ class HttpQueryServer:
             raise _BadRequest("'object_id' must be an integer")
         return object_id
 
-    def _handle_insert(self, payload: dict) -> dict:
+    def _handle_insert(self, payload: dict, binary: bool = False) -> dict:
         obj = self._decode_object(payload.get("object"), "object")
         object_id = self._object_id(payload, required=False)
         return {"object_id": int(self.service.insert(obj, object_id=object_id))}
 
-    def _handle_delete(self, payload: dict) -> dict:
+    def _handle_delete(self, payload: dict, binary: bool = False) -> dict:
         object_id = self._object_id(payload, required=True)
         self.service.delete(object_id)
         return {"deleted": object_id}
 
-    def _handle_reload(self, payload: dict) -> dict:
+    def _handle_reload(self, payload: dict, binary: bool = False) -> dict:
         path = payload.get("snapshot")
         if not isinstance(path, str) or not path:
             raise _BadRequest("'snapshot' must be a path string")
@@ -534,6 +660,13 @@ class ServiceClient:
     accepted directly); kNN answers come back as
     :class:`~repro.core.queries.Neighbor` lists, bit-for-bit equal to a
     direct :class:`QueryService` call's.
+
+    ``binary=True`` switches the wire format to
+    :mod:`repro.service.wire`'s framed binary codec: request bodies carry
+    raw numpy buffers (a whole ``*_query_many`` vector batch travels as
+    one 2-D matrix), ``Accept`` asks the server for binary responses, and
+    answers decode from flat columnar arrays.  Same endpoints, same
+    answers bit-for-bit -- only the codec tax changes.
     """
 
     # a stale pooled socket surfaces as one of these on the next request;
@@ -547,10 +680,17 @@ class ServiceClient:
         BrokenPipeError,
     )
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+        binary: bool = False,
+    ):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.binary = bool(binary)
         self.connections_opened = 0
         self._local = threading.local()
         self._lock = threading.Lock()  # guards the counter and registry
@@ -617,9 +757,10 @@ class ServiceClient:
         conn.request(method, path, body=body, headers=headers)
         response = conn.getresponse()
         blob = response.read()  # drain fully so the connection stays reusable
+        content_type = response.getheader("Content-Type")
         if response.will_close:
             self._discard(conn)
-        return response.status, blob
+        return response.status, blob, content_type
 
     def _request(
         self,
@@ -630,15 +771,23 @@ class ServiceClient:
     ) -> dict:
         body = None
         headers = {}
+        if self.binary:
+            headers["Accept"] = BINARY_CONTENT_TYPE
         if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            if self.binary:
+                body = wire.dumps(payload)
+                headers["Content-Type"] = BINARY_CONTENT_TYPE
+            else:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
         conn = self._pooled()
         reused = conn is not None
         if conn is None:
             conn = self._connect()
         try:
-            status, blob = self._exchange(conn, method, path, body, headers)
+            status, blob, content_type = self._exchange(
+                conn, method, path, body, headers
+            )
         except self._RETRYABLE:
             self._discard(conn)
             # only idempotent requests may be resent: a mutation whose
@@ -648,7 +797,9 @@ class ServiceClient:
                 raise
             conn = self._connect()
             try:
-                status, blob = self._exchange(conn, method, path, body, headers)
+                status, blob, content_type = self._exchange(
+                    conn, method, path, body, headers
+                )
             except Exception:
                 self._discard(conn)
                 raise
@@ -657,40 +808,67 @@ class ServiceClient:
             # indeterminate, so do not reuse it
             self._discard(conn)
             raise
-        try:
-            out = json.loads(blob) if blob else {}
-        except json.JSONDecodeError:
-            out = {"error": blob.decode("utf-8", "replace")}
+        # decode by the *response's* Content-Type, not by what was asked
+        # for: error paths and non-binary servers may answer JSON to a
+        # binary-accepting client
+        if wire.accepts_binary(content_type):
+            try:
+                out = wire.loads(blob)
+            except WireError as exc:
+                out = {"error": f"undecodable binary response: {exc}"}
+        else:
+            try:
+                out = json.loads(blob) if blob else {}
+            except json.JSONDecodeError:
+                out = {"error": blob.decode("utf-8", "replace")}
         if status != 200:
             raise ServiceClientError(status, out.get("error", "unexpected response"))
         return out
 
     # -- queries ---------------------------------------------------------------
 
+    def _encode_query(self, obj):
+        """One query in this client's wire form (ndarray under binary)."""
+        if self.binary and isinstance(obj, np.ndarray):
+            return obj
+        return encode_object(obj)
+
+    def _encode_batch(self, queries):
+        """A query batch: one 2-D matrix under binary when vectors stack."""
+        queries = list(queries)
+        if self.binary:
+            try:
+                qmat = np.asarray(queries)
+            except (ValueError, TypeError):
+                qmat = None
+            if qmat is not None and qmat.ndim == 2 and qmat.dtype.kind in "biufc":
+                return qmat
+        return [encode_object(q) for q in queries]
+
     def range_query(self, query_obj, radius: float) -> list[int]:
-        payload = {"query": encode_object(query_obj), "radius": float(radius)}
-        return self._request("POST", "/range", payload)["ids"]
+        payload = {"query": self._encode_query(query_obj), "radius": float(radius)}
+        ids = self._request("POST", "/range", payload)["ids"]
+        return wire.unpack_id_list(ids)
 
     def knn_query(self, query_obj, k: int) -> list[Neighbor]:
-        payload = {"query": encode_object(query_obj), "k": int(k)}
-        return decode_neighbors(self._request("POST", "/knn", payload)["neighbors"])
+        payload = {"query": self._encode_query(query_obj), "k": int(k)}
+        neighbors = self._request("POST", "/knn", payload)["neighbors"]
+        return wire.unpack_neighbors(neighbors)
 
     def range_query_many(self, queries, radius: float) -> list[list[int]]:
-        payload = {
-            "queries": [encode_object(q) for q in queries],
-            "radius": float(radius),
-        }
-        return self._request("POST", "/range_many", payload)["results"]
+        payload = {"queries": self._encode_batch(queries), "radius": float(radius)}
+        results = self._request("POST", "/range_many", payload)["results"]
+        return wire.unpack_id_lists(results)
 
     def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
-        payload = {"queries": [encode_object(q) for q in queries], "k": int(k)}
+        payload = {"queries": self._encode_batch(queries), "k": int(k)}
         results = self._request("POST", "/knn_many", payload)["results"]
-        return [decode_neighbors(r) for r in results]
+        return wire.unpack_neighbor_lists(results)
 
     # -- mutations + admin -----------------------------------------------------
 
     def insert(self, obj, object_id: int | None = None) -> int:
-        payload = {"object": encode_object(obj)}
+        payload = {"object": self._encode_query(obj)}
         if object_id is not None:
             payload["object_id"] = int(object_id)
         return int(

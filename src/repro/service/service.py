@@ -54,6 +54,9 @@ class QueryService:
             private one sized ``cache_size``.
         cache_size: capacity of the private cache (entries); 0 disables
             result caching entirely.
+        cache_bytes: optional byte budget for the private cache -- evicts
+            by accounted result size instead of entry count alone (see
+            :class:`QueryResultCache`).
         max_batch_size / max_wait_ms / adaptive_wait: dispatcher knobs
             (see :class:`MicroBatchDispatcher`); ``use_dispatcher=False``
             runs without a background thread (single calls become
@@ -68,6 +71,7 @@ class QueryService:
         index_id: str | None = None,
         cache: QueryResultCache | None = None,
         cache_size: int = 1024,
+        cache_bytes: int | None = None,
         max_batch_size: int = 32,
         max_wait_ms: float = 2.0,
         adaptive_wait: bool = True,
@@ -82,7 +86,11 @@ class QueryService:
         self.cache = (
             cache
             if cache is not None
-            else QueryResultCache(capacity=cache_size, counters=self.counters)
+            else QueryResultCache(
+                capacity=cache_size,
+                counters=self.counters,
+                capacity_bytes=cache_bytes,
+            )
         )
         self.dispatcher = (
             MicroBatchDispatcher(

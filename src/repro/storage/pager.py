@@ -25,11 +25,33 @@ import pickle
 from collections import OrderedDict
 from typing import Any
 
+import numpy as np
+
 from ..core.counters import CostCounters
 
 __all__ = ["PageStore", "BufferPool", "Pager", "BatchReadCache", "DEFAULT_PAGE_SIZE"]
 
 DEFAULT_PAGE_SIZE = 4096
+
+
+def _rebuild_page_store(page_size, next_id, directory, empty_ids, region):
+    """Rebuild a :class:`PageStore` from its snapshot-region form.
+
+    ``region`` is one flat uint8 buffer holding every written page's blob
+    back to back, ``directory`` maps page id -> (offset, length) into it.
+    Under the v2 snapshot format the buffer arrives as a ``np.memmap``, so
+    the store starts with **zero** pages materialised -- blobs fault in
+    from the OS page cache on first read.  Counters are rebound by
+    ``load_index`` after restore.
+    """
+    store = PageStore.__new__(PageStore)
+    store.page_size = int(page_size)
+    store.counters = CostCounters()
+    store._pages = {int(pid): b"" for pid in empty_ids}
+    store._next_id = int(next_id)
+    store._lazy = {int(pid): (int(o), int(n)) for pid, (o, n) in directory.items()}
+    store._region = region
+    return store
 
 
 class PageStore:
@@ -41,6 +63,12 @@ class PageStore:
             accesses (the paper's large-page configurations are modelled by
             passing 40960).
         counters: shared cost counters (same object as the metric space's).
+
+    Pages live in ``_pages`` (page id -> pickled bytes) or -- after a v2
+    snapshot restore -- in ``_lazy`` (page id -> (offset, length) into the
+    shared ``_region`` buffer, usually a memmap).  ``_pages`` always wins:
+    the first :meth:`write` to a lazy page moves it there, so the region
+    stays an immutable snapshot image while the store stays fully mutable.
     """
 
     def __init__(
@@ -54,6 +82,15 @@ class PageStore:
         self.counters = counters if counters is not None else CostCounters()
         self._pages: dict[int, bytes] = {}
         self._next_id = 0
+        self._lazy: dict[int, tuple[int, int]] = {}
+        self._region = None
+
+    def __setstate__(self, state):
+        # pre-memmap pickles (v1 snapshots, old process-pool payloads)
+        # predate the lazy-region attributes
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_lazy", {})
+        self.__dict__.setdefault("_region", None)
 
     def allocate(self) -> int:
         """Reserve a new page id (no I/O counted)."""
@@ -64,18 +101,25 @@ class PageStore:
 
     def write(self, page_id: int, node: Any) -> None:
         """Serialise ``node`` into the page, counting write accesses."""
-        if page_id not in self._pages:
+        if page_id not in self._pages and page_id not in self._lazy:
             raise KeyError(f"page {page_id} was never allocated")
         blob = pickle.dumps(node, protocol=pickle.HIGHEST_PROTOCOL)
         self._pages[page_id] = blob
+        self._lazy.pop(page_id, None)
         self.counters.add_page_write(self.pages_spanned(len(blob)))
 
     def read(self, page_id: int) -> Any:
         """Deserialise the page content, counting read accesses."""
-        try:
-            blob = self._pages[page_id]
-        except KeyError:
-            raise KeyError(f"page {page_id} was never allocated") from None
+        blob = self._pages.get(page_id)
+        if blob is None:
+            span = self._lazy.get(page_id)
+            if span is None:
+                raise KeyError(f"page {page_id} was never allocated")
+            offset, length = span
+            self.counters.add_page_read(self.pages_spanned(length))
+            # a contiguous uint8 slice satisfies the buffer protocol, so
+            # unpickling reads straight out of the mapped snapshot region
+            return pickle.loads(self._region[offset : offset + length])
         if not blob:
             raise KeyError(f"page {page_id} was allocated but never written")
         self.counters.add_page_read(self.pages_spanned(len(blob)))
@@ -83,6 +127,7 @@ class PageStore:
 
     def free(self, page_id: int) -> None:
         self._pages.pop(page_id, None)
+        self._lazy.pop(page_id, None)
 
     def pages_spanned(self, nbytes: int) -> int:
         """How many physical pages a node of ``nbytes`` occupies (>= 1)."""
@@ -90,18 +135,53 @@ class PageStore:
 
     def page_bytes(self, page_id: int) -> int:
         """Serialised size of one page's content."""
-        return len(self._pages.get(page_id, b""))
+        blob = self._pages.get(page_id)
+        if blob is not None:
+            return len(blob)
+        span = self._lazy.get(page_id)
+        return span[1] if span is not None else 0
+
+    def _blob_sizes(self):
+        for page_id, blob in self._pages.items():
+            if blob:
+                yield page_id, len(blob)
+        for page_id, (_offset, length) in self._lazy.items():
+            yield page_id, length
 
     def total_bytes(self) -> int:
         """Total stored bytes, rounded up to whole pages (disk footprint)."""
         return sum(
-            self.pages_spanned(len(blob)) * self.page_size
-            for blob in self._pages.values()
-            if blob
+            self.pages_spanned(length) * self.page_size
+            for _pid, length in self._blob_sizes()
         )
 
     def __len__(self) -> int:
-        return sum(1 for blob in self._pages.values() if blob)
+        return sum(1 for _ in self._blob_sizes())
+
+    def _snapshot_state(self):
+        """(directory, empty ids, packed uint8 buffer) for region snapshots.
+
+        Every written page's blob is concatenated into one flat buffer;
+        the snapshot pickler hands that buffer to the region writer and
+        :func:`_rebuild_page_store` re-wraps it (as a memmap) on load.
+        """
+        directory: dict[int, tuple[int, int]] = {}
+        chunks: list[bytes] = []
+        empty: list[int] = []
+        offset = 0
+        for page_id in sorted(set(self._pages) | set(self._lazy)):
+            blob = self._pages.get(page_id)
+            if blob is None:
+                o, n = self._lazy[page_id]
+                blob = bytes(self._region[o : o + n])
+            if not blob:
+                empty.append(page_id)
+                continue
+            directory[page_id] = (offset, len(blob))
+            chunks.append(blob)
+            offset += len(blob)
+        packed = np.frombuffer(b"".join(chunks), dtype=np.uint8)
+        return directory, empty, packed
 
 
 class BufferPool:

@@ -212,6 +212,15 @@ class FrontierTreeMixin:
         would (radii only shrink, bounds only grow down the tree), so with
         the canonical (distance, id) heap the answers are bit-for-bit the
         sequential ones regardless of the interleaving.
+
+        Leaf verification is **deferred across consecutive leaf pops**:
+        popped leaves accumulate into ``pending`` and are verified in one
+        grouped ``pairwise_objects`` call per distinct active set when the
+        next internal node arrives (so its pruning sees fresh radii) or
+        the frontier empties.  Deferral is answer-preserving -- a radius
+        that would have shrunk between two leaf pops can only let extra
+        candidates into the verification matrix, and those lose to the
+        heap's canonical ordering exactly as if considered late.
         """
         queries = list(queries)
         if not queries:
@@ -222,6 +231,26 @@ class FrontierTreeMixin:
         cache: dict = {}
         counter = itertools.count()
         every = np.arange(len(queries), dtype=np.intp)
+        pending: list[tuple[list, np.ndarray]] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            groups: dict[bytes, tuple[np.ndarray, list]] = {}
+            for ids, active in pending:
+                got = groups.get(active.tobytes())
+                if got is None:
+                    groups[active.tobytes()] = (active, list(ids))
+                else:
+                    got[1].extend(ids)
+            pending.clear()
+            for active, ids in groups.values():
+                dists = self.space.pairwise_objects(take(active), gather(ids))
+                for qi, row in zip(active, dists):
+                    heap = heaps[qi]
+                    for object_id, d in zip(ids, row):
+                        heap.consider(object_id, float(d))
+
         pq = [(0.0, next(counter), self.root, every, np.zeros(len(queries)))]
         while pq:
             priority, _, node, active, bounds = heapq.heappop(pq)
@@ -229,7 +258,8 @@ class FrontierTreeMixin:
                 # the frontier pops ascending by its entries' smallest
                 # per-query bound, so once that exceeds every radius the
                 # whole remaining frontier is dead -- the batch analogue of
-                # the sequential best-first break
+                # the sequential best-first break (flushing first could
+                # only shrink radii further, never revive the frontier)
                 break
             radii = np.asarray([heaps[qi].radius for qi in active])
             alive = bounds <= radii
@@ -238,14 +268,9 @@ class FrontierTreeMixin:
             active, bounds = active[alive], bounds[alive]
             if node.is_leaf:
                 if node.ids:
-                    dists = self.space.pairwise_objects(
-                        take(active), gather(node.ids)
-                    )
-                    for qi, row in zip(active, dists):
-                        heap = heaps[qi]
-                        for object_id, d in zip(node.ids, row):
-                            heap.consider(object_id, float(d))
+                    pending.append((node.ids, active))
                 continue
+            flush()  # internal node: prune against up-to-date radii
             key = self._frontier_key(node)
             if key is None:
                 for child in node.children:
@@ -269,4 +294,5 @@ class FrontierTreeMixin:
                         pq,
                         (float(kept.min()), next(counter), child, active[keep], kept),
                     )
+        flush()
         return [heap.neighbors() for heap in heaps]

@@ -221,6 +221,89 @@ def test_snapshot_rejects_truncated_payload(datasets, built_indexes, tmp_path):
         load_index(path)
 
 
+def test_v1_snapshot_still_loads(datasets, built_indexes, tmp_path):
+    """Cross-version regression: snapshots written as v1 keep loading."""
+    dataset = datasets["LA"]
+    index = built_indexes("LA", "LAESA")
+    queries = _sample_queries(dataset)
+    expected = [index.range_query(q, RADIUS["LA"]) for q in queries]
+
+    path = tmp_path / "laesa.v1.snap"
+    info = save_index(index, path, format_version=1)
+    assert info.format_version == 1
+    assert info.n_regions == 0 and info.region_bytes == 0
+    assert snapshot_info(path).format_version == 1
+
+    counters = CostCounters()
+    restored = load_index(path, counters=counters)
+    assert counters.distance_computations == 0
+    assert [restored.range_query(q, RADIUS["LA"]) for q in queries] == expected
+
+
+def test_v2_snapshot_grows_memmap_regions(datasets, built_indexes, tmp_path):
+    """Vector tables leave the pickle payload and become mapped regions."""
+    index = built_indexes("LA", "LAESA")
+    path = tmp_path / "laesa.v2.snap"
+    v1_info = save_index(index, tmp_path / "laesa.v1.snap", format_version=1)
+    v2_info = save_index(index, path)
+    assert v2_info.format_version == SNAPSHOT_FORMAT_VERSION == 2
+    assert v2_info.n_regions > 0
+    assert v2_info.region_bytes > 0
+    # the bytes moved, they didn't duplicate: the v2 pickle shrinks by
+    # (roughly) what the regions now carry
+    assert v2_info.payload_bytes + v2_info.region_bytes < v1_info.payload_bytes * 1.1
+
+
+def test_v2_snapshot_rejects_truncated_region(datasets, built_indexes, tmp_path):
+    index = built_indexes("LA", "LAESA")
+    path = tmp_path / "laesa.snap"
+    info = save_index(index, path)
+    assert info.n_regions > 0
+    blob = path.read_bytes()
+    # cut inside the region block: the header survives, the data doesn't
+    path.write_bytes(blob[: len(blob) - (info.region_bytes // 2)])
+    with pytest.raises(SnapshotError, match="truncated"):
+        load_index(path)
+
+
+def test_v2_snapshot_rejects_corrupt_region_table(datasets, built_indexes, tmp_path):
+    import json
+
+    from repro.service import SNAPSHOT_MAGIC
+
+    index = built_indexes("LA", "LAESA")
+    path = tmp_path / "laesa.snap"
+    save_index(index, path)
+    blob = path.read_bytes()
+    header_len = int.from_bytes(blob[8:12], "big")
+    header = json.loads(blob[12 : 12 + header_len])
+    assert header["regions"], "expected a region table in a v2 vector snapshot"
+
+    def rewrite(mutate):
+        bad = json.loads(json.dumps(header))
+        mutate(bad)
+        new_header = json.dumps(bad, sort_keys=True).encode()
+        prefix = SNAPSHOT_MAGIC + len(new_header).to_bytes(4, "big") + new_header
+        # regions start at the next 4 KiB boundary, so a same-ballpark
+        # header length leaves every region offset valid
+        assert len(prefix) <= 4096 and 12 + header_len <= 4096
+        path.write_bytes(prefix + b"\x00" * (4096 - len(prefix)) + blob[4096:])
+
+    def corrupt_nbytes(h):
+        h["regions"][0]["nbytes"] += 8
+
+    def corrupt_dtype(h):
+        h["regions"][0]["dtype"] = "|O8"
+
+    def corrupt_offset(h):
+        h["regions"][0]["offset"] = h["regions_span"]
+
+    for mutate in (corrupt_nbytes, corrupt_dtype, corrupt_offset):
+        rewrite(mutate)
+        with pytest.raises(SnapshotError):
+            load_index(path)
+
+
 # ---------------------------------------------------------------------------
 # LRU result cache
 # ---------------------------------------------------------------------------
@@ -272,6 +355,57 @@ def test_cache_capacity_zero_disables():
     cache.put(key, [1])
     assert cache.get(key) is None
     assert len(cache) == 0
+
+
+def test_cache_byte_budget_evicts_by_bytes():
+    """A byte budget evicts LRU entries even when the count budget has room."""
+    counters = CostCounters()
+    cache = QueryResultCache(capacity=100, counters=counters, capacity_bytes=2048)
+    keys = [cache.make_key("idx", "range", f"q{i}", 1.0) for i in range(6)]
+    big = list(range(100))  # ~= 256 overhead + 800 id bytes per entry
+    for key in keys:
+        cache.put(key, big)
+    stats = cache.stats()
+    assert stats["capacity_bytes"] == 2048
+    assert 0 < stats["cache_bytes"] <= 2048
+    assert len(cache) < 6, "byte budget never evicted"
+    assert cache.evictions > 0
+    # most-recent entries survive, oldest were evicted
+    assert cache.get(keys[-1]) == big
+    assert cache.get(keys[0]) is None
+
+
+def test_cache_bytes_tracks_replacement_and_invalidation():
+    cache = QueryResultCache(capacity=8, capacity_bytes=1 << 20)
+    key = cache.make_key("idx", "range", "q", 1.0)
+    cache.put(key, list(range(50)))
+    first = cache.stats()["cache_bytes"]
+    cache.put(key, list(range(10)))  # replacement must not double-count
+    second = cache.stats()["cache_bytes"]
+    assert 0 < second < first
+    other = cache.make_key("other", "range", "q", 1.0)
+    cache.put(other, [1, 2, 3])
+    cache.invalidate("idx")
+    assert cache.stats()["cache_bytes"] < second
+    cache.invalidate()
+    assert cache.stats()["cache_bytes"] == 0
+
+
+def test_cache_capacity_bytes_zero_disables():
+    cache = QueryResultCache(capacity=8, capacity_bytes=0)
+    key = cache.make_key("idx", "range", "q", 1.0)
+    cache.put(key, [1])
+    assert cache.get(key) is None
+    assert len(cache) == 0
+
+
+def test_service_cache_bytes_budget_reaches_stats(datasets, built_indexes):
+    index = built_indexes("Words", "LAESA")
+    with QueryService(index, cache_bytes=1 << 16, use_dispatcher=False) as service:
+        service.range_query(datasets["Words"][0], RADIUS["Words"])
+        stats = service.stats()["cache"]
+    assert stats["capacity_bytes"] == 1 << 16
+    assert stats["cache_bytes"] > 0
 
 
 def test_cache_invalidate_per_index():

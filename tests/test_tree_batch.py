@@ -167,6 +167,27 @@ class TestTreeBatchEquality:
         assert counters.distance_computations == sequential
 
 
+@pytest.mark.parametrize("tree_name", TREES)
+def test_knn_deferred_leaf_verification_large_batch(built_trees, tree_name):
+    """Large divergent batches exercise the grouped leaf-flush path.
+
+    MkNNQ leaf verification is deferred across consecutive leaf pops and
+    flushed in mask-groups (one ``pairwise_objects`` call per distinct
+    active set).  Stale pre-flush radii may only admit *extra* candidates
+    -- every admitted candidate still fights the canonical (distance, id)
+    heap -- so batch answers must stay bit-for-bit sequential.
+    """
+    metric_name = "hamming" if tree_name in DISCRETE_ONLY else "euclidean"
+    index, dataset = built_trees(metric_name, tree_name)
+    rng = np.random.default_rng(5)
+    picks = rng.choice(len(dataset), size=40, replace=False)
+    queries = [dataset[int(i)] for i in picks]
+    for k in (2, 9):
+        batch = index.knn_query_many(queries, k)
+        sequential = [index.knn_query(q, k) for q in queries]
+        assert batch == sequential, f"{tree_name} k={k}"
+
+
 @pytest.mark.parametrize("metric_name", METRICS)
 def test_tree_batch_across_shard_fanout(metric_datasets, metric_name):
     """Sharded fan-out over tree shards: merged batch answers stay golden."""
