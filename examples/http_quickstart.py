@@ -19,6 +19,13 @@ negotiates the binary wire protocol (``repro.service.wire``): query batches
 travel as one raw float64 matrix and answers come back as columnar buffers
 -- same API, same bit-for-bit answers, none of the JSON codec tax.
 
+Observability: share one :class:`~repro.obs.MetricsRegistry` between the
+service and the server (as below, or ``repro serve --http PORT --metrics``)
+and ``GET /metrics`` serves Prometheus text while ``/stats`` grows
+percentile digests under ``"telemetry"`` -- ``repro stats URL [--metrics]``
+fetches either from a shell.  Add ``--slow-query-ms N`` to log each slow
+request's span tree with its exact share of the batch costs.
+
 Run:  python examples/http_quickstart.py
 """
 
@@ -33,6 +40,7 @@ from repro import (
     CostCounters,
     HttpQueryServer,
     MetricSpace,
+    MetricsRegistry,
     QueryService,
     ServiceClient,
     make_words,
@@ -53,10 +61,14 @@ def main() -> None:
         save_index(index, snap_path)
         print(f"snapshot written: {snap_path.name}")
 
-        # -- 2. restore and serve over HTTP ---------------------------------
-        service = QueryService.from_snapshot(snap_path, max_batch_size=16)
-        with service, HttpQueryServer(service, port=0).start() as server, \
-                ServiceClient(port=server.port) as client:
+        # -- 2. restore and serve over HTTP, telemetry on --------------------
+        # one registry shared by service + server == `repro serve --metrics`
+        metrics = MetricsRegistry()
+        service = QueryService.from_snapshot(
+            snap_path, max_batch_size=16, metrics=metrics
+        )
+        with service, HttpQueryServer(service, port=0, metrics=metrics).start() \
+                as server, ServiceClient(port=server.port) as client:
             print(f"serving at http://{server.host}:{server.port}")
             print(f"healthz: {client.healthz()}")
 
@@ -93,6 +105,13 @@ def main() -> None:
                 f"http served {stats['http']['served']} "
                 f"(rejected {stats['http']['rejected']})"
             )
+            latency = stats["telemetry"]["repro_http_request_ms"]["/range"]
+            print(
+                f"/range latency: p50 {latency['p50']:.2f} ms, "
+                f"p99 {latency['p99']:.2f} ms over {latency['count']} requests"
+            )
+            scrape = client.metrics_text()  # what GET /metrics serves
+            print(f"/metrics: {len(scrape.splitlines())} Prometheus text lines")
 
         # -- 4. the context managers drained and closed everything ----------
         print("shut down cleanly: requests drained, dispatcher joined, socket closed")

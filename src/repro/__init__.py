@@ -82,6 +82,7 @@ from .external import (
     PMTree,
     SPBTree,
 )
+from .obs import MetricsRegistry
 from .service import (
     HttpQueryServer,
     MicroBatchDispatcher,
@@ -155,6 +156,7 @@ __all__ = [
     "MetricIndex",
     "HttpQueryServer",
     "MetricSpace",
+    "MetricsRegistry",
     "MicroBatchDispatcher",
     "Neighbor",
     "OmniBPlusTree",

@@ -22,6 +22,8 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -75,9 +77,48 @@ def _cmd_indexes(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    if args.dataset.startswith(("http://", "https://")):
+        return _remote_stats(args.dataset, args.metrics)
+    if args.dataset not in DATASET_FACTORIES:
+        print(
+            f"unknown target {args.dataset!r}: expected a dataset name "
+            f"({', '.join(sorted(DATASET_FACTORIES))}) or a server URL "
+            "(http://host:port)"
+        )
+        return 2
     workload = make_workload(args.dataset, n=args.n, n_queries=1)
     stats = dataset_statistics(workload.dataset)
     print(format_table([stats.row()], title="Dataset statistics"))
+    return 0
+
+
+def _remote_stats(url: str, show_metrics: bool) -> int:
+    """Fetch and print a running server's /stats (or /metrics) payload."""
+    from urllib.parse import urlsplit
+
+    from .service.http import ServiceClient, ServiceClientError
+
+    parts = urlsplit(url)
+    if parts.hostname is None:
+        print(f"cannot parse host from {url!r}")
+        return 2
+    with ServiceClient(
+        host=parts.hostname, port=parts.port or 80, timeout=10.0
+    ) as client:
+        try:
+            if show_metrics:
+                sys.stdout.write(client.metrics_text())
+            else:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        except BrokenPipeError:
+            # stdout's reader went away (`repro stats URL | head`) -- the
+            # unix convention is a quiet exit, not a traceback; devnull
+            # absorbs the interpreter's shutdown flush of the dead pipe
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+        except (ServiceClientError, OSError) as exc:
+            print(f"cannot fetch {'/metrics' if show_metrics else '/stats'} from {url}: {exc}")
+            return 1
     return 0
 
 
@@ -231,19 +272,29 @@ def _serve_http(service: QueryService, args) -> int:
         access_log = sys.stderr
     elif access_log_path:
         access_log = open(access_log_path, "a", encoding="utf-8")
+    slow_query_log = None
+    slow_query_log_path = getattr(args, "slow_query_log", None)
+    if slow_query_log_path and slow_query_log_path != "-":
+        slow_query_log = open(slow_query_log_path, "a", encoding="utf-8")
     server = HttpQueryServer(
         service,
         host=args.host,
         port=args.http,
         max_inflight=args.max_inflight,
         access_log=access_log,
+        metrics=service.metrics,
+        slow_query_ms=getattr(args, "slow_query_ms", None),
+        slow_query_log=slow_query_log,
     )
     server.start()
+    get_endpoints = "/healthz /stats" + (
+        " /metrics" if service.metrics is not None else ""
+    )
     print(
         f"serving {service.index_id} at http://{args.host}:{server.port} "
         f"(max in-flight {args.max_inflight})\n"
         "endpoints: POST /range /knn /range_many /knn_many /insert /delete "
-        "/admin/reload; GET /healthz /stats -- Ctrl-C to stop",
+        f"/admin/reload; GET {get_endpoints} -- Ctrl-C to stop",
         flush=True,
     )
     died = False
@@ -263,6 +314,8 @@ def _serve_http(service: QueryService, args) -> int:
         server.close()
         if access_log is not None and access_log is not sys.stderr:
             access_log.close()
+        if slow_query_log is not None:
+            slow_query_log.close()
     print(
         f"served {server.requests_served} requests "
         f"({server.rejected} rejected); shut down cleanly",
@@ -277,6 +330,11 @@ def _cmd_serve(args) -> int:
     # dispatcher worker thread -- exists; from construction on, the
     # `with service:` below guarantees the thread is joined on every path
     http_mode = getattr(args, "http", None) is not None
+    metrics = None
+    if getattr(args, "metrics", False):
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     if args.snapshot:
         info = snapshot_info(args.snapshot)
         workload = (
@@ -292,6 +350,7 @@ def _cmd_serve(args) -> int:
             cache_bytes=args.cache_bytes,
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
+            metrics=metrics,
         )
         banner = (
             f"restored {info.index_name} ({info.n_objects} objects, "
@@ -307,6 +366,7 @@ def _cmd_serve(args) -> int:
             cache_bytes=args.cache_bytes,
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
+            metrics=metrics,
         )
         banner = None
     with service:
@@ -364,9 +424,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("indexes", help="list available indexes")
     p.set_defaults(func=_cmd_indexes)
 
-    p = sub.add_parser("stats", help="dataset statistics (Table 2)")
-    p.add_argument("dataset", choices=sorted(DATASET_FACTORIES))
+    p = sub.add_parser(
+        "stats",
+        help="dataset statistics (Table 2), or a running server's /stats "
+        "when given a URL",
+    )
+    p.add_argument(
+        "dataset",
+        metavar="dataset-or-url",
+        help=f"a dataset name ({', '.join(sorted(DATASET_FACTORIES))}) or "
+        "a running server's base URL (http://host:port)",
+    )
     p.add_argument("--n", type=int, default=2000)
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="with a URL: print the Prometheus /metrics exposition instead "
+        "of the /stats JSON",
+    )
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("demo", help="build one index and run queries")
@@ -471,6 +546,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write one JSON line per HTTP request (method, path, status, "
         "bytes, wall ms, codec) to PATH; '-' for stderr",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the telemetry registry: GET /metrics (Prometheus text "
+        "exposition), per-endpoint latency histograms, cache/dispatcher "
+        "instruments, and a 'telemetry' section under /stats",
+    )
+    p.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="trace every query request and log a JSON line -- span tree "
+        "with per-request attributed batch costs included -- for any "
+        "request slower than MS milliseconds (0 logs every query)",
+    )
+    p.add_argument(
+        "--slow-query-log",
+        metavar="PATH",
+        default=None,
+        help="sink for slow-query lines (default stderr; '-' for stderr)",
     )
     p.set_defaults(func=_cmd_serve)
     return parser

@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -50,16 +50,52 @@ class CostSnapshot:
 
     def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
         return CostSnapshot(
-            distance_computations=self.distance_computations - other.distance_computations,
-            page_reads=self.page_reads - other.page_reads,
-            page_writes=self.page_writes - other.page_writes,
-            elapsed_seconds=self.elapsed_seconds - other.elapsed_seconds,
-            cache_hits=self.cache_hits - other.cache_hits,
-            cache_misses=self.cache_misses - other.cache_misses,
-            cache_evictions=self.cache_evictions - other.cache_evictions,
-            buffer_hits=self.buffer_hits - other.buffer_hits,
-            grouped_hits=self.grouped_hits - other.grouped_hits,
+            *[
+                getattr(self, name) - getattr(other, name)
+                for name in _SNAPSHOT_FIELD_NAMES
+            ]
         )
+
+    def as_dict(self) -> dict:
+        """Every field by name, plus the derived ``page_accesses``.
+
+        Field-complete by construction (``dataclasses.fields``), so a
+        counter added to the dataclass can never silently vanish from
+        serialised stats or telemetry attribution -- the class of stale
+        field bug ``tests/test_obs.py`` guards structurally.
+        """
+        out = {name: getattr(self, name) for name in _SNAPSHOT_FIELD_NAMES}
+        out["page_accesses"] = self.page_accesses
+        return out
+
+    def split(self, n: int) -> "list[CostSnapshot]":
+        """``n`` shares whose field-wise sum reconstructs this snapshot
+        exactly (integer fields; float fields divide evenly and may lose
+        ulps).  The remainder of each integer division goes to the first
+        ``value % n`` shares, so attribution over a coalesced batch of
+        ``n`` requests conserves every count -- the telemetry layer's
+        per-request cost attribution contract.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        shares = [dict() for _ in range(n)]
+        for name in _SNAPSHOT_FIELD_NAMES:
+            value = getattr(self, name)
+            if isinstance(value, float):
+                for share in shares:
+                    share[name] = value / n
+                continue
+            base, remainder = divmod(value, n)
+            for i, share in enumerate(shares):
+                share[name] = base + (1 if i < remainder else 0)
+        return [CostSnapshot(**share) for share in shares]
+
+
+# field-name tuples, derived from ``dataclasses.fields`` exactly once --
+# snapshot/diff/merge run on query hot paths (the telemetry layer takes two
+# count snapshots around every traced batch call), and re-reflecting per
+# call costs more than the arithmetic it feeds
+_SNAPSHOT_FIELD_NAMES = tuple(f.name for f in fields(CostSnapshot))
 
 
 @dataclass
@@ -133,14 +169,8 @@ class CostCounters:
 
     def reset(self) -> None:
         with self._lock:
-            self.distance_computations = 0
-            self.page_reads = 0
-            self.page_writes = 0
-            self.cache_hits = 0
-            self.cache_misses = 0
-            self.cache_evictions = 0
-            self.buffer_hits = 0
-            self.grouped_hits = 0
+            for name in self.count_fields():
+                setattr(self, name, 0)
 
     def merge(self, other: "CostCounters | CostSnapshot") -> None:
         """Fold another accumulator's counts into this one.
@@ -149,28 +179,57 @@ class CostCounters:
         counters) or a :class:`CostSnapshot` delta returned from a worker
         process.  Only counts are merged -- a snapshot's
         ``elapsed_seconds`` is a timestamp, not a cost, and is ignored.
+        Field-complete by construction: every count field participates,
+        so a newly added counter cannot be silently dropped here.
         """
         with self._lock:
-            self.distance_computations += other.distance_computations
-            self.page_reads += other.page_reads
-            self.page_writes += other.page_writes
-            self.cache_hits += other.cache_hits
-            self.cache_misses += other.cache_misses
-            self.cache_evictions += other.cache_evictions
-            self.buffer_hits += other.buffer_hits
-            self.grouped_hits += other.grouped_hits
+            for name in self.count_fields():
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def count_fields(self) -> tuple[str, ...]:
+        """The accumulator's count field names (everything but the lock).
+
+        Derived from ``dataclasses.fields`` so ``merge``/``reset``/
+        ``snapshot``/``as_dict`` can be asserted field-complete
+        structurally -- adding a counter and forgetting one of them was a
+        real bug class (PR 4) this closes.
+        """
+        return _COUNT_FIELD_NAMES
+
+    def as_dict(self) -> dict:
+        """One consistent read of every count (single lock acquisition)."""
+        with self._lock:
+            return {name: getattr(self, name) for name in _COUNT_FIELD_NAMES}
 
     def snapshot(self) -> CostSnapshot:
+        with self._lock:
+            state = {name: getattr(self, name) for name in _COUNT_FIELD_NAMES}
+        return CostSnapshot(elapsed_seconds=time.perf_counter(), **state)
+
+    def counts(self) -> tuple[int, ...]:
+        """Raw count values in :meth:`count_fields` order.
+
+        The cheap sibling of :meth:`snapshot` for before/after deltas on
+        hot paths (one lock acquisition, no dataclass construction, no
+        timestamp): the telemetry layer brackets every traced batch call
+        with a ``counts()`` pair and builds one :class:`CostSnapshot` for
+        the difference via :meth:`delta_since`.
+        """
+        with self._lock:
+            return tuple(getattr(self, name) for name in _COUNT_FIELD_NAMES)
+
+    def delta_since(self, before: tuple[int, ...]) -> CostSnapshot:
+        """The counts accumulated since a :meth:`counts` capture.
+
+        Field-complete by construction (the zip runs over the reflected
+        field names); ``elapsed_seconds`` stays 0 -- a delta of counts
+        has no timestamp.
+        """
         return CostSnapshot(
-            distance_computations=self.distance_computations,
-            page_reads=self.page_reads,
-            page_writes=self.page_writes,
-            elapsed_seconds=time.perf_counter(),
-            cache_hits=self.cache_hits,
-            cache_misses=self.cache_misses,
-            cache_evictions=self.cache_evictions,
-            buffer_hits=self.buffer_hits,
-            grouped_hits=self.grouped_hits,
+            **{
+                name: now - then
+                for name, now, then in zip(_COUNT_FIELD_NAMES, self.counts(), before)
+            }
         )
 
     @contextmanager
@@ -190,6 +249,11 @@ class CostCounters:
             yield measurement
         finally:
             measurement.cost = self.snapshot() - before
+
+
+_COUNT_FIELD_NAMES = tuple(
+    f.name for f in fields(CostCounters) if not f.name.startswith("_")
+)
 
 
 @dataclass

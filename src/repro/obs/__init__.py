@@ -1,0 +1,61 @@
+"""Observability: metrics, trace spans, and per-request cost attribution.
+
+The serving stack's optimisations (result cache, micro-batching
+dispatcher, batch query engine) deliberately decouple requests from the
+work done on their behalf -- which is exactly what makes them fast and
+exactly what makes them opaque.  This package restores visibility
+without touching the hot paths' semantics:
+
+* :mod:`~repro.obs.metrics` -- process-wide counters, gauges, and
+  log-bucketed **mergeable** histograms behind a
+  :class:`~repro.obs.metrics.MetricsRegistry`; rendered as Prometheus
+  text exposition by ``GET /metrics`` and summarised (p50/p90/p99) into
+  ``/stats``;
+* :mod:`~repro.obs.tracing` -- ``contextvars``-propagated span trees per
+  request, plus batch cost attribution: the compdist/page-access delta of
+  every batch execution is attributed back to the requests that coalesced
+  into it -- exactly when alone, proportionally (sum-exact) when shared.
+
+Stdlib-only, off by default, and CI-gated at <= 5% throughput overhead
+when fully on (``benchmarks/bench_telemetry_overhead.py``).
+"""
+
+from .metrics import (
+    BATCH_SIZE_BUCKETS,
+    BYTE_SIZE_BUCKETS,
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from .tracing import (
+    Span,
+    active,
+    add_event,
+    attribution_scope,
+    batch_execution,
+    current_span,
+    span,
+    start_trace,
+)
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "BYTE_SIZE_BUCKETS",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "active",
+    "add_event",
+    "attribution_scope",
+    "batch_execution",
+    "current_span",
+    "exponential_buckets",
+    "span",
+    "start_trace",
+]

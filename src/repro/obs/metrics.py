@@ -1,0 +1,452 @@
+"""Process-wide metrics: counters, gauges, and mergeable histograms.
+
+The paper's evaluation method is cost accounting -- compdists and page
+accesses per query -- and :class:`~repro.core.counters.CostCounters`
+already totals those.  What the serving stack (cache -> dispatcher ->
+batch engine) could not answer is *distributional* questions: what is the
+p99 request latency per endpoint, how long do queries wait in the
+dispatcher, how large do coalesced batches actually get, how many bytes
+does each wire codec move.  This module is the stdlib-only answer:
+
+* :class:`Counter` -- a monotonically increasing count (requests served,
+  bytes written, cache outcomes), optionally split by labels;
+* :class:`Gauge` -- a point-in-time value (in-flight requests, uptime),
+  settable directly or computed by a callback at scrape time;
+* :class:`Histogram` -- a **log-bucketed** distribution with *fixed*
+  bucket boundaries.  Fixed boundaries are the load-bearing choice: two
+  histograms over the same boundaries merge by element-wise vector
+  addition (no rebinning, no loss), so per-shard or per-process
+  histograms can be folded into cluster-wide ones, and p50/p90/p99 are
+  derivable from the bucket counts at any time;
+* :class:`MetricsRegistry` -- the named collection behind ``GET /metrics``
+  (Prometheus text exposition, :meth:`MetricsRegistry.render`) and the
+  percentile summaries folded into ``/stats``
+  (:meth:`MetricsRegistry.summary`).
+
+Cost discipline: recording is a dict lookup plus a lock-guarded integer
+add (histograms add one ``bisect`` over ~25 boundaries).  The counted
+sites are request-level or batch-level, never per-distance-evaluation, so
+full telemetry is CI-gated at <= 5% throughput overhead
+(``benchmarks/bench_telemetry_overhead.py``).  Everything is
+thread-safe: the serving stack's handler threads, the dispatcher worker,
+and ``/metrics`` scrapes share these objects freely.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "BATCH_SIZE_BUCKETS",
+    "BYTE_SIZE_BUCKETS",
+]
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` geometric bucket upper bounds: start, start*factor, ...
+
+    Log-spaced boundaries give constant *relative* resolution -- the same
+    number of buckets covers 0.1 ms and 100 s -- which is what latency
+    distributions need.  Every histogram sharing these boundaries merges
+    by vector addition.
+    """
+    if start <= 0:
+        raise ValueError(f"start must be positive, got {start}")
+    if factor <= 1.0:
+        raise ValueError(f"factor must be > 1, got {factor}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return tuple(start * factor**i for i in range(count))
+
+
+# 0.05 ms .. ~7 minutes in x2 steps: covers a sub-millisecond cache hit and
+# a pathological cold batch in the same fixed geometry
+DEFAULT_LATENCY_BUCKETS_MS = exponential_buckets(0.05, 2.0, 24)
+# 1 .. 2048 queries per coalesced batch
+BATCH_SIZE_BUCKETS = exponential_buckets(1.0, 2.0, 12)
+# 64 B .. 128 MiB payloads
+BYTE_SIZE_BUCKETS = exponential_buckets(64.0, 4.0, 11)
+
+
+def _format_value(value) -> str:
+    """A Prometheus-compatible number literal (ints stay integral)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _label_suffix(labelnames: tuple[str, ...], labelvalues: tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+class _LabeledMetric:
+    """Common machinery: a parent metric fanning out to labeled children.
+
+    A metric declared with ``labelnames`` is a family; ``labels(...)``
+    returns (creating on first use) the child for one label-value tuple.
+    A metric with no labelnames is its own single child, so call sites
+    can record on it directly.
+    """
+
+    def __init__(self, name: str, help: str, labelnames: Iterable[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], "_LabeledMetric"] = {}
+        if not self.labelnames:
+            self._children[()] = self
+
+    def labels(self, *values, **kv) -> "_LabeledMetric":
+        """The child metric for one label-value combination."""
+        if kv:
+            if values:
+                raise ValueError("pass label values positionally or by name, not both")
+            try:
+                values = tuple(str(kv[name]) for name in self.labelnames)
+            except KeyError as exc:
+                raise ValueError(f"missing label {exc} for metric {self.name!r}") from None
+            if len(kv) != len(self.labelnames):
+                extra = set(kv) - set(self.labelnames)
+                raise ValueError(f"unknown labels {sorted(extra)} for metric {self.name!r}")
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, got {values!r}"
+            )
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._make_child()
+                self._children[values] = child
+            return child
+
+    def _make_child(self) -> "_LabeledMetric":
+        raise NotImplementedError
+
+    def _items(self) -> list[tuple[tuple[str, ...], "_LabeledMetric"]]:
+        with self._lock:
+            return list(self._children.items())
+
+
+class Counter(_LabeledMetric):
+    """A monotonically increasing count (Prometheus ``counter``)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Iterable[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._value = 0
+
+    def _make_child(self) -> "Counter":
+        return Counter(self.name, self.help)
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+    def _render(self, lines: list[str]) -> None:
+        for labelvalues, child in self._items():
+            lines.append(
+                f"{self.name}{_label_suffix(self.labelnames, labelvalues)} "
+                f"{_format_value(child.value)}"
+            )
+
+    def _summary(self):
+        if not self.labelnames:
+            return self.value
+        return {
+            ",".join(lv): child.value for lv, child in sorted(self._items())
+        }
+
+
+class Gauge(_LabeledMetric):
+    """A point-in-time value; settable, or computed by a callback at read.
+
+    ``set_function`` registers a zero-argument callable evaluated at every
+    scrape -- the natural shape for derived values like uptime or the
+    server's current in-flight count, which already live elsewhere and
+    must not be double-bookkept.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Iterable[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def _make_child(self) -> "Gauge":
+        return Gauge(self.name, self.help)
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            self._fn = None
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        return fn()  # outside the lock: callbacks may take other locks
+
+    def _render(self, lines: list[str]) -> None:
+        for labelvalues, child in self._items():
+            lines.append(
+                f"{self.name}{_label_suffix(self.labelnames, labelvalues)} "
+                f"{_format_value(child.value)}"
+            )
+
+    def _summary(self):
+        if not self.labelnames:
+            return self.value
+        return {",".join(lv): child.value for lv, child in sorted(self._items())}
+
+
+class Histogram(_LabeledMetric):
+    """A log-bucketed distribution with fixed, mergeable boundaries.
+
+    ``buckets`` are the upper bounds of each bucket (ascending); an
+    implicit overflow bucket catches everything beyond the last bound.
+    Because the boundaries are fixed at construction, two histograms with
+    equal boundaries merge by element-wise addition of their count
+    vectors (:meth:`merge`) -- the property that makes per-process and
+    per-shard latency histograms foldable into fleet-wide ones without
+    rebinning.
+
+    Percentiles (:meth:`percentile`) are derived from the bucket counts:
+    the reported value is the upper bound of the bucket containing the
+    requested rank, i.e. a guaranteed overestimate by at most one bucket
+    width (a factor of 2 under the default boundaries).  Observations in
+    the overflow bucket report the last finite bound.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"buckets must be ascending and non-empty, got {bounds!r}")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # + overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, buckets=self.bounds)
+
+    def observe(self, value: float) -> None:
+        i = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += value
+            self._count += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's counts into this one (vector add)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                "histograms merge only over identical boundaries: "
+                f"{self.bounds!r} != {other.bounds!r}"
+            )
+        counts, total, summed = other.snapshot()
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._count += total
+            self._sum += summed
+
+    def snapshot(self) -> tuple[list[int], int, float]:
+        """(per-bucket counts incl. overflow, total count, value sum)."""
+        with self._lock:
+            return list(self._counts), self._count, self._sum
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]) as a bucket upper bound."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        counts, total, _ = self.snapshot()
+        if total == 0:
+            return 0.0
+        rank = max(1, int(q * total + 0.5))
+        cumulative = 0
+        for i, c in enumerate(counts):
+            cumulative += c
+            if cumulative >= rank:
+                return self.bounds[min(i, len(self.bounds) - 1)]
+        return self.bounds[-1]  # unreachable; counts sum to total
+
+    @property
+    def mean(self) -> float:
+        _, total, summed = self.snapshot()
+        return summed / total if total else 0.0
+
+    def _render(self, lines: list[str]) -> None:
+        for labelvalues, child in self._items():
+            counts, total, summed = child.snapshot()
+            cumulative = 0
+            for bound, c in zip(self.bounds, counts):
+                cumulative += c
+                suffix = _label_suffix(
+                    self.labelnames + ("le",),
+                    labelvalues + (_format_value(bound),),
+                )
+                lines.append(f"{self.name}_bucket{suffix} {cumulative}")
+            suffix = _label_suffix(self.labelnames + ("le",), labelvalues + ("+Inf",))
+            lines.append(f"{self.name}_bucket{suffix} {total}")
+            plain = _label_suffix(self.labelnames, labelvalues)
+            lines.append(f"{self.name}_sum{plain} {_format_value(summed)}")
+            lines.append(f"{self.name}_count{plain} {total}")
+
+    def _summary(self):
+        def one(child: "Histogram"):
+            _, total, summed = child.snapshot()
+            return {
+                "count": total,
+                "mean": round(summed / total, 4) if total else 0.0,
+                "p50": child.percentile(0.50),
+                "p90": child.percentile(0.90),
+                "p99": child.percentile(0.99),
+            }
+
+        if not self.labelnames:
+            return one(self)
+        return {",".join(lv): one(child) for lv, child in sorted(self._items())}
+
+
+class MetricsRegistry:
+    """A named collection of metrics behind one exposition endpoint.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the serving
+    layers (HTTP server, service facade, cache, dispatcher) can each ask
+    for their instruments against one shared registry without
+    coordinating construction order.  Re-declaring a name with a
+    different type (or different histogram boundaries) is a programming
+    error and raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _LabeledMetric] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                if existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}, asked for {tuple(labelnames)}"
+                    )
+                if cls is Histogram and "buckets" in kwargs:
+                    wanted = tuple(float(b) for b in kwargs["buckets"])
+                    if existing.bounds != wanted:
+                        raise ValueError(
+                            f"histogram {name!r} already registered with "
+                            "different bucket boundaries"
+                        )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, tuple(labelnames))
+
+    def gauge(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, tuple(labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, tuple(labelnames), buckets=tuple(buckets)
+        )
+
+    def get(self, name: str) -> _LabeledMetric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __iter__(self):
+        with self._lock:
+            return iter(sorted(self._metrics.items()))
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format 0.0.4."""
+        lines: list[str] = []
+        for name, metric in self:
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            metric._render(lines)
+        return "\n".join(lines) + "\n"
+
+    def summary(self) -> dict:
+        """Plain-dict digest for ``/stats``: values, and histogram
+        count/mean/p50/p90/p99 per label combination."""
+        return {name: metric._summary() for name, metric in self}

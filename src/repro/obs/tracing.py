@@ -1,0 +1,317 @@
+"""Per-request trace spans with batch-exact cost attribution.
+
+The serving stack deliberately destroys per-request attribution as it
+optimises: the cache absorbs repeats, the micro-batching dispatcher
+coalesces concurrent callers into one vectorised call, and the batch
+engine reads each storage page once for the whole batch.  Aggregate
+counters (``/stats``) survive that; "why was *this* request slow, and
+what did *it* cost?" does not.  This module restores it:
+
+* a **span** is one timed step of a request (cache lookup, dispatcher
+  wait, batch execution, storage reads), carrying free-form ``meta``
+  annotations and a ``cost`` dict of attributed counter deltas;
+* the **current span** propagates through the serving layers via
+  ``contextvars`` -- handler threads, the service facade, and the storage
+  layer all annotate whatever request is active without plumbing a trace
+  argument through every signature;
+* **cost attribution** bridges the dispatcher's thread boundary: the
+  worker thread measures the :class:`~repro.core.counters.CostCounters`
+  delta around each batch execution and attributes it back to the
+  requests that coalesced into the batch -- **exactly** when the request
+  ran alone, **proportionally by query** (sum-exact, via
+  :meth:`CostSnapshot.split`) within a coalesced batch, with
+  ``coalesced: true`` marking the shared case.
+
+Cost discipline: with no active trace every entry point is a single
+``ContextVar.get`` returning a no-op, so untraced serving pays
+nanoseconds per call site; tracing is enabled per request by whoever
+starts the root span (the HTTP server does when a slow-query threshold
+is configured).
+
+Attribution caveat: the measured delta is a window over *shared*
+counters.  Batch executions dispatched by the one worker thread are
+serialised and attribute exactly; independent ``*_query_many`` calls
+running concurrently in other threads can bleed cost into each other's
+windows.  Totals remain correct -- only the per-request split of
+simultaneous batches is approximate, and each span carries enough
+(`batch`, ``coalesced``) to see when that happened.
+
+Thread-safety note: a participant span's ``children`` list is appended
+from the dispatcher worker while the owning request thread is blocked on
+its Future; the Future's internal condition publishes the write before
+the owner resumes, so no extra locking is needed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextvars import ContextVar
+
+from ..core.counters import CostCounters, CostSnapshot
+
+__all__ = [
+    "Span",
+    "current_span",
+    "active",
+    "start_trace",
+    "span",
+    "add_event",
+    "attribution_scope",
+    "batch_execution",
+]
+
+_current: ContextVar["Span | None"] = ContextVar("repro_current_span", default=None)
+
+# set by the dispatcher worker around a coalesced batch: the submit-time
+# spans (one per query, None for untraced submitters) the execution's
+# measured cost is attributed back to
+_participants = threading.local()
+
+# monotonically increasing id shared by all requests of one coalesced
+# batch, so log lines can be grouped back into the batch they rode in
+_batch_ids = itertools.count(1)
+
+
+class Span:
+    """One timed step of a request: name, wall time, annotations, cost.
+
+    ``meta`` holds free-form annotations (endpoint, cache outcome, batch
+    size); ``cost`` holds attributed counter deltas (``distance_
+    computations``, ``page_reads``, ...) and storage event counts.
+    ``children`` are sub-steps; for a coalesced batch the per-request
+    ``batch_execute`` spans share one children list by reference (the
+    sub-steps happened once, for everyone).
+    """
+
+    __slots__ = ("name", "start", "wall_ms", "meta", "cost", "children")
+
+    def __init__(self, name: str, **meta):
+        self.name = name
+        self.start = time.perf_counter()
+        self.wall_ms: float | None = None
+        self.meta: dict = meta
+        self.cost: dict = {}
+        self.children: list[Span] = []
+
+    def finish(self) -> None:
+        self.wall_ms = (time.perf_counter() - self.start) * 1000.0
+
+    def add_cost(self, key: str, amount=1) -> None:
+        self.cost[key] = self.cost.get(key, 0) + amount
+
+    def to_dict(self) -> dict:
+        """JSON-ready span tree (the slow-query log's ``trace`` field)."""
+        out: dict = {"name": self.name}
+        if self.wall_ms is not None:
+            out["wall_ms"] = round(self.wall_ms, 3)
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        if self.cost:
+            out["cost"] = {
+                k: (round(v, 6) if isinstance(v, float) else v)
+                for k, v in self.cost.items()
+            }
+        if self.children:
+            out["spans"] = [child.to_dict() for child in self.children]
+        return out
+
+
+def current_span() -> Span | None:
+    """The active span of this context, or None when untraced."""
+    return _current.get()
+
+
+def active() -> bool:
+    return _current.get() is not None
+
+
+class _SpanContext:
+    """Context manager running a block inside a (possibly root) span."""
+
+    __slots__ = ("span", "_parent", "_token")
+
+    def __init__(self, span_: Span, attach_to_parent: bool):
+        self.span = span_
+        self._parent = _current.get() if attach_to_parent else None
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _current.set(self.span)
+        return self.span
+
+    def __exit__(self, *exc_info) -> None:
+        self.span.finish()
+        _current.reset(self._token)
+        if self._parent is not None:
+            self._parent.children.append(self.span)
+
+
+class _NoopSpanContext:
+    """The untraced fast path: no allocation, no contextvar write."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NOOP = _NoopSpanContext()
+
+
+def start_trace(name: str, **meta) -> _SpanContext:
+    """Open a root span and make it this context's current span.
+
+    The returned context manager yields the root :class:`Span`; read its
+    tree (``to_dict``) after the block for the request's full trace.
+    """
+    return _SpanContext(Span(name, **meta), attach_to_parent=False)
+
+
+def span(name: str, **meta):
+    """A child span of the current one -- or a no-op when untraced."""
+    if _current.get() is None:
+        return _NOOP
+    return _SpanContext(Span(name, **meta), attach_to_parent=True)
+
+
+def add_event(key: str, amount=1) -> None:
+    """Bump a named count on the current span (no-op when untraced).
+
+    The storage layer's per-call hook: cheap enough for per-page-read
+    call sites (one ContextVar read when untraced).
+    """
+    active_span = _current.get()
+    if active_span is not None:
+        active_span.add_cost(key, amount)
+
+
+class attribution_scope:
+    """Declare the batch about to execute on this thread as coalesced.
+
+    The dispatcher worker enters this around ``execute_batch`` with the
+    submit-time span of every query in the group (None entries for
+    untraced submitters).  Any :func:`batch_execution` inside the scope
+    attributes its measured cost delta across these spans instead of the
+    (foreign) contextvar chain.
+    """
+
+    __slots__ = ("_spans",)
+
+    def __init__(self, spans: list[Span | None]):
+        self._spans = spans
+
+    def __enter__(self) -> None:
+        _participants.spans = self._spans
+
+    def __exit__(self, *exc_info) -> None:
+        _participants.spans = None
+
+
+class batch_execution:
+    """Measure one batch index call and attribute its cost delta.
+
+    Used by the service's batch executor around the ``*_query_many``
+    call::
+
+        with tracing.batch_execution(kind, counters, len(queries), len(distinct)):
+            answers = index.range_query_many(...)
+
+    Three outcomes:
+
+    * **untraced** (no participants registered, no current span): a pure
+      no-op -- not even a counter snapshot is taken;
+    * **exact** (a current span exists -- the caller executes its own
+      batch synchronously): the ``batch_execute`` span, carrying the full
+      measured delta and any storage sub-spans, is attached to the
+      caller's span with ``coalesced: false``;
+    * **coalesced** (the dispatcher registered participant spans): the
+      delta is split sum-exactly across the batch's requests
+      (:meth:`CostSnapshot.split`); each traced participant receives its
+      own ``batch_execute`` span with its share as ``cost``,
+      ``coalesced: true``, a shared ``batch`` id, and the (shared)
+      storage sub-spans.
+    """
+
+    __slots__ = ("_kind", "_counters", "_n_queries", "_n_distinct",
+                 "_participants", "_span", "_before", "_token")
+
+    def __init__(self, kind: str, counters: CostCounters, n_queries: int, n_distinct: int):
+        self._kind = kind
+        self._counters = counters
+        self._n_queries = n_queries
+        self._n_distinct = n_distinct
+
+    def __enter__(self) -> Span | None:
+        self._participants = getattr(_participants, "spans", None)
+        if self._participants is None and _current.get() is None:
+            self._span = None
+            return None
+        self._span = Span(
+            "batch_execute",
+            kind=self._kind,
+            batch_size=self._n_queries,
+            distinct=self._n_distinct,
+        )
+        # make the batch span current so storage reads annotate it
+        self._token = _current.set(self._span)
+        # raw counts, not snapshot(): this bracket runs inside every traced
+        # request and the tuple capture skips two dataclass constructions
+        self._before = self._counters.counts()
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        if self._span is None:
+            return
+        delta = self._counters.delta_since(self._before)
+        batch_span = self._span
+        batch_span.finish()
+        _current.reset(self._token)
+        if self._participants is not None:
+            self._attribute_coalesced(batch_span, delta)
+            return
+        parent = _current.get()
+        batch_span.meta["coalesced"] = False
+        batch_span.cost.update(_cost_dict(delta))
+        if parent is not None:
+            parent.children.append(batch_span)
+
+    def _attribute_coalesced(self, batch_span: Span, delta: CostSnapshot) -> None:
+        spans = self._participants
+        shares = delta.split(len(spans))
+        batch_id = next(_batch_ids)
+        events = dict(batch_span.cost)  # storage events, batch-wide
+        for participant, share in zip(spans, shares):
+            if participant is None:
+                continue
+            piece = Span(
+                "batch_execute",
+                **batch_span.meta,
+                coalesced=True,
+                batch=batch_id,
+            )
+            piece.start = batch_span.start
+            piece.wall_ms = batch_span.wall_ms
+            piece.cost = _cost_dict(share)
+            if events:
+                piece.meta["batch_events"] = events
+            piece.children = batch_span.children  # shared by reference
+            participant.children.append(piece)
+
+
+def _cost_dict(delta: CostSnapshot) -> dict:
+    """A snapshot delta as a compact span cost dict (zero fields dropped,
+    compdists and page reads always present -- they are the paper's two
+    cost metrics and their absence should mean 'free', visibly)."""
+    out = delta.as_dict()
+    out.pop("elapsed_seconds", None)
+    out.pop("page_accesses", None)
+    return {
+        k: v
+        for k, v in out.items()
+        if v or k in ("distance_computations", "page_reads")
+    }

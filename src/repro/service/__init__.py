@@ -14,6 +14,12 @@ service (the ROADMAP's serving north star):
   the three together (used by ``python -m repro serve``);
 * :mod:`~repro.service.http` -- the JSON HTTP front-end over the facade
   (``python -m repro serve --http PORT``) and its :class:`ServiceClient`.
+
+Observability (:mod:`repro.obs`) threads through every layer: pass one
+:class:`~repro.obs.metrics.MetricsRegistry` to :class:`QueryService` and
+:class:`HttpQueryServer` for latency/queue/batch/cache metrics behind
+``GET /metrics``, and serve with a slow-query threshold for per-request
+trace spans with attributed batch costs.
 """
 
 from .cache import QueryResultCache, query_key

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..core.counters import CostCounters
 from ..core.queries import Neighbor
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["QueryResultCache", "query_key"]
 
@@ -121,6 +122,7 @@ class QueryResultCache:
         capacity: int = 1024,
         counters: CostCounters | None = None,
         capacity_bytes: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
@@ -142,6 +144,20 @@ class QueryResultCache:
         self.evictions = 0
         # entries a partial invalidation proved unaffected and kept
         self.partial_survivors = 0
+        self._m_hits = self._m_misses = self._m_evictions = None
+        if metrics is not None:
+            requests = metrics.counter(
+                "repro_cache_requests_total",
+                "Result-cache lookups by outcome.",
+                labelnames=("outcome",),
+            )
+            self._m_hits = requests.labels("hit")
+            self._m_misses = requests.labels("miss")
+            self._m_evictions = metrics.counter(
+                "repro_cache_evictions_total",
+                "Result-cache entries evicted under capacity pressure "
+                "(invalidations not counted).",
+            )
 
     def __len__(self) -> int:
         with self._lock:
@@ -183,7 +199,13 @@ class QueryResultCache:
                 result = list(entry[0])
         if counters is not None:
             counters.add_cache_hit() if hit else counters.add_cache_miss()
-        return result if hit else None
+        if hit:
+            if self._m_hits is not None:
+                self._m_hits.inc()
+            return result
+        if self._m_misses is not None:
+            self._m_misses.inc()
+        return None
 
     def put(
         self,
@@ -226,8 +248,11 @@ class QueryResultCache:
                 self._used_bytes -= victim[2]
                 self.evictions += 1
                 evicted += 1
-        if evicted and self.counters is not None:
-            self.counters.add_cache_eviction(evicted)
+        if evicted:
+            if self.counters is not None:
+                self.counters.add_cache_eviction(evicted)
+            if self._m_evictions is not None:
+                self._m_evictions.inc(evicted)
 
     def invalidate(self, index_id: str | None = None) -> int:
         """Drop entries for one index (or all); returns how many were dropped.

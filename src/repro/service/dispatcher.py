@@ -43,6 +43,9 @@ from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Callable
 
+from ..obs import tracing
+from ..obs.metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
+
 __all__ = ["MicroBatchDispatcher", "DispatcherStats"]
 
 
@@ -129,6 +132,7 @@ class MicroBatchDispatcher:
         max_wait_ms: float = 2.0,
         adaptive_wait: bool = True,
         ewma_alpha: float = 0.2,
+        metrics: MetricsRegistry | None = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -148,11 +152,24 @@ class MicroBatchDispatcher:
         self._rates: "OrderedDict[tuple, list]" = OrderedDict()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
-        # (kind, param) -> list of (query, future); arrival holds the
-        # enqueue time of each group's oldest member
-        self._pending: dict[tuple, list[tuple[object, Future]]] = {}
+        # (kind, param) -> list of (query, future, submit-time span or
+        # None, enqueue time); arrival holds the enqueue time of each
+        # group's oldest member
+        self._pending: dict[tuple, list[tuple]] = {}
         self._arrival: dict[tuple, float] = {}
         self._closed = False
+        self._queue_wait_ms = self._batch_size_hist = None
+        if metrics is not None:
+            self._queue_wait_ms = metrics.histogram(
+                "repro_dispatcher_queue_wait_ms",
+                "Time each query spent queued in the dispatcher before its "
+                "batch executed, milliseconds.",
+            )
+            self._batch_size_hist = metrics.histogram(
+                "repro_dispatcher_batch_size",
+                "Number of queries coalesced into each dispatched batch.",
+                buckets=BATCH_SIZE_BUCKETS,
+            )
         self.stats = DispatcherStats()
         self.stats.record_wait(self.max_wait * 1000.0, None)
         self._worker = threading.Thread(
@@ -176,7 +193,9 @@ class MicroBatchDispatcher:
             group = self._pending.setdefault(key, [])
             if not group:
                 self._arrival[key] = now
-            group.append((query_obj, future))
+            # the submit-time span (the caller's dispatcher_wait span, if
+            # traced) is where the batch's cost share will be attributed
+            group.append((query_obj, future, tracing.current_span(), now))
             self._wake.notify()
         return future
 
@@ -290,16 +309,32 @@ class MicroBatchDispatcher:
                 self._dispatch(kind, param, group)
 
     def _dispatch(self, kind: str, param: float, group: list) -> None:
-        queries = [query_obj for query_obj, _ in group]
+        queries = [item[0] for item in group]
+        spans = [item[2] for item in group]
+        now = time.monotonic()
+        for _, _, span_, t_enq in group:
+            wait_ms = (now - t_enq) * 1000.0
+            if self._queue_wait_ms is not None:
+                self._queue_wait_ms.observe(wait_ms)
+            if span_ is not None:
+                span_.meta["queue_wait_ms"] = round(wait_ms, 3)
+        if self._batch_size_hist is not None:
+            self._batch_size_hist.observe(len(group))
         try:
-            results = self._execute_batch(kind, param, queries)
+            if any(span_ is not None for span_ in spans):
+                # batch_execution inside the executor attributes its
+                # measured cost delta back to these submit-time spans
+                with tracing.attribution_scope(spans):
+                    results = self._execute_batch(kind, param, queries)
+            else:
+                results = self._execute_batch(kind, param, queries)
         except BaseException as exc:  # propagate to every waiting caller
-            for _, future in group:
-                future.set_exception(exc)
+            for item in group:
+                item[1].set_exception(exc)
             return
         self.stats.record(len(group))
-        for (_, future), result in zip(group, results):
-            future.set_result(result)
+        for item, result in zip(group, results):
+            item[1].set_result(result)
 
     # -- lifecycle -----------------------------------------------------------
 

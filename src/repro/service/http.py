@@ -55,6 +55,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import sys
 import threading
 import time
 from http.client import HTTPConnection
@@ -63,6 +64,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from ..core.queries import Neighbor
+from ..obs import tracing
+from ..obs.metrics import BYTE_SIZE_BUCKETS, MetricsRegistry
 from . import wire
 from .snapshot import SnapshotError
 from .service import QueryService
@@ -145,8 +148,10 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # the structured access log replaces stderr noise
 
     # set per request by _send_json / do_*; consumed by the access log
+    # and the request metrics
     _log_status = 0
     _log_bytes = 0
+    _log_req_bytes = 0
     _log_codec = "json"
 
     def _send_json(self, status: int, payload: dict) -> None:
@@ -175,6 +180,21 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(blob)))
         if self.close_connection:
             # tell keep-alive clients the connection ends with this reply
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _send_text(self, status: int, text: str) -> None:
+        """Send a plain-text response (the Prometheus exposition format)."""
+        if self.app.draining:
+            self.close_connection = True
+        blob = text.encode("utf-8")
+        self._log_status, self._log_bytes = status, len(blob)
+        self._log_codec = "text"
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(blob)))
+        if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(blob)
@@ -209,6 +229,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _read_payload(self) -> dict:
         """The request body as a payload dict, per its ``Content-Type``."""
         length = int(self.headers.get("Content-Length") or 0)
+        self._log_req_bytes = max(0, length)
         body = self.rfile.read(length) if length > 0 else b""
         if not body:
             raise _BadRequest("request body must be a payload object")
@@ -242,22 +263,64 @@ class _Handler(BaseHTTPRequestHandler):
         self._logged(self._handle_post)
 
     def _logged(self, inner) -> None:
-        """Run one request, then emit its structured access-log line."""
-        if self.app.access_log is None:
+        """Run one request inside its observation envelope.
+
+        The envelope is layered strictly cheapest-first: with no access
+        log, no metrics registry, and no slow-query threshold configured
+        this is one extra attribute check per request.  When configured it
+        (1) records per-endpoint latency/size/outcome metrics, (2) emits
+        the structured access-log line, and (3) -- for query endpoints
+        under a slow-query threshold -- runs the request inside a root
+        trace span and writes the span tree (with attributed batch costs)
+        to the slow-query log when the request overruns the threshold.
+        """
+        app = self.app
+        traced = (
+            app.slow_query_ms is not None
+            and self.command == "POST"
+            and self.path in app.post_routes
+        )
+        plain = app.access_log is None and app.metrics is None and not traced
+        if plain:
             inner()
             return
+        root = None
         t0 = time.perf_counter()
         try:
-            inner()
+            if traced:
+                with tracing.start_trace(
+                    "request", method=self.command, path=self.path
+                ) as root:
+                    inner()
+            else:
+                inner()
         finally:
-            self.app._log_access(
-                method=self.command,
+            wall_ms = (time.perf_counter() - t0) * 1000.0
+            app._observe_request(
                 path=self.path,
                 status=self._log_status,
-                nbytes=self._log_bytes,
-                wall_ms=(time.perf_counter() - t0) * 1000.0,
+                wall_ms=wall_ms,
+                resp_bytes=self._log_bytes,
+                req_bytes=self._log_req_bytes,
                 codec=self._log_codec,
             )
+            if app.access_log is not None:
+                app._log_access(
+                    method=self.command,
+                    path=self.path,
+                    status=self._log_status,
+                    nbytes=self._log_bytes,
+                    wall_ms=wall_ms,
+                    codec=self._log_codec,
+                )
+            if root is not None and wall_ms >= app.slow_query_ms:
+                app._log_slow_query(
+                    root,
+                    method=self.command,
+                    path=self.path,
+                    status=self._log_status,
+                    codec=self._log_codec,
+                )
 
     def _handle_get(self) -> None:
         self._negotiate()
@@ -267,6 +330,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, self.app.health())
         elif self.path == "/stats":
             self._send_json(200, self.app.stats())
+        elif self.path == "/metrics":
+            if self.app.metrics is None:
+                self._send_json(
+                    404,
+                    {"error": "metrics not enabled (serve with --metrics)"},
+                )
+            else:
+                self._send_text(200, self.app.metrics.render())
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
@@ -316,6 +387,20 @@ class HttpQueryServer:
             appends one JSON line (method, path, status, bytes, wall ms,
             codec).  Off by default -- serving must not pay logging IO
             unless asked to.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, ``GET /metrics`` serves its Prometheus text
+            exposition, per-endpoint request latency/outcome/size metrics
+            are recorded, and the percentile summaries appear under
+            ``/stats``'s ``telemetry`` key (share the registry with the
+            hosted service to get its cache/dispatcher/batch metrics in
+            the same exposition).
+        slow_query_ms: optional threshold in milliseconds; when set, every
+            query request runs inside a trace span tree and any request
+            slower than the threshold writes one JSON line -- including
+            the span tree with per-request attributed batch costs -- to
+            ``slow_query_log``.  0 traces (and logs) every query request.
+        slow_query_log: file-like sink for slow-query lines; defaults to
+            ``sys.stderr``.
 
     Use :meth:`start` to serve from a background thread and :meth:`close`
     (or the context manager form) to shut down gracefully: draining
@@ -329,13 +414,59 @@ class HttpQueryServer:
         port: int = 0,
         max_inflight: int = 64,
         access_log=None,
+        metrics: MetricsRegistry | None = None,
+        slow_query_ms: float | None = None,
+        slow_query_log=None,
     ):
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if slow_query_ms is not None and slow_query_ms < 0:
+            raise ValueError(f"slow_query_ms must be >= 0, got {slow_query_ms}")
         self.service = service
         self.max_inflight = int(max_inflight)
         self.access_log = access_log
+        self.metrics = metrics
+        self.slow_query_ms = slow_query_ms
+        self.slow_query_log = (
+            slow_query_log
+            if slow_query_log is not None
+            else (sys.stderr if slow_query_ms is not None else None)
+        )
+        self._slow_lock = threading.Lock()
         self._access_lock = threading.Lock()
+        self._t_start = time.monotonic()
+        self._m_requests = self._m_latency = None
+        self._m_resp_bytes = self._m_wire_bytes = None
+        if metrics is not None:
+            self._m_requests = metrics.counter(
+                "repro_http_requests_total",
+                "HTTP requests by endpoint and status code.",
+                labelnames=("endpoint", "status"),
+            )
+            self._m_latency = metrics.histogram(
+                "repro_http_request_ms",
+                "End-to-end request wall time by endpoint, milliseconds.",
+                labelnames=("endpoint",),
+            )
+            self._m_resp_bytes = metrics.histogram(
+                "repro_http_response_bytes",
+                "Response body size by wire codec, bytes.",
+                labelnames=("codec",),
+                buckets=BYTE_SIZE_BUCKETS,
+            )
+            self._m_wire_bytes = metrics.counter(
+                "repro_http_wire_bytes_total",
+                "Body bytes moved by wire codec and direction.",
+                labelnames=("codec", "direction"),
+            )
+            metrics.gauge(
+                "repro_http_inflight_requests",
+                "Requests currently executing (admitted, not finished).",
+            ).set_function(lambda: self._active)
+            metrics.gauge(
+                "repro_http_uptime_seconds",
+                "Seconds since this server object was constructed.",
+            ).set_function(lambda: time.monotonic() - self._t_start)
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._active = 0
@@ -459,11 +590,15 @@ class HttpQueryServer:
     # -- observability ---------------------------------------------------------
 
     def health(self) -> dict:
-        return {
+        out = {
             "status": "draining" if self._draining else "ok",
             "index": self.service.index_id,
             "objects": len(self.service.index.space),
+            "uptime_s": round(time.monotonic() - self._t_start, 3),
+            "snapshot": self.service.snapshot_path,
+            "reload_generation": self.service.reload_generation,
         }
+        return out
 
     def stats(self) -> dict:
         out = self.service.stats()
@@ -476,6 +611,53 @@ class HttpQueryServer:
                 "draining": self._draining,
             }
         return out
+
+    def _observe_request(
+        self, path, status, wall_ms, resp_bytes, req_bytes, codec
+    ) -> None:
+        """Record one finished request into the metrics registry (if any).
+
+        The endpoint label collapses unknown paths to ``other`` so a probe
+        scanning random URLs cannot mint unbounded label children.
+        """
+        if self.metrics is None:
+            return
+        known = path in self.post_routes or path in ("/stats", "/healthz", "/metrics")
+        endpoint = path if known else "other"
+        self._m_requests.labels(endpoint, str(status)).inc()
+        self._m_latency.labels(endpoint).observe(wall_ms)
+        self._m_resp_bytes.labels(codec).observe(resp_bytes)
+        self._m_wire_bytes.labels(codec, "out").inc(resp_bytes)
+        if req_bytes:
+            self._m_wire_bytes.labels(codec, "in").inc(req_bytes)
+
+    def _log_slow_query(self, root, method, path, status, codec) -> None:
+        """Write one slow request's JSON line: envelope + full span tree.
+
+        The ``trace`` field is the root span's tree; ``batch_execute``
+        spans inside it carry this request's attributed share of the
+        batch's measured cost delta (``coalesced`` marks shared batches).
+        """
+        if self.slow_query_log is None:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "kind": "slow_query",
+            "method": method,
+            "path": path,
+            "status": status,
+            "codec": codec,
+            "wall_ms": round(root.wall_ms, 3) if root.wall_ms is not None else None,
+            "threshold_ms": self.slow_query_ms,
+            "trace": root.to_dict(),
+        }
+        line = json.dumps(record, sort_keys=True)
+        with self._slow_lock:
+            try:
+                self.slow_query_log.write(line + "\n")
+                self.slow_query_log.flush()
+            except (OSError, ValueError):
+                pass  # a full disk or closed sink must never fail a request
 
     def _log_access(self, **fields) -> None:
         """Append one JSON access-log line (called per request when enabled)."""
@@ -768,7 +950,8 @@ class ServiceClient:
         path: str,
         payload: dict | None = None,
         idempotent: bool = True,
-    ) -> dict:
+        raw: bool = False,
+    ):
         body = None
         headers = {}
         if self.binary:
@@ -808,6 +991,9 @@ class ServiceClient:
             # indeterminate, so do not reuse it
             self._discard(conn)
             raise
+        if raw and status == 200:
+            # text endpoints (/metrics): hand back the body verbatim
+            return blob.decode("utf-8")
         # decode by the *response's* Content-Type, not by what was asked
         # for: error paths and non-binary servers may answer JSON to a
         # binary-accepting client
@@ -888,3 +1074,7 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        """The server's ``GET /metrics`` Prometheus exposition, verbatim."""
+        return self._request("GET", "/metrics", raw=True)

@@ -31,10 +31,13 @@ contain the mutated object are dropped; the rest keep serving (see
 from __future__ import annotations
 
 import threading
+import time
 
 from ..core.counters import CostCounters
 from ..core.index import MetricIndex
 from ..core.queries import Neighbor
+from ..obs import tracing
+from ..obs.metrics import MetricsRegistry
 from .cache import QueryResultCache
 from .dispatcher import MicroBatchDispatcher
 from .snapshot import load_index, rebind_counters, save_index, snapshot_info
@@ -63,6 +66,11 @@ class QueryService:
             one-query batches).
         counters: shared cost accumulator; defaults to the index's own.
             Cache hit/miss/eviction stats are folded into it.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, the service records batch-execution latency per
+            query kind and passes the registry down to its private cache
+            (cache outcome counters) and dispatcher (queue-wait and
+            batch-size histograms).  None (the default) records nothing.
     """
 
     def __init__(
@@ -77,12 +85,28 @@ class QueryService:
         adaptive_wait: bool = True,
         use_dispatcher: bool = True,
         counters: CostCounters | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.index = index
         self.index_id = index_id if index_id is not None else index.name
         if counters is not None:
             rebind_counters(index, counters)
         self.counters = index.space.counters
+        self.metrics = metrics
+        if metrics is not None:
+            batch_ms = metrics.histogram(
+                "repro_service_batch_execute_ms",
+                "wall milliseconds per batch index execution",
+                labelnames=("kind",),
+            )
+            # children pre-resolved: observe() on the hot path skips the
+            # label-lookup lock (same idiom as the cache's outcome counters)
+            self._batch_ms = {
+                "range": batch_ms.labels("range"),
+                "knn": batch_ms.labels("knn"),
+            }
+        else:
+            self._batch_ms = None
         self.cache = (
             cache
             if cache is not None
@@ -90,6 +114,7 @@ class QueryService:
                 capacity=cache_size,
                 counters=self.counters,
                 capacity_bytes=cache_bytes,
+                metrics=metrics,
             )
         )
         self.dispatcher = (
@@ -98,10 +123,16 @@ class QueryService:
                 max_batch_size=max_batch_size,
                 max_wait_ms=max_wait_ms,
                 adaptive_wait=adaptive_wait,
+                metrics=metrics,
             )
             if use_dispatcher
             else None
         )
+        # where the hosted index came from, and how many hot reloads it
+        # has seen -- surfaced by /healthz so cluster health checks can
+        # tell a stale replica from a current one
+        self.snapshot_path: str | None = None
+        self.reload_generation = 0
         self._reload_lock = threading.Lock()
 
     # -- construction from disk ----------------------------------------------
@@ -116,7 +147,9 @@ class QueryService:
         """
         counters = kwargs.pop("counters", None) or CostCounters()
         index = load_index(path, counters=counters)
-        return cls(index, counters=counters, **kwargs)
+        service = cls(index, counters=counters, **kwargs)
+        service.snapshot_path = str(path)
+        return service
 
     def save(self, path):
         """Snapshot the hosted index to ``path`` (see :func:`save_index`)."""
@@ -144,6 +177,8 @@ class QueryService:
         index = load_index(path, counters=self.counters)
         with self._reload_lock:
             self.index = index
+            self.snapshot_path = str(path)
+            self.reload_generation += 1
             self.cache.invalidate(self.index_id)
         return info
 
@@ -168,10 +203,21 @@ class QueryService:
         # the conditional put drops them instead of caching stale results
         caching = self.cache.capacity > 0
         generation = self.cache.generation(self.index_id) if caching else 0
-        if kind == "range":
-            answers = self.index.range_query_many(distinct, param)
-        else:
-            answers = self.index.knn_query_many(distinct, int(param))
+        t0 = time.perf_counter() if self._batch_ms is not None else 0.0
+        # the batch_execution scope measures this call's CostCounters
+        # delta and attributes it to whoever is waiting: exactly to the
+        # calling request when it runs its own batch, proportionally
+        # (sum-exact) to the coalesced requests when the dispatcher
+        # registered them; with no trace anywhere it is a no-op
+        with tracing.batch_execution(
+            kind, self.counters, len(queries), len(distinct)
+        ):
+            if kind == "range":
+                answers = self.index.range_query_many(distinct, param)
+            else:
+                answers = self.index.knn_query_many(distinct, int(param))
+        if self._batch_ms is not None:
+            self._batch_ms[kind].observe((time.perf_counter() - t0) * 1000.0)
         for (key, positions), answer in zip(positions_by_key.items(), answers):
             if caching:
                 self.cache.put(
@@ -189,13 +235,17 @@ class QueryService:
             return self._execute_misses(kind, param, queries)
         results: list = [None] * len(queries)
         misses: list[int] = []
-        for i, query_obj in enumerate(queries):
-            key = self.cache.make_key(self.index_id, kind, query_obj, param)
-            cached = self.cache.get(key)
-            if cached is not None:
-                results[i] = cached
-            else:
-                misses.append(i)
+        with tracing.span("cache_lookup", kind=kind) as lookup:
+            for i, query_obj in enumerate(queries):
+                key = self.cache.make_key(self.index_id, kind, query_obj, param)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[i] = cached
+                else:
+                    misses.append(i)
+        if lookup is not None:
+            lookup.meta["hits"] = len(queries) - len(misses)
+            lookup.meta["misses"] = len(misses)
         if misses:
             answers = self._execute_misses(kind, param, [queries[i] for i in misses])
             for i, answer in zip(misses, answers):
@@ -213,11 +263,17 @@ class QueryService:
         """
         if self.cache.capacity > 0:
             key = self.cache.make_key(self.index_id, kind, query_obj, param)
-            cached = self.cache.get(key)
+            with tracing.span("cache_lookup", kind=kind) as lookup:
+                cached = self.cache.get(key)
+            if lookup is not None:
+                lookup.meta["outcome"] = "hit" if cached is not None else "miss"
             if cached is not None:
                 return cached
         if self.dispatcher is not None:
-            return self.dispatcher.submit(kind, query_obj, param).result()
+            # the submit-time span (this one) is what the dispatcher
+            # carries to the batch execution for cost attribution
+            with tracing.span("dispatcher_wait", kind=kind):
+                return self.dispatcher.submit(kind, query_obj, param).result()
         return self._execute_misses(kind, param, [query_obj])[0]
 
     def range_query(self, query_obj, radius: float) -> list[int]:
@@ -298,6 +354,10 @@ class QueryService:
         }
         if self.dispatcher is not None:
             out["dispatcher"] = self.dispatcher.stats.as_dict()
+        if self.metrics is not None:
+            # percentile digests of every registered histogram (request
+            # latency, queue wait, batch size, ...) plus counter values
+            out["telemetry"] = self.metrics.summary()
         return out
 
     # -- lifecycle -------------------------------------------------------------

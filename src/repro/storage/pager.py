@@ -28,6 +28,7 @@ from typing import Any
 import numpy as np
 
 from ..core.counters import CostCounters
+from ..obs.tracing import add_event
 
 __all__ = ["PageStore", "BufferPool", "Pager", "BatchReadCache", "DEFAULT_PAGE_SIZE"]
 
@@ -117,12 +118,14 @@ class PageStore:
                 raise KeyError(f"page {page_id} was never allocated")
             offset, length = span
             self.counters.add_page_read(self.pages_spanned(length))
+            add_event("page_reads", self.pages_spanned(length))
             # a contiguous uint8 slice satisfies the buffer protocol, so
             # unpickling reads straight out of the mapped snapshot region
             return pickle.loads(self._region[offset : offset + length])
         if not blob:
             raise KeyError(f"page {page_id} was allocated but never written")
         self.counters.add_page_read(self.pages_spanned(len(blob)))
+        add_event("page_reads", self.pages_spanned(len(blob)))
         return pickle.loads(blob)
 
     def free(self, page_id: int) -> None:
@@ -214,6 +217,7 @@ class BufferPool:
             self.hits += 1
             # the hit stands in for this many cold page reads
             self.store.counters.add_buffer_hit(self.store.pages_spanned(nbytes))
+            add_event("buffer_hits", self.store.pages_spanned(nbytes))
             return node
         self.misses += 1
         node = self.store.read(page_id)
@@ -331,6 +335,7 @@ class Pager:
             nodes[page_id] = self.pool.read(page_id)
         if grouped:
             self.counters.add_grouped_hit(grouped)
+            add_event("grouped_hits", grouped)
         return nodes
 
     def write(self, page_id: int, node: Any) -> None:
@@ -400,7 +405,9 @@ class BatchReadCache:
 
     def read(self, page_id: int) -> Any:
         if page_id in self._nodes:
-            self.pager.counters.add_grouped_hit(self.pager.grouped_weight(page_id))
+            weight = self.pager.grouped_weight(page_id)
+            self.pager.counters.add_grouped_hit(weight)
+            add_event("grouped_hits", weight)
             return self._nodes[page_id]
         node = self.pager.read(page_id)
         self._nodes[page_id] = node

@@ -17,6 +17,7 @@ import pickle
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+from ..obs import tracing
 from .pager import Pager
 
 __all__ = ["RecordPointer", "RandomAccessFile"]
@@ -99,7 +100,8 @@ class RandomAccessFile:
         are counted as ``grouped_hits``).  Records come back in input order.
         """
         pointers = list(pointers)
-        nodes = self.pager.read_many(p.page_id for p in pointers)
+        with tracing.span("raf_read_many", records=len(pointers)):
+            nodes = self.pager.read_many(p.page_id for p in pointers)
         out = []
         for pointer in pointers:
             try:
