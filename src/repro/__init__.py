@@ -84,6 +84,8 @@ from .external import (
 )
 from .obs import MetricsRegistry
 from .service import (
+    ClusterRouter,
+    ClusterSupervisor,
     HttpQueryServer,
     MicroBatchDispatcher,
     QueryResultCache,
@@ -154,6 +156,8 @@ __all__ = [
     "Measurement",
     "MetricDistance",
     "MetricIndex",
+    "ClusterRouter",
+    "ClusterSupervisor",
     "HttpQueryServer",
     "MetricSpace",
     "MetricsRegistry",

@@ -16,6 +16,9 @@ Commands:
 * ``serve``    -- run the query service (snapshot restore, LRU result
                   cache, micro-batching dispatcher) against a stream of
                   concurrent single-query requests and report throughput.
+* ``cluster``  -- spawn a router + N backend serve processes (shard
+                  scatter-gather or replica load-balancing) from a split
+                  manifest or a single snapshot.
 * ``indexes``  -- list every available index with its category.
 """
 
@@ -27,6 +30,7 @@ import os
 import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 from . import ALL_INDEXES
 from .bench import (
@@ -229,6 +233,8 @@ def _cmd_snapshot(args) -> int:
         info = snapshot_info(args.info)
         print(format_table([info.row()], title=f"Snapshot {args.info}"))
         return 0
+    if args.split:
+        return _snapshot_split(args)
     workload = make_workload(args.dataset, n=args.n, n_queries=8)
     pivots = shared_pivots(workload, args.pivots)
     result = measure_build(args.index, workload, pivots)
@@ -262,6 +268,55 @@ def _cmd_snapshot(args) -> int:
     return 0
 
 
+def _snapshot_split(args) -> int:
+    """Build a sharded index and save one snapshot per shard + a manifest."""
+    from . import select_pivots
+    from .bench.runner import build_index
+    from .core.sharded import ShardedIndex
+    from .service.cluster import load_cluster_manifest, save_split
+
+    if args.split < 1:
+        print(f"--split must be >= 1, got {args.split}")
+        return 2
+    workload = make_workload(args.dataset, n=args.n, n_queries=8)
+
+    def build_shard(shard_space):
+        pivots = select_pivots(shard_space, args.pivots, strategy="hfi")
+        return build_index(
+            args.index, shard_space, pivots, workload_name=args.dataset
+        )
+
+    space = workload.fresh_space()
+    t0 = time.perf_counter()
+    sharded = ShardedIndex.build(space, build_shard, n_shards=args.split, seed=0)
+    build_s = time.perf_counter() - t0
+    manifest_path = save_split(sharded, args.out)
+    manifest = load_cluster_manifest(manifest_path)
+    print(
+        f"built {args.split}x {args.index} shards on {args.dataset} "
+        f"(n={args.n}) in {build_s:.2f}s; wrote {manifest_path} + "
+        f"{len(manifest['shards'])} shard snapshots"
+    )
+    if args.verify:
+        parts = [load_index(entry["snapshot"]) for entry in manifest["shards"]]
+        radius = workload.radius_for(0.16)
+        want = sharded.range_query_many(workload.queries, radius)
+        per_part = [p.range_query_many(workload.queries, radius) for p in parts]
+        got = [
+            ShardedIndex.merge_range_answers(answers)
+            for answers in zip(*per_part)
+        ]
+        if want != got:
+            print("VERIFY FAILED: merged part answers diverge from the "
+                  "unsplit sharded index")
+            return 1
+        print(
+            f"verified: {len(parts)} restored parts merge to identical "
+            f"MRQ answers for {len(workload.queries)} queries"
+        )
+    return 0
+
+
 def _serve_http(service: QueryService, args) -> int:
     """Run the HTTP front-end until interrupted, then drain and exit."""
     from .service.http import HttpQueryServer
@@ -285,8 +340,15 @@ def _serve_http(service: QueryService, args) -> int:
         metrics=service.metrics,
         slow_query_ms=getattr(args, "slow_query_ms", None),
         slow_query_log=slow_query_log,
+        auth_token=getattr(args, "auth_token", None),
     )
     server.start()
+    port_file = getattr(args, "port_file", None)
+    if port_file:
+        # published only once the socket is listening: a supervisor (the
+        # cluster CLI, CI scripts) polls this file to learn the ephemeral
+        # port without parsing stdout
+        Path(port_file).write_text(f"{server.port}\n")
     get_endpoints = "/healthz /stats" + (
         " /metrics" if service.metrics is not None else ""
     )
@@ -348,6 +410,7 @@ def _cmd_serve(args) -> int:
             args.snapshot,
             cache_size=args.cache_size,
             cache_bytes=args.cache_bytes,
+            cache_ttl_s=args.cache_ttl,
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
             metrics=metrics,
@@ -364,6 +427,7 @@ def _cmd_serve(args) -> int:
             result.index,
             cache_size=args.cache_size,
             cache_bytes=args.cache_bytes,
+            cache_ttl_s=args.cache_ttl,
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
             metrics=metrics,
@@ -413,6 +477,123 @@ def _cmd_serve(args) -> int:
         f"{stats['page_accesses']} page accesses"
     )
     return 0
+
+
+def _cmd_cluster(args) -> int:
+    """Spawn router + N backends, serve in the foreground until Ctrl-C."""
+    import tempfile
+
+    from .service.cluster import (
+        ClusterError,
+        ClusterSupervisor,
+        load_cluster_manifest,
+        split_snapshot,
+    )
+
+    metrics = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    workdir = None
+    try:
+        if args.snapshot.endswith(".cluster.json"):
+            manifest = load_cluster_manifest(args.snapshot)
+            mode = args.mode or "shard"
+            if mode != "shard":
+                print("a .cluster.json manifest implies --mode shard")
+                return 2
+            snapshots = [entry["snapshot"] for entry in manifest["shards"]]
+            if args.backends is not None and args.backends != len(snapshots):
+                print(
+                    f"--backends {args.backends} does not match the manifest's "
+                    f"{len(snapshots)} shards"
+                )
+                return 2
+        else:
+            mode = args.mode or "replica"
+            if mode == "replica":
+                snapshots = [args.snapshot] * (args.backends or 2)
+            else:
+                # shard mode from a monolithic snapshot: split it into
+                # per-shard parts under a scratch dir that lives as long
+                # as the cluster serves
+                workdir = tempfile.TemporaryDirectory(prefix="repro-cluster-split-")
+                stem = Path(workdir.name) / Path(args.snapshot).stem
+                manifest = load_cluster_manifest(split_snapshot(args.snapshot, stem))
+                snapshots = [entry["snapshot"] for entry in manifest["shards"]]
+                if args.backends is not None and args.backends != len(snapshots):
+                    print(
+                        f"--backends {args.backends} does not match the "
+                        f"snapshot's {len(snapshots)} shards"
+                    )
+                    return 2
+        supervisor = ClusterSupervisor(
+            snapshots=snapshots,
+            mode=mode,
+            host=args.host,
+            router_port=args.port,
+            max_inflight=args.max_inflight,
+            cache_size=args.cache_size,
+            cache_ttl_s=args.cache_ttl,
+            auth_token=args.auth_token,
+            metrics=metrics,
+            probe_interval_s=args.probe_interval,
+        )
+        supervisor.start()
+    except ClusterError as exc:
+        print(f"cluster failed to start: {exc}")
+        if workdir is not None:
+            workdir.cleanup()
+        return 1
+    router = supervisor.router
+    if args.port_file:
+        Path(args.port_file).write_text(f"{router.port}\n")
+    print(
+        f"cluster serving at http://{args.host}:{router.port} "
+        f"({mode} mode, {len(snapshots)} backends on ports "
+        f"{supervisor.backend_ports})\n"
+        "endpoints: POST /range /knn /range_many /knn_many /insert /delete "
+        "/admin/reload; GET /healthz /stats"
+        + (" /metrics" if metrics is not None else "")
+        + " -- Ctrl-C to stop",
+        flush=True,
+    )
+    warned: set[int] = set()
+    died = False
+    try:
+        while router.is_serving:
+            router.join(timeout=0.5)
+            for backend_id in supervisor.poll():
+                if backend_id not in warned:
+                    warned.add(backend_id)
+                    print(
+                        f"backend {backend_id} exited; router will answer "
+                        + (
+                            "503 for every query until it is restarted"
+                            if mode == "shard"
+                            else "from the remaining replicas"
+                        ),
+                        flush=True,
+                    )
+        died = True
+        print("router accept loop exited unexpectedly", flush=True)
+    except KeyboardInterrupt:
+        print(
+            "shutting down cluster: draining router, stopping backends",
+            flush=True,
+        )
+    finally:
+        served = router.requests_served
+        rejected = router.rejected
+        supervisor.close()
+        if workdir is not None:
+            workdir.cleanup()
+    print(
+        f"routed {served} requests ({rejected} rejected); shut down cleanly",
+        flush=True,
+    )
+    return 1 if died else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -501,6 +682,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot format: 2 (memmap regions, default) or 1 (legacy "
         "all-pickle)",
     )
+    p.add_argument(
+        "--split",
+        type=int,
+        default=None,
+        metavar="N",
+        help="build a ShardedIndex of N shards of --index and save one "
+        "snapshot per shard plus a .cluster.json manifest (the input to "
+        "`repro cluster`)",
+    )
     p.set_defaults(func=_cmd_snapshot)
 
     p = sub.add_parser(
@@ -569,7 +759,83 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="sink for slow-query lines (default stderr; '-' for stderr)",
     )
+    p.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="result-cache time-to-live: entries older than this count as "
+        "misses (and as 'expired' in /stats); default keeps entries "
+        "until evicted or invalidated",
+    )
+    p.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="require 'Authorization: Bearer TOKEN' on /insert, /delete, "
+        "and /admin/reload (401 otherwise); queries stay open",
+    )
+    p.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="write the bound HTTP port to PATH once listening (how the "
+        "cluster supervisor finds ephemeral backend ports)",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "cluster",
+        help="spawn a router + N backend serve processes (shard "
+        "scatter-gather or replica load-balancing)",
+    )
+    p.add_argument(
+        "--snapshot",
+        required=True,
+        help="a .cluster.json manifest (shard mode), a ShardedIndex .snap "
+        "to split (--mode shard), or any .snap to replicate (--mode "
+        "replica, the default for .snap)",
+    )
+    p.add_argument(
+        "--backends",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of backends (replica mode; defaults to 2 -- shard "
+        "mode takes the count from the manifest/snapshot)",
+    )
+    p.add_argument("--mode", choices=("shard", "replica"), default=None)
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=0, help="router port (0 = free)")
+    p.add_argument("--max-inflight", type=int, default=128)
+    p.add_argument("--cache-size", type=int, default=1024)
+    p.add_argument("--cache-ttl", type=float, default=None, metavar="SECONDS")
+    p.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="bearer token enforced at the router edge and on every backend",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="router telemetry: GET /metrics with fan-out latency and "
+        "per-backend up/in-flight/mark-down instruments",
+    )
+    p.add_argument(
+        "--probe-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="health-probe period for backend mark-down/mark-up",
+    )
+    p.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="write the router's bound port to PATH once listening",
+    )
+    p.set_defaults(func=_cmd_cluster)
     return parser
 
 

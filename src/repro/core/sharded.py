@@ -36,6 +36,16 @@ Cost accounting comes in two modes:
 The batch path is where sharding pays off for throughput: ``*_query_many``
 fans the *whole* query batch out to each shard once and merges with one pass
 per shard, instead of crossing every shard once per query.
+
+Topology helpers: :meth:`ShardedIndex.split` turns a sharded index into
+standalone single-shard parts whose answers already carry **global** ids
+(each part is itself a one-shard ``ShardedIndex``), so a part can be
+snapshotted and served by its own process; :meth:`ShardedIndex.merge`
+reassembles parts into one index, and the static
+:meth:`merge_range_answers` / :meth:`merge_knn_answers` helpers are the
+single definition of the exact merge -- the in-process fan-out here and
+the multi-process cluster router (:mod:`repro.service.cluster`) both call
+them, so scatter-gather answers cannot drift from single-process ones.
 """
 
 from __future__ import annotations
@@ -197,21 +207,55 @@ class ShardedIndex(MetricIndex):
             per_shard_counters=per_shard_counters,
         )
 
+    # -- exact merges (the single definition, shared with the cluster router) ---
+
+    @staticmethod
+    def merge_range_answers(per_part) -> list[int]:
+        """Exact MRQ merge of disjoint parts' answers (global ids).
+
+        The shards hold disjoint data, so the union needs no
+        deduplication; sorting ascending is the canonical answer order
+        every index in the study returns.
+        """
+        merged: list[int] = []
+        for part in per_part:
+            merged.extend(part)
+        return sorted(merged)
+
+    @staticmethod
+    def merge_knn_answers(per_part, k: int) -> list[Neighbor]:
+        """Exact MkNNQ merge of parts' local top-k answers (global ids).
+
+        The global k nearest are contained in the union of per-part
+        answers, and :class:`KnnHeap`'s canonical ``(distance, id)``
+        tie-breaking makes the result independent of part order -- so a
+        scatter-gather merge is bit-for-bit the single-index answer.
+        """
+        heap = KnnHeap(k)
+        for part in per_part:
+            for neighbor in part:
+                heap.consider(neighbor.object_id, neighbor.distance)
+        return heap.neighbors()
+
     # -- queries ---------------------------------------------------------------
 
     def range_query(self, query_obj, radius: float) -> list[int]:
-        results: list[int] = []
+        per_part = []
         for shard, ids in zip(self.shards, self._shard_ids):
             local_results = self._call_shard(shard, "range_query", query_obj, radius)
-            results.extend(ids[local] for local in local_results)
-        return sorted(results)
+            per_part.append([ids[local] for local in local_results])
+        return self.merge_range_answers(per_part)
 
     def knn_query(self, query_obj, k: int) -> list[Neighbor]:
-        heap = KnnHeap(k)
+        per_part = []
         for shard, ids in zip(self.shards, self._shard_ids):
-            for neighbor in self._call_shard(shard, "knn_query", query_obj, k):
-                heap.consider(ids[neighbor.object_id], neighbor.distance)
-        return heap.neighbors()
+            per_part.append(
+                [
+                    Neighbor(neighbor.distance, ids[neighbor.object_id])
+                    for neighbor in self._call_shard(shard, "knn_query", query_obj, k)
+                ]
+            )
+        return self.merge_knn_answers(per_part, k)
 
     # -- batch queries ----------------------------------------------------------
 
@@ -222,11 +266,11 @@ class ShardedIndex(MetricIndex):
         if not queries:
             return []
         per_shard = self._map_shards("range_query_many", queries, radius)
-        out: list[list[int]] = [[] for _ in queries]
-        for ids, batches in zip(self._shard_ids, per_shard):
-            for merged, local_results in zip(out, batches):
-                merged.extend(ids[local] for local in local_results)
-        return [sorted(results) for results in out]
+        mapped = [
+            [[ids[local] for local in results] for results in batches]
+            for ids, batches in zip(self._shard_ids, per_shard)
+        ]
+        return [self.merge_range_answers(parts) for parts in zip(*mapped)]
 
     def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
         """Batch fan-out with one exact k-merge pass per shard."""
@@ -234,12 +278,54 @@ class ShardedIndex(MetricIndex):
         if not queries:
             return []
         per_shard = self._map_shards("knn_query_many", queries, k)
-        heaps = [KnnHeap(k) for _ in queries]
-        for ids, batches in zip(self._shard_ids, per_shard):
-            for heap, neighbors in zip(heaps, batches):
-                for neighbor in neighbors:
-                    heap.consider(ids[neighbor.object_id], neighbor.distance)
-        return [heap.neighbors() for heap in heaps]
+        mapped = [
+            [
+                [Neighbor(n.distance, ids[n.object_id]) for n in neighbors]
+                for neighbors in batches
+            ]
+            for ids, batches in zip(self._shard_ids, per_shard)
+        ]
+        return [self.merge_knn_answers(parts, k) for parts in zip(*mapped)]
+
+    # -- topology ---------------------------------------------------------------
+
+    def split(self) -> list["ShardedIndex"]:
+        """One standalone single-shard index per shard, answering global ids.
+
+        Each part wraps one inner shard together with its global id list,
+        so ``part.range_query(...)`` / ``part.knn_query(...)`` return ids
+        in the *parent's* id space -- a part can be snapshotted
+        (:func:`repro.service.snapshot.save_index`) and served by its own
+        process, and a router merging the parts' answers with
+        :meth:`merge_range_answers` / :meth:`merge_knn_answers` reproduces
+        this index's answers bit-for-bit.  The parts share the shards (no
+        copies); the executor is not carried over.
+        """
+        return [
+            ShardedIndex(shard.space, [shard], [list(ids)])
+            for shard, ids in zip(self.shards, self._shard_ids)
+        ]
+
+    @classmethod
+    def merge(cls, space: MetricSpace, parts: Sequence["ShardedIndex"]) -> "ShardedIndex":
+        """Reassemble split parts into one sharded index over ``space``.
+
+        The inverse of :meth:`split`: flattens every part's shards and
+        global id lists.  The id lists must be disjoint and cover
+        ``space`` exactly.
+        """
+        shards: list[MetricIndex] = []
+        shard_ids: list[list[int]] = []
+        for part in parts:
+            shards.extend(part.shards)
+            shard_ids.extend(list(ids) for ids in part._shard_ids)
+        flat = [i for ids in shard_ids for i in ids]
+        if len(flat) != len(set(flat)) or (flat and sorted(flat) != list(range(len(space)))):
+            raise ValueError(
+                "parts' id lists must disjointly cover the space "
+                f"(got {len(flat)} ids over {len(space)} objects)"
+            )
+        return cls(space, shards, shard_ids)
 
     # -- snapshots --------------------------------------------------------------
 

@@ -13,7 +13,11 @@ service (the ROADMAP's serving north star):
 * :mod:`~repro.service.service` -- the :class:`QueryService` facade wiring
   the three together (used by ``python -m repro serve``);
 * :mod:`~repro.service.http` -- the JSON HTTP front-end over the facade
-  (``python -m repro serve --http PORT``) and its :class:`ServiceClient`.
+  (``python -m repro serve --http PORT``) and its :class:`ServiceClient`;
+* :mod:`~repro.service.cluster` -- the multi-process topology layer: a
+  router scatter-gathering over shard backends (or load-balancing over
+  replicas) with health-checked membership and rolling reloads
+  (``python -m repro cluster``).
 
 Observability (:mod:`repro.obs`) threads through every layer: pass one
 :class:`~repro.obs.metrics.MetricsRegistry` to :class:`QueryService` and
@@ -23,6 +27,14 @@ trace spans with attributed batch costs.
 """
 
 from .cache import QueryResultCache, query_key
+from .cluster import (
+    ClusterError,
+    ClusterRouter,
+    ClusterSupervisor,
+    load_cluster_manifest,
+    save_split,
+    split_snapshot,
+)
 from .dispatcher import DispatcherStats, MicroBatchDispatcher
 from .http import HttpQueryServer, ServiceClient, ServiceClientError
 from .service import QueryService
@@ -39,6 +51,9 @@ from .snapshot import (
 )
 
 __all__ = [
+    "ClusterError",
+    "ClusterRouter",
+    "ClusterSupervisor",
     "DispatcherStats",
     "HttpQueryServer",
     "MicroBatchDispatcher",
@@ -51,8 +66,11 @@ __all__ = [
     "SnapshotError",
     "SnapshotInfo",
     "iter_components",
+    "load_cluster_manifest",
     "load_index",
     "query_key",
+    "save_split",
+    "split_snapshot",
     "rebind_counters",
     "save_index",
     "snapshot_info",

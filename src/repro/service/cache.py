@@ -35,6 +35,7 @@ Correctness notes:
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Hashable
 
@@ -115,6 +116,13 @@ class QueryResultCache:
             huge range answer displaces proportionally many small kNN
             answers instead of counting as "one entry".  Both bounds
             apply when both are set; 0 disables caching.
+        ttl_s: optional time-to-live in seconds.  A lookup that finds an
+            entry older than the TTL drops it and counts as a **miss**
+            (plus the ``expired`` stat), so long-running replicas serving
+            a mutable corpus bound how stale a repeated answer can get.
+            None (the default) keeps entries until evicted or
+            invalidated; 0 expires everything immediately (every lookup
+            misses, entries are still stored).
     """
 
     def __init__(
@@ -122,19 +130,26 @@ class QueryResultCache:
         capacity: int = 1024,
         counters: CostCounters | None = None,
         capacity_bytes: int | None = None,
+        ttl_s: float | None = None,
         metrics: MetricsRegistry | None = None,
     ):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         if capacity_bytes is not None and capacity_bytes < 0:
             raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        if ttl_s is not None and ttl_s < 0:
+            raise ValueError(f"ttl_s must be >= 0, got {ttl_s}")
         self.capacity = capacity
         self.capacity_bytes = capacity_bytes
+        self.ttl_s = ttl_s
         self.counters = counters
-        # key -> (result list, raw query object or None, accounted bytes);
-        # the query object is what lets invalidate_affected re-derive each
-        # entry's ball
-        self._entries: OrderedDict[Hashable, tuple[list, object, int]] = OrderedDict()
+        # key -> (result list, raw query object or None, accounted bytes,
+        # monotonic store stamp); the query object is what lets
+        # invalidate_affected re-derive each entry's ball, the stamp is
+        # what the TTL check ages entries by
+        self._entries: OrderedDict[
+            Hashable, tuple[list, object, int, float]
+        ] = OrderedDict()
         self._used_bytes = 0
         self._generations: dict[str, int] = {}
         self._global_generation = 0
@@ -142,6 +157,8 @@ class QueryResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # entries dropped by a TTL check (each also counted as a miss)
+        self.expired = 0
         # entries a partial invalidation proved unaffected and kept
         self.partial_survivors = 0
         self._m_hits = self._m_misses = self._m_evictions = None
@@ -184,9 +201,23 @@ class QueryResultCache:
             return self._global_generation + self._generations.get(index_id, 0)
 
     def get(self, key: Hashable):
-        """The cached result list, or None on a miss (counted either way)."""
+        """The cached result list, or None on a miss (counted either way).
+
+        An entry older than ``ttl_s`` is dropped on lookup and counted as
+        a miss (and as ``expired``) -- expiry is lazy, so an entry that is
+        never asked for again simply ages out of the LRU.
+        """
         with self._lock:
             entry = self._entries.get(key)
+            if (
+                entry is not None
+                and self.ttl_s is not None
+                and time.monotonic() - entry[3] >= self.ttl_s
+            ):
+                self._entries.pop(key)
+                self._used_bytes -= entry[2]
+                self.expired += 1
+                entry = None
             if entry is None:
                 self.misses += 1
                 counters = self.counters
@@ -235,7 +266,7 @@ class QueryResultCache:
             old = self._entries.pop(key, None)
             if old is not None:
                 self._used_bytes -= old[2]
-            self._entries[key] = (list(result), frozen, nbytes)
+            self._entries[key] = (list(result), frozen, nbytes, time.monotonic())
             self._used_bytes += nbytes
             while self._entries and (
                 len(self._entries) > self.capacity
@@ -324,7 +355,7 @@ class QueryResultCache:
             ]
         doomed = [
             key
-            for key, (result, query_obj, _nbytes) in candidates
+            for key, (result, query_obj, _nbytes, _stamp) in candidates
             if not self._entry_unaffected(
                 key, result, query_obj, obj, object_id, distance
             )
@@ -394,6 +425,8 @@ class QueryResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "expired": self.expired,
+                "ttl_s": self.ttl_s,
                 "partial_survivors": self.partial_survivors,
                 "hit_rate": round(self.hit_rate, 4),
             }

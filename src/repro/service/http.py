@@ -52,6 +52,7 @@ lifecycle.
 
 from __future__ import annotations
 
+import hmac
 import http.client
 import json
 import socket
@@ -141,7 +142,7 @@ class _Handler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
 
     @property
-    def app(self) -> "HttpQueryServer":
+    def app(self) -> "_HttpAppBase":
         return self.server.app
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
@@ -349,6 +350,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._drain_body()
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
+        auth_error = app._auth_error(self.path, self.headers.get("Authorization"))
+        if auth_error is not None:
+            self._drain_body()
+            self._send_json(401, {"error": auth_error})
+            return
         if not app._begin_request():
             self._drain_body()
             self._send_json(
@@ -373,43 +379,28 @@ class _Handler(BaseHTTPRequestHandler):
             app._end_request()
 
 
-class HttpQueryServer:
-    """Expose one :class:`QueryService` as a threaded JSON HTTP server.
+class _HttpAppBase:
+    """Lifecycle, admission, and observability shared by HTTP front-ends.
 
-    Args:
-        service: the (already built or restored) service to serve.
-        host / port: bind address; port 0 picks a free ephemeral port
-            (read it back from :attr:`port`).
-        max_inflight: bound on concurrently executing requests -- the
-            backpressure limit.  Requests beyond it receive ``503``
-            immediately; clients are expected to retry.
-        access_log: optional file-like object; when given, every request
-            appends one JSON line (method, path, status, bytes, wall ms,
-            codec).  Off by default -- serving must not pay logging IO
-            unless asked to.
-        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
-            when given, ``GET /metrics`` serves its Prometheus text
-            exposition, per-endpoint request latency/outcome/size metrics
-            are recorded, and the percentile summaries appear under
-            ``/stats``'s ``telemetry`` key (share the registry with the
-            hosted service to get its cache/dispatcher/batch metrics in
-            the same exposition).
-        slow_query_ms: optional threshold in milliseconds; when set, every
-            query request runs inside a trace span tree and any request
-            slower than the threshold writes one JSON line -- including
-            the span tree with per-request attributed batch costs -- to
-            ``slow_query_log``.  0 traces (and logs) every query request.
-        slow_query_log: file-like sink for slow-query lines; defaults to
-            ``sys.stderr``.
-
-    Use :meth:`start` to serve from a background thread and :meth:`close`
-    (or the context manager form) to shut down gracefully: draining
-    requests, then the dispatcher, then the socket -- in that order.
+    Both :class:`HttpQueryServer` (one in-process service) and the cluster
+    router (:mod:`repro.service.cluster`) expose the same HTTP surface;
+    this base owns everything that is not about *answering*: the threaded
+    listener, background-thread start/join, the drain-then-close shutdown,
+    ``max_inflight`` admission, bearer-token checks on mutation/admin
+    paths, per-endpoint request metrics, and the structured access and
+    slow-query logs.  Subclasses provide ``post_routes`` (path ->
+    handler), ``health()`` / ``stats()``, and the :meth:`_on_drained`
+    hook that runs between the request drain and the socket close.
     """
+
+    # paths that require ``Authorization: Bearer <token>`` when an
+    # auth_token is configured; query and observability paths stay open
+    _PROTECTED_PATHS = frozenset({"/insert", "/delete", "/admin/reload"})
+    _handler_class = _Handler
+    _thread_name = "repro-http"
 
     def __init__(
         self,
-        service: QueryService,
         host: str = "127.0.0.1",
         port: int = 0,
         max_inflight: int = 64,
@@ -417,15 +408,16 @@ class HttpQueryServer:
         metrics: MetricsRegistry | None = None,
         slow_query_ms: float | None = None,
         slow_query_log=None,
+        auth_token: str | None = None,
     ):
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         if slow_query_ms is not None and slow_query_ms < 0:
             raise ValueError(f"slow_query_ms must be >= 0, got {slow_query_ms}")
-        self.service = service
         self.max_inflight = int(max_inflight)
         self.access_log = access_log
         self.metrics = metrics
+        self.auth_token = auth_token
         self.slow_query_ms = slow_query_ms
         self.slow_query_log = (
             slow_query_log
@@ -474,17 +466,7 @@ class HttpQueryServer:
         self._closed = False
         self.requests_served = 0
         self.rejected = 0
-        self._admin_lock = threading.Lock()  # one reload at a time
-        self.post_routes = {
-            "/range": self._handle_range,
-            "/knn": self._handle_knn,
-            "/range_many": self._handle_range_many,
-            "/knn_many": self._handle_knn_many,
-            "/insert": self._handle_insert,
-            "/delete": self._handle_delete,
-            "/admin/reload": self._handle_reload,
-        }
-        self._httpd = _ThreadedServer((host, port), _Handler)
+        self._httpd = _ThreadedServer((host, port), self._handler_class)
         self._httpd.app = self
         self._thread: threading.Thread | None = None
 
@@ -507,14 +489,14 @@ class HttpQueryServer:
         """True while the background accept loop is alive."""
         return self._thread is not None and self._thread.is_alive()
 
-    def start(self) -> "HttpQueryServer":
+    def start(self) -> "_HttpAppBase":
         """Serve from a background thread; returns self for chaining."""
         if self._thread is not None:
             raise RuntimeError("server already started")
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             kwargs={"poll_interval": 0.05},
-            name="repro-http",
+            name=self._thread_name,
             daemon=True,
         )
         self._thread.start()
@@ -526,12 +508,12 @@ class HttpQueryServer:
             self._thread.join(timeout)
 
     def close(self, drain_timeout: float | None = None) -> bool:
-        """Graceful shutdown: requests, then dispatcher, then socket.
+        """Graceful shutdown: requests, then :meth:`_on_drained`, then socket.
 
         1. stop admitting work -- new requests are rejected with 503;
         2. wait (up to ``drain_timeout``) for in-flight requests to finish;
-        3. ``service.close()`` drains and joins the dispatcher worker, so
-           every coalesced batch an HTTP thread is waiting on resolves;
+        3. run the subclass's :meth:`_on_drained` hook (the query server
+           drains its dispatcher there, the router its backend pool);
         4. only then stop the accept loop and close the listening socket.
 
         Idempotent.  With the default ``drain_timeout=None`` the drain
@@ -539,7 +521,7 @@ class HttpQueryServer:
         complete with real answers, never connection resets.  Returns True
         for a clean drain; a finite timeout that expires returns False and
         shuts down anyway -- requests still in flight at that point may
-        fail (the dispatcher they depend on is being closed), which is the
+        fail (the machinery they depend on is being closed), which is the
         caller's explicit trade when bounding the wait.
         """
         drained = True
@@ -553,7 +535,7 @@ class HttpQueryServer:
                 self._closed = True
         if already:
             return drained
-        self.service.close()
+        self._on_drained()
         if self._thread is not None:
             # shutdown() handshakes with serve_forever; calling it on a
             # never-started server would wait forever on an event only
@@ -564,7 +546,10 @@ class HttpQueryServer:
             self._thread.join(timeout=5.0)
         return drained
 
-    def __enter__(self) -> "HttpQueryServer":
+    def _on_drained(self) -> None:
+        """Release owned resources; runs after the request drain, once."""
+
+    def __enter__(self) -> "_HttpAppBase":
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -587,30 +572,21 @@ class HttpQueryServer:
             if self._active == 0:
                 self._idle.notify_all()
 
+    def _auth_error(self, path: str, header: str | None) -> str | None:
+        """None when the request may proceed, else the 401 error message.
+
+        Token comparison is constant-time (:func:`hmac.compare_digest`);
+        with no ``auth_token`` configured every path stays open.
+        """
+        if self.auth_token is None or path not in self._PROTECTED_PATHS:
+            return None
+        if not header or not header.startswith("Bearer "):
+            return f"{path} requires 'Authorization: Bearer <token>'"
+        if not hmac.compare_digest(header[len("Bearer ") :], self.auth_token):
+            return "invalid bearer token"
+        return None
+
     # -- observability ---------------------------------------------------------
-
-    def health(self) -> dict:
-        out = {
-            "status": "draining" if self._draining else "ok",
-            "index": self.service.index_id,
-            "objects": len(self.service.index.space),
-            "uptime_s": round(time.monotonic() - self._t_start, 3),
-            "snapshot": self.service.snapshot_path,
-            "reload_generation": self.service.reload_generation,
-        }
-        return out
-
-    def stats(self) -> dict:
-        out = self.service.stats()
-        with self._lock:
-            out["http"] = {
-                "active": self._active,
-                "max_inflight": self.max_inflight,
-                "served": self.requests_served,
-                "rejected": self.rejected,
-                "draining": self._draining,
-            }
-        return out
 
     def _observe_request(
         self, path, status, wall_ms, resp_bytes, req_bytes, codec
@@ -670,6 +646,110 @@ class HttpQueryServer:
                 self.access_log.flush()
             except (OSError, ValueError):
                 pass  # a full disk or closed sink must never fail a request
+
+
+class HttpQueryServer(_HttpAppBase):
+    """Expose one :class:`QueryService` as a threaded JSON HTTP server.
+
+    Args:
+        service: the (already built or restored) service to serve.
+        host / port: bind address; port 0 picks a free ephemeral port
+            (read it back from :attr:`port`).
+        max_inflight: bound on concurrently executing requests -- the
+            backpressure limit.  Requests beyond it receive ``503``
+            immediately; clients are expected to retry.
+        access_log: optional file-like object; when given, every request
+            appends one JSON line (method, path, status, bytes, wall ms,
+            codec).  Off by default -- serving must not pay logging IO
+            unless asked to.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, ``GET /metrics`` serves its Prometheus text
+            exposition, per-endpoint request latency/outcome/size metrics
+            are recorded, and the percentile summaries appear under
+            ``/stats``'s ``telemetry`` key (share the registry with the
+            hosted service to get its cache/dispatcher/batch metrics in
+            the same exposition).
+        slow_query_ms: optional threshold in milliseconds; when set, every
+            query request runs inside a trace span tree and any request
+            slower than the threshold writes one JSON line -- including
+            the span tree with per-request attributed batch costs -- to
+            ``slow_query_log``.  0 traces (and logs) every query request.
+        slow_query_log: file-like sink for slow-query lines; defaults to
+            ``sys.stderr``.
+        auth_token: optional bearer token; when set, ``/insert``,
+            ``/delete``, and ``/admin/reload`` require
+            ``Authorization: Bearer <token>`` and answer 401 without it.
+            Query and observability endpoints stay open.
+
+    Use :meth:`start` to serve from a background thread and :meth:`close`
+    (or the context manager form) to shut down gracefully: draining
+    requests, then the dispatcher, then the socket -- in that order.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+        access_log=None,
+        metrics: MetricsRegistry | None = None,
+        slow_query_ms: float | None = None,
+        slow_query_log=None,
+        auth_token: str | None = None,
+    ):
+        self.service = service
+        super().__init__(
+            host=host,
+            port=port,
+            max_inflight=max_inflight,
+            access_log=access_log,
+            metrics=metrics,
+            slow_query_ms=slow_query_ms,
+            slow_query_log=slow_query_log,
+            auth_token=auth_token,
+        )
+        self._admin_lock = threading.Lock()  # one reload at a time
+        self.post_routes = {
+            "/range": self._handle_range,
+            "/knn": self._handle_knn,
+            "/range_many": self._handle_range_many,
+            "/knn_many": self._handle_knn_many,
+            "/insert": self._handle_insert,
+            "/delete": self._handle_delete,
+            "/admin/reload": self._handle_reload,
+        }
+
+    def _on_drained(self) -> None:
+        # service.close() drains and joins the dispatcher worker, so every
+        # coalesced batch an HTTP thread is waiting on resolves before the
+        # listening socket goes away
+        self.service.close()
+
+    # -- observability ---------------------------------------------------------
+
+    def health(self) -> dict:
+        out = {
+            "status": "draining" if self._draining else "ok",
+            "index": self.service.index_id,
+            "objects": len(self.service.index.space),
+            "uptime_s": round(time.monotonic() - self._t_start, 3),
+            "snapshot": self.service.snapshot_path,
+            "reload_generation": self.service.reload_generation,
+        }
+        return out
+
+    def stats(self) -> dict:
+        out = self.service.stats()
+        with self._lock:
+            out["http"] = {
+                "active": self._active,
+                "max_inflight": self.max_inflight,
+                "served": self.requests_served,
+                "rejected": self.rejected,
+                "draining": self._draining,
+            }
+        return out
 
     # -- payload decoding ------------------------------------------------------
 
@@ -868,12 +948,18 @@ class ServiceClient:
         port: int = 8080,
         timeout: float = 30.0,
         binary: bool = False,
+        auth_token: str | None = None,
     ):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
         self.binary = bool(binary)
+        self.auth_token = auth_token
         self.connections_opened = 0
+        # stale-socket retries actually performed (each one re-sent a
+        # request on a fresh connection) -- the observable trace of
+        # server restarts and dropped keep-alive sockets
+        self.retries = 0
         self._local = threading.local()
         self._lock = threading.Lock()  # guards the counter and registry
         # (owning thread, connection) pairs: the registry lets close()
@@ -944,6 +1030,65 @@ class ServiceClient:
             self._discard(conn)
         return response.status, blob, content_type
 
+    def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        body,
+        headers: dict,
+        idempotent: bool = True,
+    ) -> tuple[int, bytes, str | None]:
+        """One exchange with the stale-socket retry: (status, body, type)."""
+        conn = self._pooled()
+        reused = conn is not None
+        if conn is None:
+            conn = self._connect()
+        try:
+            return self._exchange(conn, method, path, body, headers)
+        except self._RETRYABLE:
+            self._discard(conn)
+            # only idempotent requests may be resent: a mutation whose
+            # connection died *after* the server processed it (response
+            # phase) would double-apply on retry
+            if not reused or not idempotent:
+                raise
+            with self._lock:
+                self.retries += 1
+            conn = self._connect()
+            try:
+                return self._exchange(conn, method, path, body, headers)
+            except Exception:
+                self._discard(conn)
+                raise
+        except Exception:
+            # unknown failure mid-exchange: the connection state is
+            # indeterminate, so do not reuse it
+            self._discard(conn)
+            raise
+
+    def forward(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict | None = None,
+        idempotent: bool = True,
+    ) -> tuple[int, bytes, str | None]:
+        """Exchange a raw request verbatim: ``(status, body, content_type)``.
+
+        The codec-blind escape hatch the cluster router is built on: the
+        caller supplies the exact body bytes and headers (any codec, any
+        ``Accept``), the response comes back undecoded, and non-200
+        statuses are returned -- not raised -- so the router can relay a
+        backend's error payload to its own client untouched.  The pooled
+        connection, stale-socket retry, and ``retries`` accounting are
+        shared with the typed methods.
+        """
+        hdrs = dict(headers or {})
+        if self.auth_token is not None:
+            hdrs.setdefault("Authorization", f"Bearer {self.auth_token}")
+        return self._roundtrip(method, path, body, hdrs, idempotent=idempotent)
+
     def _request(
         self,
         method: str,
@@ -956,6 +1101,8 @@ class ServiceClient:
         headers = {}
         if self.binary:
             headers["Accept"] = BINARY_CONTENT_TYPE
+        if self.auth_token is not None:
+            headers["Authorization"] = f"Bearer {self.auth_token}"
         if payload is not None:
             if self.binary:
                 body = wire.dumps(payload)
@@ -963,34 +1110,9 @@ class ServiceClient:
             else:
                 body = json.dumps(payload).encode("utf-8")
                 headers["Content-Type"] = "application/json"
-        conn = self._pooled()
-        reused = conn is not None
-        if conn is None:
-            conn = self._connect()
-        try:
-            status, blob, content_type = self._exchange(
-                conn, method, path, body, headers
-            )
-        except self._RETRYABLE:
-            self._discard(conn)
-            # only idempotent requests may be resent: a mutation whose
-            # connection died *after* the server processed it (response
-            # phase) would double-apply on retry
-            if not reused or not idempotent:
-                raise
-            conn = self._connect()
-            try:
-                status, blob, content_type = self._exchange(
-                    conn, method, path, body, headers
-                )
-            except Exception:
-                self._discard(conn)
-                raise
-        except Exception:
-            # unknown failure mid-exchange: the connection state is
-            # indeterminate, so do not reuse it
-            self._discard(conn)
-            raise
+        status, blob, content_type = self._roundtrip(
+            method, path, body, headers, idempotent=idempotent
+        )
         if raw and status == 200:
             # text endpoints (/metrics): hand back the body verbatim
             return blob.decode("utf-8")
@@ -1078,3 +1200,12 @@ class ServiceClient:
     def metrics_text(self) -> str:
         """The server's ``GET /metrics`` Prometheus exposition, verbatim."""
         return self._request("GET", "/metrics", raw=True)
+
+    def client_stats(self) -> dict:
+        """This client's own counters (no server round-trip)."""
+        with self._lock:
+            return {
+                "connections_opened": self.connections_opened,
+                "retries": self.retries,
+                "pooled": len(self._conns),
+            }

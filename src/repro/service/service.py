@@ -60,6 +60,9 @@ class QueryService:
         cache_bytes: optional byte budget for the private cache -- evicts
             by accounted result size instead of entry count alone (see
             :class:`QueryResultCache`).
+        cache_ttl_s: optional time-to-live for private-cache entries in
+            seconds; expired lookups count as misses (see
+            :class:`QueryResultCache`).  None keeps entries until evicted.
         max_batch_size / max_wait_ms / adaptive_wait: dispatcher knobs
             (see :class:`MicroBatchDispatcher`); ``use_dispatcher=False``
             runs without a background thread (single calls become
@@ -80,6 +83,7 @@ class QueryService:
         cache: QueryResultCache | None = None,
         cache_size: int = 1024,
         cache_bytes: int | None = None,
+        cache_ttl_s: float | None = None,
         max_batch_size: int = 32,
         max_wait_ms: float = 2.0,
         adaptive_wait: bool = True,
@@ -114,6 +118,7 @@ class QueryService:
                 capacity=cache_size,
                 counters=self.counters,
                 capacity_bytes=cache_bytes,
+                ttl_s=cache_ttl_s,
                 metrics=metrics,
             )
         )

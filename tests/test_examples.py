@@ -31,6 +31,7 @@ def test_all_examples_exist():
         "multimedia_retrieval.py",
         "knn_classifier.py",
         "index_selection.py",
+        "cluster_quickstart.py",
     } <= names
 
 
@@ -77,6 +78,20 @@ def test_serve_quickstart_runs():
     assert "restored with 0 distance computations" in result.stdout
     assert "hit rate" in result.stdout
     assert "vectorised batches" in result.stdout
+
+
+def test_cluster_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "cluster_quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=_ENV,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "cluster up: router at http://127.0.0.1:" in result.stdout
+    assert "scatter-gather exact" in result.stdout
+    assert "cluster drained cleanly" in result.stdout
 
 
 def test_http_quickstart_runs():

@@ -272,9 +272,17 @@ def test_keep_alive_reconnects_on_stale_socket(served, datasets):
         fresh._local.conn.sock.shutdown(socket.SHUT_RDWR)
         assert fresh.range_query(q, radius) == expected
         assert fresh.connections_opened == 2
+        # the transparent retry is accounted, not silent
+        assert fresh.retries == 1
+        assert fresh.client_stats() == {
+            "connections_opened": 2,
+            "retries": 1,
+            "pooled": 1,
+        }
         # the replacement connection is pooled and reused thereafter
         assert fresh.knn_query(q, K) == index.knn_query(q, K)
         assert fresh.connections_opened == 2
+        assert fresh.retries == 1
 
 
 def test_keep_alive_close_releases_and_reopens(served, datasets):
@@ -636,6 +644,64 @@ def test_mutations_serialize_with_reload(datasets):
             assert not acked.wait(timeout=0.2), "insert ignored the reload lock"
         assert acked.wait(timeout=5)
         thread.join()
+
+
+# ---------------------------------------------------------------------------
+# bearer-token auth
+# ---------------------------------------------------------------------------
+
+
+def test_auth_token_guards_mutations_and_admin(datasets):
+    """With an auth token set, /insert, /delete, and /admin/reload demand
+    `Authorization: Bearer <token>`; queries and observability stay open."""
+    dataset = datasets["Words"].subset(range(60))
+    index = _laesa_over(dataset)
+    token = "s3cret-token"
+    with QueryService(index, use_dispatcher=False) as service:
+        server = HttpQueryServer(service, auth_token=token).start()
+        with server:
+            q = dataset[0]
+            expected = index.range_query(q, 2.0)
+            with ServiceClient(port=server.port) as anon:
+                # read paths are open without credentials
+                assert anon.range_query(q, 2.0) == expected
+                assert anon.knn_query(q, K) == index.knn_query(q, K)
+                assert anon.healthz()["status"] == "ok"
+                assert "http" in anon.stats()
+                # guarded paths are 401 without (or with a wrong) token
+                for call in (
+                    lambda c: c.insert(q),
+                    lambda c: c.delete(0),
+                    lambda c: c.reload("/nowhere.snap"),
+                ):
+                    with pytest.raises(ServiceClientError) as excinfo:
+                        call(anon)
+                    assert excinfo.value.status == 401
+            with ServiceClient(port=server.port, auth_token="wrong") as bad:
+                with pytest.raises(ServiceClientError) as excinfo:
+                    bad.delete(0)
+                assert excinfo.value.status == 401
+            with ServiceClient(port=server.port, auth_token=token) as ok:
+                # authorized: the mutation goes through (and the guarded
+                # reload path gets far enough to reject the bad snapshot,
+                # proving auth passed)
+                new_id = ok.insert(q)
+                assert new_id in ok.range_query(q, 2.0)
+                ok.delete(new_id)
+                with pytest.raises(ServiceClientError) as excinfo:
+                    ok.reload("/nowhere.snap")
+                assert excinfo.value.status == 400
+
+
+def test_no_auth_token_leaves_every_path_open(datasets):
+    dataset = datasets["Words"].subset(range(40))
+    index = _laesa_over(dataset)
+    with QueryService(index, use_dispatcher=False) as service:
+        with HttpQueryServer(service).start() as server:
+            with ServiceClient(port=server.port) as client:
+                q = dataset[0]
+                new_id = client.insert(q)
+                client.delete(new_id)
 
 
 # ---------------------------------------------------------------------------

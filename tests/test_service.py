@@ -399,6 +399,68 @@ def test_cache_capacity_bytes_zero_disables():
     assert len(cache) == 0
 
 
+def test_cache_ttl_expires_entries_as_misses():
+    """An entry older than ttl_s is dropped on lookup: counted as a miss
+    plus the dedicated ``expired`` stat, never returned."""
+    counters = CostCounters()
+    cache = QueryResultCache(capacity=8, counters=counters, ttl_s=0.05)
+    key = cache.make_key("idx", "range", "q", 1.0)
+    cache.put(key, [1, 2])
+    assert cache.get(key) == [1, 2]  # fresh: a plain hit
+    time.sleep(0.06)
+    assert cache.get(key) is None  # expired -> miss
+    assert cache.expired == 1
+    assert cache.hits == 1 and cache.misses == 1
+    assert counters.cache_misses == 1
+    assert len(cache) == 0  # the expired entry was evicted, bytes released
+    assert cache.stats()["cache_bytes"] == 0
+    # the slot is reusable: a fresh put serves again
+    cache.put(key, [3])
+    assert cache.get(key) == [3]
+    stats = cache.stats()
+    assert stats["expired"] == 1
+    assert stats["ttl_s"] == 0.05
+
+
+def test_cache_ttl_zero_expires_immediately():
+    cache = QueryResultCache(capacity=8, ttl_s=0)
+    key = cache.make_key("idx", "range", "q", 1.0)
+    cache.put(key, [1])
+    assert cache.get(key) is None
+    assert cache.expired == 1
+
+
+def test_cache_ttl_none_never_expires():
+    cache = QueryResultCache(capacity=8)
+    key = cache.make_key("idx", "range", "q", 1.0)
+    cache.put(key, [1])
+    assert cache.get(key) == [1]
+    assert cache.expired == 0
+    assert cache.stats()["ttl_s"] is None
+
+
+def test_cache_rejects_negative_ttl():
+    with pytest.raises(ValueError, match="ttl_s"):
+        QueryResultCache(capacity=8, ttl_s=-1.0)
+
+
+def test_service_cache_ttl_reaches_stats_and_expires(datasets, built_indexes):
+    index = built_indexes("Words", "LAESA")
+    q = datasets["Words"][0]
+    radius = RADIUS["Words"]
+    with QueryService(index, cache_ttl_s=0.05, use_dispatcher=False) as service:
+        expected = service.range_query(q, radius)
+        assert service.range_query(q, radius) == expected  # warm hit
+        assert service.stats()["cache"]["hits"] == 1
+        time.sleep(0.06)
+        # the stale entry is recomputed, not served
+        assert service.range_query(q, radius) == expected
+        stats = service.stats()["cache"]
+        assert stats["ttl_s"] == 0.05
+        assert stats["expired"] == 1
+        assert stats["misses"] == 2
+
+
 def test_service_cache_bytes_budget_reaches_stats(datasets, built_indexes):
     index = built_indexes("Words", "LAESA")
     with QueryService(index, cache_bytes=1 << 16, use_dispatcher=False) as service:
