@@ -87,7 +87,9 @@ from .service import (
     ClusterRouter,
     ClusterSupervisor,
     HttpQueryServer,
+    IndexCatalog,
     MicroBatchDispatcher,
+    QueryPlanner,
     QueryResultCache,
     QueryService,
     ServiceClient,
@@ -159,9 +161,11 @@ __all__ = [
     "ClusterRouter",
     "ClusterSupervisor",
     "HttpQueryServer",
+    "IndexCatalog",
     "MetricSpace",
     "MetricsRegistry",
     "MicroBatchDispatcher",
+    "QueryPlanner",
     "Neighbor",
     "OmniBPlusTree",
     "OmniRTree",

@@ -16,6 +16,12 @@ Commands:
 * ``serve``    -- run the query service (snapshot restore, LRU result
                   cache, micro-batching dispatcher) against a stream of
                   concurrent single-query requests and report throughput.
+                  Repeat ``--snapshot`` (or point it at a ``.catalog.json``
+                  manifest) to host an index catalog with cost-based
+                  planner routing.
+* ``plan``     -- build several indexes on one workload, calibrate the
+                  query planner's cost models, and print the explain
+                  tables (predicted vs measured cost per member).
 * ``cluster``  -- spawn a router + N backend serve processes (shard
                   scatter-gather or replica load-balancing) from a split
                   manifest or a single snapshot.
@@ -44,7 +50,15 @@ from .bench import (
     shared_pivots,
 )
 from .core.dataset import DATASET_FACTORIES, dataset_statistics
-from .service import QueryService, load_index, save_index, snapshot_info
+from .service import (
+    IndexCatalog,
+    QueryPlanner,
+    QueryService,
+    is_catalog_manifest,
+    load_index,
+    save_index,
+    snapshot_info,
+)
 
 __all__ = ["main"]
 
@@ -397,8 +411,9 @@ def _cmd_serve(args) -> int:
         from .obs import MetricsRegistry
 
         metrics = MetricsRegistry()
-    if args.snapshot:
-        info = snapshot_info(args.snapshot)
+    snapshots = args.snapshot or []
+    if len(snapshots) == 1 and not is_catalog_manifest(snapshots[0]):
+        info = snapshot_info(snapshots[0])
         workload = (
             None
             if http_mode
@@ -407,7 +422,7 @@ def _cmd_serve(args) -> int:
             )
         )
         service = QueryService.from_snapshot(
-            args.snapshot,
+            snapshots[0],
             cache_size=args.cache_size,
             cache_bytes=args.cache_bytes,
             cache_ttl_s=args.cache_ttl,
@@ -417,7 +432,32 @@ def _cmd_serve(args) -> int:
         )
         banner = (
             f"restored {info.index_name} ({info.n_objects} objects, "
-            f"{info.distance_name}) from {args.snapshot} -- no rebuild"
+            f"{info.distance_name}) from {snapshots[0]} -- no rebuild"
+        )
+    elif snapshots:
+        # several snapshots (or one .catalog.json manifest): host them as
+        # an index catalog behind the cost-based query planner
+        service = QueryService.from_snapshots(
+            snapshots,
+            cache_size=args.cache_size,
+            cache_bytes=args.cache_bytes,
+            cache_ttl_s=args.cache_ttl,
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            metrics=metrics,
+        )
+        dataset = service.index.space.dataset
+        workload = (
+            None
+            if http_mode
+            else make_workload(
+                dataset.name, n=len(dataset), n_queries=args.queries
+            )
+        )
+        banner = (
+            f"restored catalog {' + '.join(service.catalog.ids())} "
+            f"({len(dataset)} objects, {dataset.distance.name}) -- planner "
+            "calibrated, routing by predicted cost"
         )
     else:
         workload = make_workload(args.dataset, n=args.n, n_queries=args.queries)
@@ -476,6 +516,69 @@ def _cmd_serve(args) -> int:
         f"index work: {stats['distance_computations']} compdists, "
         f"{stats['page_accesses']} page accesses"
     )
+    return 0
+
+
+def _plan_cell(costs: dict | None, key: str) -> str:
+    if not costs or key not in costs:
+        return "-"
+    value = costs[key]
+    return f"{value:.3f}" if key == "wall_ms" else f"{value:.1f}"
+
+
+def _cmd_plan(args) -> int:
+    """Build several indexes, calibrate the planner, print explain tables."""
+    lookup = {name.lower(): name for name in ALL_INDEXES}
+    names = []
+    for raw in args.index or ["LAESA", "MVPT"]:
+        resolved = lookup.get(raw.lower())
+        if resolved is None:
+            print(f"unknown index {raw!r} (see `repro indexes`)")
+            return 2
+        if resolved in names:
+            print(f"index {resolved!r} given twice")
+            return 2
+        names.append(resolved)
+    if len(names) < 2:
+        print("repro plan needs at least two --index members to compare")
+        return 2
+    workload = make_workload(args.dataset, n=args.n, n_queries=args.queries)
+    pivots = shared_pivots(workload, args.pivots)
+    catalog = IndexCatalog()
+    for name in names:
+        # measure_build gives each member its own MetricSpace, which the
+        # catalog requires for per-member cost attribution
+        catalog.register(measure_build(name, workload, pivots).index)
+    planner = QueryPlanner(catalog, epsilon=0.0)
+    radii = [float(r) for r in args.radius] if args.radius else None
+    ks = tuple(args.k) if args.k else (10,)
+    if radii is None:
+        radii = planner.default_radii()
+    recorded = planner.calibrate(radii=radii, ks=ks, n_queries=args.queries)
+    print(
+        f"calibrated {len(catalog)} members ({', '.join(catalog.ids())}) on "
+        f"{args.dataset} (n={args.n}): {recorded} observations"
+    )
+    tasks = [("range", r, f"MRQ radius={r:g}") for r in radii]
+    tasks += [("knn", float(k), f"MkNNQ k={k}") for k in ks]
+    for kind, param, title in tasks:
+        rows = []
+        for row in planner.explain(kind, param):
+            predicted, measured = row["predicted"], row["measured"]
+            rows.append(
+                {
+                    "Index": row["index"],
+                    "Pred compdists": _plan_cell(predicted, "compdists"),
+                    "Meas compdists": _plan_cell(measured, "compdists"),
+                    "Pred PA": _plan_cell(predicted, "page_reads"),
+                    "Meas PA": _plan_cell(measured, "page_reads"),
+                    "Pred ms": _plan_cell(predicted, "wall_ms"),
+                    "Obs": row["observations"],
+                    "Route": "<- chosen" if row["chosen"] else "",
+                }
+            )
+        print()
+        print(format_table(rows, title=title, first_column="Index"))
     return 0
 
 
@@ -697,7 +800,13 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve concurrent single-query traffic (cache + micro-batching)",
     )
-    p.add_argument("--snapshot", help="serve an index restored from this snapshot")
+    p.add_argument(
+        "--snapshot",
+        action="append",
+        help="serve an index restored from this snapshot; repeat the flag "
+        "(or pass one .catalog.json manifest) to host several indexes as "
+        "a catalog with cost-based planner routing",
+    )
     p.add_argument("--dataset", choices=sorted(DATASET_FACTORIES), default="Words")
     p.add_argument("--index", default="LAESA")
     p.add_argument("--n", type=int, default=2000)
@@ -783,6 +892,41 @@ def build_parser() -> argparse.ArgumentParser:
         "cluster supervisor finds ephemeral backend ports)",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "plan",
+        help="calibrate the query planner over several indexes and print "
+        "the predicted-vs-measured explain tables",
+    )
+    p.add_argument("dataset", choices=sorted(DATASET_FACTORIES))
+    p.add_argument(
+        "--index",
+        action="append",
+        metavar="NAME",
+        help="index to host as a catalog member (repeat the flag; "
+        "case-insensitive; default: LAESA and MVPT)",
+    )
+    p.add_argument("--n", type=int, default=2000)
+    p.add_argument("--pivots", type=int, default=5)
+    p.add_argument(
+        "--queries", type=int, default=8, help="calibration queries per batch"
+    )
+    p.add_argument(
+        "--radius",
+        action="append",
+        type=float,
+        metavar="R",
+        help="MRQ radius to calibrate and explain (repeat the flag; "
+        "default: distance-distribution quantiles)",
+    )
+    p.add_argument(
+        "--k",
+        action="append",
+        type=int,
+        metavar="K",
+        help="MkNNQ k to calibrate and explain (repeat the flag; default 10)",
+    )
+    p.set_defaults(func=_cmd_plan)
 
     p = sub.add_parser(
         "cluster",

@@ -10,8 +10,16 @@ service (the ROADMAP's serving north star):
   :class:`~repro.core.counters.CostCounters`;
 * :mod:`~repro.service.dispatcher` -- coalesces concurrent single-query
   callers into the batch execution layer's vectorised multi-query calls;
+* :mod:`~repro.service.catalog` -- the :class:`IndexCatalog`: several
+  hosted indexes over one dataset, kept answer-equivalent (fan-out
+  mutations, whole-catalog snapshots), each with private cost counters;
+* :mod:`~repro.service.costmodel` / :mod:`~repro.service.planner` -- the
+  cost-based :class:`QueryPlanner`: per-(index, kind) least-squares cost
+  models fitted online from counter deltas, routing every query to the
+  predicted-cheapest catalog member (``repro plan`` explains the choice);
 * :mod:`~repro.service.service` -- the :class:`QueryService` facade wiring
-  the three together (used by ``python -m repro serve``);
+  the layers together (used by ``python -m repro serve``); pass
+  ``catalog=`` instead of an index for planner-routed multi-index serving;
 * :mod:`~repro.service.http` -- the JSON HTTP front-end over the facade
   (``python -m repro serve --http PORT``) and its :class:`ServiceClient`;
 * :mod:`~repro.service.cluster` -- the multi-process topology layer: a
@@ -27,6 +35,13 @@ trace spans with attributed batch costs.
 """
 
 from .cache import QueryResultCache, query_key
+from .catalog import (
+    CatalogError,
+    CatalogMember,
+    IndexCatalog,
+    is_catalog_manifest,
+    load_catalog_manifest,
+)
 from .cluster import (
     ClusterError,
     ClusterRouter,
@@ -35,8 +50,10 @@ from .cluster import (
     save_split,
     split_snapshot,
 )
+from .costmodel import CostModel
 from .dispatcher import DispatcherStats, MicroBatchDispatcher
 from .http import HttpQueryServer, ServiceClient, ServiceClientError
+from .planner import QueryPlanner
 from .service import QueryService
 from .snapshot import (
     SNAPSHOT_FORMAT_VERSION,
@@ -51,12 +68,17 @@ from .snapshot import (
 )
 
 __all__ = [
+    "CatalogError",
+    "CatalogMember",
     "ClusterError",
     "ClusterRouter",
     "ClusterSupervisor",
+    "CostModel",
     "DispatcherStats",
     "HttpQueryServer",
+    "IndexCatalog",
     "MicroBatchDispatcher",
+    "QueryPlanner",
     "QueryResultCache",
     "QueryService",
     "ServiceClient",
@@ -65,7 +87,9 @@ __all__ = [
     "SNAPSHOT_MAGIC",
     "SnapshotError",
     "SnapshotInfo",
+    "is_catalog_manifest",
     "iter_components",
+    "load_catalog_manifest",
     "load_cluster_manifest",
     "load_index",
     "query_key",

@@ -1,0 +1,332 @@
+"""IndexCatalog: several hosted indexes over one dataset, answering as one.
+
+The paper's central empirical finding is that no single pivot-based
+structure dominates -- the cheapest of the 19 evaluated indexes flips with
+dataset, radius, and k.  A serving stack that hardwires one index per
+service can never exploit that.  The catalog is the first of the three
+layers that fix it (catalog -> planner -> executor):
+
+* it holds **named members** -- built :class:`~repro.core.index.MetricIndex`
+  instances over the *same* dataset, each with its own private
+  :class:`~repro.core.counters.CostCounters` so the planner can attribute
+  every batch's measured cost to exactly the member that ran it;
+* **mutations fan out** to every member (same object, same id), so all
+  members keep answering every query identically -- which is what lets the
+  planner route any query to any member and lets one result-cache
+  namespace serve them all;
+* the whole catalog **snapshots as one unit**: ``save`` writes one
+  ``{stem}.member{i:02d}.snap`` per member plus a ``{stem}.catalog.json``
+  manifest (the same idiom as the cluster layer's shard manifests), and
+  ``load`` restores every member with zero distance computations.
+
+Members must be built on *separate* :class:`~repro.core.metric_space.
+MetricSpace` instances (over the same dataset): counters live on the
+space, and per-member cost attribution -- the planner's entire input --
+is impossible when two members share one accumulator.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.counters import CostCounters
+from ..core.index import MetricIndex
+from .snapshot import SnapshotInfo, load_index, rebind_counters, save_index
+
+__all__ = [
+    "CATALOG_MANIFEST_KIND",
+    "CatalogError",
+    "CatalogMember",
+    "IndexCatalog",
+    "is_catalog_manifest",
+    "load_catalog_manifest",
+]
+
+CATALOG_MANIFEST_KIND = "repro-catalog"
+
+
+class CatalogError(RuntimeError):
+    """Raised for invalid catalog membership, manifests, or divergent fan-out."""
+
+
+@dataclass
+class CatalogMember:
+    """One hosted index plus the private counters its work is billed to."""
+
+    index_id: str
+    index: MetricIndex
+    counters: CostCounters
+
+
+def _manifest_stem(path: Path) -> Path:
+    """Naming stem: ``color.catalog.json`` and ``color.snap`` -> ``color``."""
+    if path.name.endswith(".catalog.json"):
+        return path.with_name(path.name[: -len(".catalog.json")])
+    return path.with_suffix("") if path.suffix else path
+
+
+def is_catalog_manifest(path) -> bool:
+    """True when ``path`` is a readable catalog manifest (cheap peek)."""
+    path = Path(path)
+    if not path.name.endswith(".json"):
+        return False
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return False
+    return isinstance(manifest, dict) and manifest.get("kind") == CATALOG_MANIFEST_KIND
+
+
+def load_catalog_manifest(path) -> dict:
+    """Parse and validate a catalog manifest; member paths come back absolute."""
+    path = Path(path)
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CatalogError(f"cannot read catalog manifest {path}: {exc}") from None
+    if not isinstance(manifest, dict) or manifest.get("kind") != CATALOG_MANIFEST_KIND:
+        raise CatalogError(f"{path} is not a repro catalog manifest")
+    members = manifest.get("members")
+    if not isinstance(members, list) or not members:
+        raise CatalogError(f"{path} names no catalog members")
+    seen: set[str] = set()
+    for entry in members:
+        member_id = entry.get("id")
+        if not isinstance(member_id, str) or not member_id or member_id in seen:
+            raise CatalogError(f"{path} has a missing or duplicate member id")
+        seen.add(member_id)
+        snap = path.parent / entry["snapshot"]
+        if not snap.exists():
+            raise CatalogError(f"{path} names missing member snapshot {snap}")
+        entry["snapshot"] = str(snap)
+    return manifest
+
+
+class IndexCatalog:
+    """Named hosted indexes over one dataset, kept answer-equivalent.
+
+    Register members with :meth:`register`; the first member is the
+    *primary* (the service uses its space for payload decoding and its
+    distance for cache invalidation balls).  All query traffic goes
+    through the members directly (``catalog.get(id).range_query_many``
+    ...); the catalog itself only manages membership, fan-out mutation,
+    and whole-catalog snapshots.
+    """
+
+    def __init__(self):
+        self._members: "OrderedDict[str, CatalogMember]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- membership ----------------------------------------------------------
+
+    def register(
+        self,
+        index: MetricIndex,
+        index_id: str | None = None,
+        counters: CostCounters | None = None,
+    ) -> str:
+        """Add a built index as a member; returns its id.
+
+        The id defaults to the index's paper name (pass something unique
+        to host two instances of one family).  The index is rebound to
+        ``counters`` (a fresh private accumulator when omitted) so its
+        cost is attributable separately from every other member's --
+        which is why members must not share a ``MetricSpace``.
+        """
+        member_id = index_id if index_id is not None else index.name
+        counters = counters if counters is not None else CostCounters()
+        with self._lock:
+            if member_id in self._members:
+                raise CatalogError(f"catalog already has a member {member_id!r}")
+            for other in self._members.values():
+                if other.index.space is index.space:
+                    raise CatalogError(
+                        f"member {member_id!r} shares a MetricSpace with "
+                        f"{other.index_id!r}; build each member on its own "
+                        "space so costs attribute per member"
+                    )
+                if len(other.index.space.dataset) != len(index.space.dataset) or (
+                    other.index.space.dataset.distance.name
+                    != index.space.dataset.distance.name
+                ):
+                    raise CatalogError(
+                        f"member {member_id!r} hosts a different dataset than "
+                        f"{other.index_id!r} ({len(index.space.dataset)} objects "
+                        f"under {index.space.dataset.distance.name!r} vs "
+                        f"{len(other.index.space.dataset)} under "
+                        f"{other.index.space.dataset.distance.name!r}); catalog "
+                        "members must answer every query identically"
+                    )
+            rebind_counters(index, counters)
+            self._members[member_id] = CatalogMember(member_id, index, counters)
+        return member_id
+
+    def remove(self, index_id: str) -> None:
+        with self._lock:
+            if index_id not in self._members:
+                raise CatalogError(f"catalog has no member {index_id!r}")
+            if len(self._members) == 1:
+                raise CatalogError("cannot remove the catalog's last member")
+            del self._members[index_id]
+
+    def member(self, index_id: str) -> CatalogMember:
+        try:
+            return self._members[index_id]
+        except KeyError:
+            raise CatalogError(f"catalog has no member {index_id!r}") from None
+
+    def get(self, index_id: str) -> MetricIndex:
+        return self.member(index_id).index
+
+    def ids(self) -> list[str]:
+        return list(self._members)
+
+    def members(self) -> list[CatalogMember]:
+        return list(self._members.values())
+
+    @property
+    def primary(self) -> CatalogMember:
+        if not self._members:
+            raise CatalogError("catalog has no members")
+        return next(iter(self._members.values()))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, index_id: str) -> bool:
+        return index_id in self._members
+
+    def __iter__(self):
+        return iter(self._members.values())
+
+    # -- fan-out mutation ----------------------------------------------------
+
+    def insert(self, obj, object_id: int | None = None) -> int:
+        """Insert into every member, forcing one shared object id.
+
+        The primary assigns (or validates) the id; every other member is
+        told that id explicitly so all members keep answering
+        identically.  A member that cannot insert raises -- after the
+        primary already has -- so the failure is loud (a
+        :class:`CatalogError` naming the divergence), never a silently
+        inconsistent catalog.
+        """
+        members = self.members()
+        new_id = members[0].index.insert(obj, object_id=object_id)
+        for m in members[1:]:
+            try:
+                got = m.index.insert(obj, object_id=new_id)
+            except Exception as exc:
+                raise CatalogError(
+                    f"insert fan-out diverged: member {m.index_id!r} failed "
+                    f"after {members[0].index_id!r} inserted id {new_id} ({exc})"
+                ) from exc
+            if got != new_id:
+                raise CatalogError(
+                    f"insert fan-out diverged: member {m.index_id!r} assigned "
+                    f"id {got}, primary assigned {new_id}"
+                )
+        return new_id
+
+    def delete(self, object_id: int) -> None:
+        """Delete one object from every member (loud on divergence)."""
+        members = self.members()
+        members[0].index.delete(object_id)
+        for m in members[1:]:
+            try:
+                m.index.delete(object_id)
+            except Exception as exc:
+                raise CatalogError(
+                    f"delete fan-out diverged: member {m.index_id!r} failed "
+                    f"after {members[0].index_id!r} deleted id {object_id} "
+                    f"({exc})"
+                ) from exc
+
+    # -- snapshots -----------------------------------------------------------
+
+    def save(self, path) -> Path:
+        """Snapshot every member plus a manifest naming them in order.
+
+        Writes ``{stem}.member{i:02d}.snap`` per member and
+        ``{stem}.catalog.json``; returns the manifest path (the thing
+        ``repro serve --snapshot`` and :meth:`load` take).
+        """
+        stem = _manifest_stem(Path(path))
+        stem.parent.mkdir(parents=True, exist_ok=True)
+        entries = []
+        for i, m in enumerate(self.members()):
+            part = stem.parent / f"{stem.name}.member{i:02d}.snap"
+            info = save_index(m.index, part)
+            entries.append(
+                {
+                    "id": m.index_id,
+                    "snapshot": part.name,
+                    "index": info.index_name,
+                    "objects": info.n_objects,
+                }
+            )
+        primary = self.primary
+        manifest = {
+            "kind": CATALOG_MANIFEST_KIND,
+            "dataset": primary.index.space.dataset.name,
+            "distance": primary.index.space.dataset.distance.name,
+            "n_objects": len(primary.index.space),
+            "members": entries,
+        }
+        manifest_path = stem.parent / f"{stem.name}.catalog.json"
+        manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        return manifest_path
+
+    @classmethod
+    def load(cls, path) -> "IndexCatalog":
+        """Restore a whole catalog from its manifest -- zero compdists."""
+        manifest = load_catalog_manifest(path)
+        catalog = cls()
+        for entry in manifest["members"]:
+            counters = CostCounters()
+            index = load_index(entry["snapshot"], counters=counters)
+            catalog.register(index, index_id=entry["id"], counters=counters)
+        return catalog
+
+    def reload(self, path) -> SnapshotInfo:
+        """Hot-swap the whole membership for one restored from ``path``.
+
+        All members restore before the swap (the catalog keeps answering
+        from the old ones until the new set is fully ready); the swap is
+        a single dict assignment.  Member counters restart fresh -- the
+        planner's epsilon-greedy refresh re-learns any cost drift.
+        Returns a :class:`~repro.service.snapshot.SnapshotInfo` describing
+        the restored primary (shape-compatible with single-snapshot
+        reloads, so the HTTP admin surface needs no special case).
+        """
+        fresh = IndexCatalog.load(path)
+        with self._lock:
+            self._members = fresh._members
+        primary = self.primary
+        return SnapshotInfo(
+            format_version=0,
+            index_name=" + ".join(self.ids()),
+            index_class="IndexCatalog",
+            n_objects=len(primary.index.space),
+            distance_name=primary.index.space.dataset.distance.name,
+            dataset_name=primary.index.space.dataset.name,
+            payload_bytes=0,
+        )
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-member cost counters (id -> index name + compdists/PA)."""
+        out = {}
+        for m in self.members():
+            snap = m.counters.snapshot()
+            out[m.index_id] = {
+                "index": m.index.name,
+                "distance_computations": snap.distance_computations,
+                "page_accesses": snap.page_accesses,
+            }
+        return out

@@ -835,17 +835,27 @@ class ClusterRouter(_HttpAppBase):
         backends = []
         for b in self._backends:
             with b.lock:
-                backends.append(
-                    {
-                        "backend": b.backend_id,
-                        "address": b.address,
-                        "up": b.up,
-                        "inflight": b.inflight,
-                        "served": b.served,
-                        "markdowns": b.markdowns,
-                        **b.client.client_stats(),
-                    }
-                )
+                entry = {
+                    "backend": b.backend_id,
+                    "address": b.address,
+                    "up": b.up,
+                    "inflight": b.inflight,
+                    "served": b.served,
+                    "markdowns": b.markdowns,
+                    **b.client.client_stats(),
+                }
+                up = b.up
+            if up:
+                # best effort: a catalog-backed backend exposes its planner's
+                # routing stats; a dead or single-index backend never breaks
+                # the router's own /stats
+                try:
+                    planner = b.probe_client.stats().get("planner")
+                except Exception:
+                    planner = None
+                if planner is not None:
+                    entry["planner"] = planner
+            backends.append(entry)
         with self._lock:
             http_stats = {
                 "active": self._active,

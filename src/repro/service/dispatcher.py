@@ -16,19 +16,28 @@ Two tuning knobs bound the coalescing:
   this before dispatch (caps added latency when traffic is sparse; 0
   dispatches every group as soon as the worker sees it).
 
+Groups are keyed ``(index_id, kind, param)``.  The index id matters when
+one dispatcher serves a catalog of several hosted indexes: two members
+answering the same radius must never have their queries coalesced into
+one batch -- the batch executes against exactly one index, so a shared
+``(kind, param)`` key would silently answer half the batch from the
+wrong structure.  Single-index services pass their one namespace for
+every submission and behave exactly as before.
+
 The wait actually applied is *adaptive* (unless ``adaptive_wait=False``):
-a per-(kind, param)-group EWMA of observed arrival intervals estimates
-how long filling a batch from that group would take
+a per-(index_id, kind, param)-group EWMA of observed arrival intervals
+estimates how long filling a batch from that group would take
 (``ewma * (max_batch_size - 1)``), and the group's effective wait is that
 estimate clamped to the configured ``max_wait_ms`` bound.  Rates are
-tracked per group because only same-parameter queries can ever share a
-batch -- a dense mix of distinct radii must still read as sparse for
-every group.  A dense group fills batches quickly, so its wait shrinks
-toward zero latency overhead; at the sparse extreme -- the group's EWMA
-interval at or beyond the bound itself, so not even one more compatible
-arrival is expected inside it -- the wait collapses to zero instead of
-stalling every caller for the full bound on the off chance of company.
-``stats()`` exposes the most recently active group's values.
+tracked per group because only same-parameter queries against the same
+index can ever share a batch -- a dense mix of distinct radii must still
+read as sparse for every group.  A dense group fills batches quickly, so
+its wait shrinks toward zero latency overhead; at the sparse extreme --
+the group's EWMA interval at or beyond the bound itself, so not even one
+more compatible arrival is expected inside it -- the wait collapses to
+zero instead of stalling every caller for the full bound on the off
+chance of company.  ``stats()`` exposes the most recently active group's
+values.
 
 Answers are contractually identical to direct per-query calls: the batch
 layer guarantees ``query_many(qs)[i] == query(qs[i])``, and grouping keys
@@ -108,10 +117,12 @@ class MicroBatchDispatcher:
     """Group concurrent single-query submissions into batch calls.
 
     Args:
-        execute_batch: ``execute_batch(kind, param, queries) -> results``,
-            one result per query in order; ``kind`` is ``"range"`` or
-            ``"knn"`` and ``param`` the radius / k shared by the group.
-            The service facade passes its cache-aware batch executor here.
+        execute_batch: ``execute_batch(index_id, kind, param, queries) ->
+            results``, one result per query in order; ``index_id`` is the
+            hosted index the group was submitted against, ``kind`` is
+            ``"range"`` or ``"knn"`` and ``param`` the radius / k shared
+            by the group.  The service facade passes its cache-aware
+            batch executor here.
         max_batch_size: dispatch a group once it holds this many queries.
         max_wait_ms: upper bound on how long a group's oldest query waits,
             full or not.  With ``adaptive_wait`` the applied wait is
@@ -127,7 +138,7 @@ class MicroBatchDispatcher:
 
     def __init__(
         self,
-        execute_batch: Callable[[str, float, list], list],
+        execute_batch: Callable[[str, str, float, list], list],
         max_batch_size: int = 32,
         max_wait_ms: float = 2.0,
         adaptive_wait: bool = True,
@@ -146,15 +157,16 @@ class MicroBatchDispatcher:
         self.adaptive_wait = adaptive_wait
         self.ewma_alpha = ewma_alpha
         # arrival tracking is *per group*: batches only ever form inside
-        # one (kind, param) group, so a globally dense stream of distinct
-        # parameters must still read as sparse for each group.  Entries:
-        # key -> [last arrival, ewma interval or None, applied wait].
+        # one (index_id, kind, param) group, so a globally dense stream of
+        # distinct parameters must still read as sparse for each group.
+        # Entries: key -> [last arrival, ewma interval or None, applied
+        # wait].
         self._rates: "OrderedDict[tuple, list]" = OrderedDict()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
-        # (kind, param) -> list of (query, future, submit-time span or
-        # None, enqueue time); arrival holds the enqueue time of each
-        # group's oldest member
+        # (index_id, kind, param) -> list of (query, future, submit-time
+        # span or None, enqueue time); arrival holds the enqueue time of
+        # each group's oldest member
         self._pending: dict[tuple, list[tuple]] = {}
         self._arrival: dict[tuple, float] = {}
         self._closed = False
@@ -179,12 +191,14 @@ class MicroBatchDispatcher:
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, kind: str, query_obj, param) -> Future:
-        """Enqueue one query; the Future resolves to its answer list."""
+    def submit(self, index_id: str, kind: str, query_obj, param) -> Future:
+        """Enqueue one query against one hosted index; the Future resolves
+        to its answer list.  Only queries sharing the full
+        ``(index_id, kind, param)`` key can be coalesced."""
         if kind not in ("range", "knn"):
             raise ValueError(f"kind must be 'range' or 'knn', got {kind!r}")
         future: Future = Future()
-        key = (kind, float(param))
+        key = (index_id, kind, float(param))
         with self._wake:
             if self._closed:
                 raise RuntimeError("dispatcher is closed")
@@ -199,7 +213,7 @@ class MicroBatchDispatcher:
             self._wake.notify()
         return future
 
-    # bound on distinct (kind, param) rate entries kept; beyond it the
+    # bound on distinct (index_id, kind, param) rate entries kept; beyond it the
     # least recently active group's history is forgotten (it restarts at
     # the configured bound on its next arrival)
     _MAX_TRACKED_GROUPS = 4096
@@ -215,8 +229,9 @@ class MicroBatchDispatcher:
         companion arrival is likely inside it at all, so the wait drops to
         zero -- a sparse group dispatches immediately rather than paying
         the full bound per query for nothing.  Rates are per group because
-        only same-(kind, param) queries can share a batch: a dense mix of
-        distinct parameters must still count as sparse for each group.
+        only same-(index_id, kind, param) queries can share a batch: a
+        dense mix of distinct parameters must still count as sparse for
+        each group.
         """
         rate = self._rates.get(key)
         if rate is None:
@@ -250,13 +265,13 @@ class MicroBatchDispatcher:
         rate = self._rates.get(key)
         return rate[2] if rate is not None else self.max_wait
 
-    def range_query(self, query_obj, radius: float) -> list:
+    def range_query(self, query_obj, radius: float, index_id: str = "") -> list:
         """Blocking single MRQ through the batcher (for plain callers)."""
-        return self.submit("range", query_obj, radius).result()
+        return self.submit(index_id, "range", query_obj, radius).result()
 
-    def knn_query(self, query_obj, k: int) -> list:
+    def knn_query(self, query_obj, k: int, index_id: str = "") -> list:
         """Blocking single MkNNQ through the batcher."""
-        return self.submit("knn", query_obj, k).result()
+        return self.submit(index_id, "knn", query_obj, k).result()
 
     # -- worker --------------------------------------------------------------
 
@@ -305,10 +320,10 @@ class MicroBatchDispatcher:
                     # group's deadline or an arrival that fills one
                     self._wake.wait(timeout=max(0.0, (deadline or now) - now))
                     continue
-            for (kind, param), group in ready:
-                self._dispatch(kind, param, group)
+            for (index_id, kind, param), group in ready:
+                self._dispatch(index_id, kind, param, group)
 
-    def _dispatch(self, kind: str, param: float, group: list) -> None:
+    def _dispatch(self, index_id: str, kind: str, param: float, group: list) -> None:
         queries = [item[0] for item in group]
         spans = [item[2] for item in group]
         now = time.monotonic()
@@ -325,9 +340,9 @@ class MicroBatchDispatcher:
                 # batch_execution inside the executor attributes its
                 # measured cost delta back to these submit-time spans
                 with tracing.attribution_scope(spans):
-                    results = self._execute_batch(kind, param, queries)
+                    results = self._execute_batch(index_id, kind, param, queries)
             else:
-                results = self._execute_batch(kind, param, queries)
+                results = self._execute_batch(index_id, kind, param, queries)
         except BaseException as exc:  # propagate to every waiting caller
             for item in group:
                 item[1].set_exception(exc)

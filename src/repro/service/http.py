@@ -717,6 +717,7 @@ class HttpQueryServer(_HttpAppBase):
             "/knn_many": self._handle_knn_many,
             "/insert": self._handle_insert,
             "/delete": self._handle_delete,
+            "/plan": self._handle_plan,
             "/admin/reload": self._handle_reload,
         }
 
@@ -737,6 +738,8 @@ class HttpQueryServer(_HttpAppBase):
             "snapshot": self.service.snapshot_path,
             "reload_generation": self.service.reload_generation,
         }
+        if getattr(self.service, "catalog", None) is not None:
+            out["members"] = self.service.catalog.ids()
         return out
 
     def stats(self) -> dict:
@@ -815,12 +818,31 @@ class HttpQueryServer(_HttpAppBase):
             raise _BadRequest("'k' must be a positive integer")
         return int(k)
 
+    def _pin(self, payload: dict) -> str | None:
+        """The optional ``"index"`` field: pin one catalog member by id."""
+        pin = payload.get("index")
+        if pin is None:
+            return None
+        if not isinstance(pin, str) or not pin:
+            raise _BadRequest("'index' must be a member id string")
+        catalog = getattr(self.service, "catalog", None)
+        if catalog is None:
+            raise _BadRequest(
+                "'index' pinning requires a catalog service; this server "
+                f"hosts only {self.service.index_id!r}"
+            )
+        if pin not in catalog:
+            raise _BadRequest(
+                f"unknown index {pin!r}; members: {', '.join(catalog.ids())}"
+            )
+        return pin
+
     # -- query endpoints -------------------------------------------------------
 
     def _handle_range(self, payload: dict, binary: bool = False) -> dict:
         query = self._decode_object(payload.get("query"))
         radius = self._number(payload, "radius")
-        ids = self.service.range_query(query, radius)
+        ids = self.service.range_query(query, radius, index=self._pin(payload))
         if binary:
             return {"ids": wire.pack_id_list(ids)}
         return {"ids": [int(i) for i in ids]}
@@ -828,7 +850,7 @@ class HttpQueryServer(_HttpAppBase):
     def _handle_knn(self, payload: dict, binary: bool = False) -> dict:
         query = self._decode_object(payload.get("query"))
         k = self._k(payload)
-        neighbors = self.service.knn_query(query, k)
+        neighbors = self.service.knn_query(query, k, index=self._pin(payload))
         if binary:
             return {"neighbors": wire.pack_neighbors(neighbors)}
         return {"neighbors": encode_neighbors(neighbors)}
@@ -836,7 +858,9 @@ class HttpQueryServer(_HttpAppBase):
     def _handle_range_many(self, payload: dict, binary: bool = False) -> dict:
         queries = self._decode_many(payload)
         radius = self._number(payload, "radius")
-        answers = self.service.range_query_many(queries, radius)
+        answers = self.service.range_query_many(
+            queries, radius, index=self._pin(payload)
+        )
         if binary:
             return {"results": wire.pack_id_lists(answers)}
         return {"results": [[int(i) for i in ids] for ids in answers]}
@@ -844,10 +868,32 @@ class HttpQueryServer(_HttpAppBase):
     def _handle_knn_many(self, payload: dict, binary: bool = False) -> dict:
         queries = self._decode_many(payload)
         k = self._k(payload)
-        answers = self.service.knn_query_many(queries, k)
+        answers = self.service.knn_query_many(queries, k, index=self._pin(payload))
         if binary:
             return {"results": wire.pack_neighbor_lists(answers)}
         return {"results": [encode_neighbors(a) for a in answers]}
+
+    def _handle_plan(self, payload: dict, binary: bool = False) -> dict:
+        """The planner's explain table for one query shape (catalog only)."""
+        planner = getattr(self.service, "planner", None)
+        if planner is None:
+            raise _BadRequest(
+                "this server hosts a single index; /plan requires a "
+                "catalog service (repro serve --snapshot A --snapshot B)"
+            )
+        if "radius" in payload:
+            kind, param = "range", self._number(payload, "radius")
+        elif "k" in payload:
+            kind, param = "knn", float(self._k(payload))
+        else:
+            raise _BadRequest("pass 'radius' (MRQ) or 'k' (MkNNQ) to plan")
+        batch_size = 1
+        if "batch_size" in payload:
+            batch_size = self._number(payload, "batch_size")
+            if batch_size < 1 or batch_size != int(batch_size):
+                raise _BadRequest("'batch_size' must be a positive integer")
+            batch_size = int(batch_size)
+        return {"plan": planner.explain(kind, param, batch_size)}
 
     # -- mutation + admin endpoints --------------------------------------------
 
@@ -1153,25 +1199,53 @@ class ServiceClient:
                 return qmat
         return [encode_object(q) for q in queries]
 
-    def range_query(self, query_obj, radius: float) -> list[int]:
+    def range_query(self, query_obj, radius: float, index: str | None = None) -> list[int]:
         payload = {"query": self._encode_query(query_obj), "radius": float(radius)}
+        if index is not None:
+            payload["index"] = index
         ids = self._request("POST", "/range", payload)["ids"]
         return wire.unpack_id_list(ids)
 
-    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
+    def knn_query(self, query_obj, k: int, index: str | None = None) -> list[Neighbor]:
         payload = {"query": self._encode_query(query_obj), "k": int(k)}
+        if index is not None:
+            payload["index"] = index
         neighbors = self._request("POST", "/knn", payload)["neighbors"]
         return wire.unpack_neighbors(neighbors)
 
-    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+    def range_query_many(
+        self, queries, radius: float, index: str | None = None
+    ) -> list[list[int]]:
         payload = {"queries": self._encode_batch(queries), "radius": float(radius)}
+        if index is not None:
+            payload["index"] = index
         results = self._request("POST", "/range_many", payload)["results"]
         return wire.unpack_id_lists(results)
 
-    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+    def knn_query_many(
+        self, queries, k: int, index: str | None = None
+    ) -> list[list[Neighbor]]:
         payload = {"queries": self._encode_batch(queries), "k": int(k)}
+        if index is not None:
+            payload["index"] = index
         results = self._request("POST", "/knn_many", payload)["results"]
         return wire.unpack_neighbor_lists(results)
+
+    def plan(
+        self,
+        radius: float | None = None,
+        k: int | None = None,
+        batch_size: int = 1,
+    ) -> list[dict]:
+        """The server planner's explain rows (catalog services only)."""
+        if (radius is None) == (k is None):
+            raise ValueError("pass exactly one of radius= or k=")
+        payload: dict = {"batch_size": int(batch_size)}
+        if radius is not None:
+            payload["radius"] = float(radius)
+        else:
+            payload["k"] = int(k)
+        return self._request("POST", "/plan", payload)["plan"]
 
     # -- mutations + admin -----------------------------------------------------
 

@@ -1,30 +1,43 @@
-"""QueryService: the long-running serving facade over a built index.
+"""QueryService: the long-running serving facade over hosted indexes.
 
-Composes the three service-layer pieces into one front door:
+Composes the service-layer pieces into one front door:
 
 * **snapshots** (:mod:`repro.service.snapshot`) -- host an index restored
   from disk (``QueryService.from_snapshot``) or save the hosted one
   (:meth:`QueryService.save`), so process restarts cost file IO, not
   distance computations;
 * **result cache** (:mod:`repro.service.cache`) -- every query checks the
-  LRU first; only misses reach the index, as one vectorised batch;
+  LRU first; only misses reach an index, as one vectorised batch;
 * **dispatcher** (:mod:`repro.service.dispatcher`) -- concurrent
   single-query callers are coalesced into batch calls, so online traffic
-  inherits the batch layer's throughput.
+  inherits the batch layer's throughput;
+* **catalog + planner** (:mod:`repro.service.catalog`,
+  :mod:`repro.service.planner`) -- optionally, *several* index families
+  hosted over the same dataset (``QueryService(catalog=...)``), with each
+  cache-missed query or batch partition routed to the member a fitted
+  cost model predicts cheapest.
 
-The layering is strict: cache -> dispatcher -> index batch call.  The LRU
-is consulted synchronously in the calling thread -- a hit never pays the
-dispatcher's thread handoff or coalescing wait, which is what makes warm
-repeat traffic an order of magnitude cheaper than re-evaluation.  Only
-misses enter the dispatcher, which groups them (deduplicated) into one
+The layering is strict: cache -> planner -> dispatcher -> index batch
+call.  The LRU is consulted synchronously in the calling thread -- a hit
+never pays the dispatcher's thread handoff or coalescing wait, which is
+what makes warm repeat traffic an order of magnitude cheaper than
+re-evaluation.  Only misses are routed and enter the dispatcher, which
+groups them (deduplicated, per routed member) into one
 ``range_query_many`` / ``knn_query_many`` call and fills the cache on the
 way out.  Answers are bit-for-bit identical to direct index calls -- the
-cache stores exact results and the batch layer is contractually exact.
+cache stores exact results, the batch layer is contractually exact, and
+catalog members are answer-equivalent by construction -- so one cache
+namespace serves every member and routing is invisible in the results.
 
-Mutations (insert/delete) pass through to the index and invalidate the
-index's cache entries, keeping served answers consistent.  Invalidation is
-*partial*: only entries whose radius ball (or kNN kth-distance ball) could
-contain the mutated object are dropped; the rest keep serving (see
+The classic single-index construction (``QueryService(index)``) is the
+one-member special case: no catalog, no planner, the exact pre-catalog
+API and stats shape.
+
+Mutations (insert/delete) pass through to the hosted index (fanned out to
+every catalog member) and invalidate the cache namespace, keeping served
+answers consistent.  Invalidation is *partial*: only entries whose radius
+ball (or kNN kth-distance ball) could contain the mutated object are
+dropped; the rest keep serving (see
 :meth:`QueryResultCache.invalidate_affected`).
 """
 
@@ -39,20 +52,36 @@ from ..core.queries import Neighbor
 from ..obs import tracing
 from ..obs.metrics import MetricsRegistry
 from .cache import QueryResultCache
+from .catalog import CatalogError, IndexCatalog, is_catalog_manifest
 from .dispatcher import MicroBatchDispatcher
+from .planner import QueryPlanner
 from .snapshot import load_index, rebind_counters, save_index, snapshot_info
 
 __all__ = ["QueryService"]
 
 
 class QueryService:
-    """Serve MRQ/MkNNQ traffic from a built index with caching + batching.
+    """Serve MRQ/MkNNQ traffic from hosted indexes with caching + batching.
 
     Args:
-        index: any built :class:`MetricIndex`.
-        index_id: cache namespace for this index; defaults to the index's
-            paper name (pass something unique when hosting several
-            instances of the same index type behind one cache).
+        index: any built :class:`MetricIndex` (the classic single-index
+            mode).  Mutually exclusive with ``catalog``.
+        catalog: an :class:`~repro.service.catalog.IndexCatalog` of >= 1
+            answer-equivalent members; every cache-missed query or batch
+            partition is routed to the member the planner's fitted cost
+            model predicts cheapest.  Pass ``planner_epsilon`` /
+            ``planner_seed`` to tune exploration, and call
+            ``service.planner.calibrate()`` (or construct via
+            :meth:`from_snapshots`) for a deterministic seed-time model.
+        index_id: cache namespace for this service; defaults to the
+            index's paper name (single mode) or ``"catalog"`` (catalog
+            mode -- members answer identically, so one namespace serves
+            them all and a hit never cares who computed it).
+        planner_epsilon: catalog mode only -- epsilon-greedy exploration
+            rate of the planner (fraction of routes sent to a random
+            member so the cost models track drift).
+        planner_seed: catalog mode only -- seed of the planner's
+            exploration RNG (deterministic routing for tests/benches).
         cache: a shared :class:`QueryResultCache`, or None to create a
             private one sized ``cache_size``.
         cache_size: capacity of the private cache (entries); 0 disables
@@ -78,7 +107,7 @@ class QueryService:
 
     def __init__(
         self,
-        index: MetricIndex,
+        index: MetricIndex | None = None,
         index_id: str | None = None,
         cache: QueryResultCache | None = None,
         cache_size: int = 1024,
@@ -90,12 +119,38 @@ class QueryService:
         use_dispatcher: bool = True,
         counters: CostCounters | None = None,
         metrics: MetricsRegistry | None = None,
+        catalog: IndexCatalog | None = None,
+        planner_epsilon: float = 0.05,
+        planner_seed: int = 0,
     ):
-        self.index = index
-        self.index_id = index_id if index_id is not None else index.name
-        if counters is not None:
-            rebind_counters(index, counters)
-        self.counters = index.space.counters
+        if (index is None) == (catalog is None):
+            raise ValueError("pass exactly one of index= or catalog=")
+        self.catalog = catalog
+        if catalog is not None:
+            if len(catalog) == 0:
+                raise ValueError("catalog has no members")
+            # the primary member stands in wherever a single index is
+            # expected (payload decoding, health, dataset identity);
+            # queries are routed per member by the planner
+            self.index = catalog.primary.index
+            self.index_id = index_id if index_id is not None else "catalog"
+            # cache hit/miss accounting needs an accumulator that is not
+            # any one member's (a hit belongs to the service, not to
+            # whichever member happened to fill the entry)
+            self.counters = counters if counters is not None else CostCounters()
+            self.planner: QueryPlanner | None = QueryPlanner(
+                catalog,
+                epsilon=planner_epsilon,
+                seed=planner_seed,
+                metrics=metrics,
+            )
+        else:
+            self.index = index
+            self.index_id = index_id if index_id is not None else index.name
+            if counters is not None:
+                rebind_counters(index, counters)
+            self.counters = index.space.counters
+            self.planner = None
         self.metrics = metrics
         if metrics is not None:
             batch_ms = metrics.histogram(
@@ -144,20 +199,63 @@ class QueryService:
 
     @classmethod
     def from_snapshot(cls, path, **kwargs) -> "QueryService":
-        """Restore an index from a snapshot file and serve it.
+        """Restore an index (or a whole catalog) from disk and serve it.
 
         The restore performs zero distance computations -- the whole point
-        of snapshotting a built index.  Keyword arguments are forwarded to
-        the constructor.
+        of snapshotting a built index.  A ``*.catalog.json`` manifest
+        restores every member and serves in catalog mode (with a
+        deterministic calibration pass, like :meth:`from_snapshots`).
+        Keyword arguments are forwarded to the constructor.
         """
+        if is_catalog_manifest(path):
+            calibrate = kwargs.pop("calibrate", True)
+            kwargs.pop("counters", None)
+            catalog = IndexCatalog.load(path)
+            service = cls(catalog=catalog, **kwargs)
+            service.snapshot_path = str(path)
+            if calibrate:
+                service.planner.calibrate()
+            return service
         counters = kwargs.pop("counters", None) or CostCounters()
         index = load_index(path, counters=counters)
         service = cls(index, counters=counters, **kwargs)
         service.snapshot_path = str(path)
         return service
 
+    @classmethod
+    def from_snapshots(cls, paths, calibrate: bool = True, **kwargs) -> "QueryService":
+        """Restore several member snapshots as one routed catalog service.
+
+        Each path restores one member; member ids default to the index
+        paper names (deduplicated with ``#2``, ``#3``, ... when two
+        snapshots hold the same family).  ``calibrate=True`` (default)
+        runs the planner's deterministic seed-time pass so the very first
+        query routes on a fitted cost model.
+        """
+        paths = list(paths)
+        if len(paths) == 1 and is_catalog_manifest(paths[0]):
+            return cls.from_snapshot(paths[0], calibrate=calibrate, **kwargs)
+        catalog = IndexCatalog()
+        for path in paths:
+            counters = CostCounters()
+            index = load_index(path, counters=counters)
+            member_id, suffix = index.name, 2
+            while member_id in catalog:
+                member_id = f"{index.name}#{suffix}"
+                suffix += 1
+            catalog.register(index, index_id=member_id, counters=counters)
+        service = cls(catalog=catalog, **kwargs)
+        service.snapshot_path = str(paths[0]) if len(paths) == 1 else None
+        if calibrate:
+            service.planner.calibrate()
+        return service
+
     def save(self, path):
-        """Snapshot the hosted index to ``path`` (see :func:`save_index`)."""
+        """Snapshot the hosted index to ``path`` (see :func:`save_index`);
+        in catalog mode, the whole catalog (manifest + member snapshots,
+        see :meth:`IndexCatalog.save`)."""
+        if self.catalog is not None:
+            return self.catalog.save(path)
         return save_index(self.index, path)
 
     def reload_from_snapshot(self, path):
@@ -177,7 +275,25 @@ class QueryService:
         The cache namespace (``index_id``) and the shared counters are
         kept, so serving stats accumulate across the swap.  Returns the
         new snapshot's :class:`~repro.service.snapshot.SnapshotInfo`.
+
+        A catalog service reloads from a catalog manifest: every member
+        restores before the swap, and the planner's cost models carry
+        over (member ids persist across the swap; epsilon-greedy
+        exploration re-learns any cost drift the new snapshots bring).
         """
+        if self.catalog is not None:
+            if not is_catalog_manifest(path):
+                raise CatalogError(
+                    f"{path} is not a catalog manifest; a catalog service "
+                    "reloads from the manifest its save() wrote"
+                )
+            with self._reload_lock:
+                info = self.catalog.reload(path)
+                self.index = self.catalog.primary.index
+                self.snapshot_path = str(path)
+                self.reload_generation += 1
+                self.cache.invalidate(self.index_id)
+            return info
         info = snapshot_info(path)  # validate the header before restoring
         index = load_index(path, counters=self.counters)
         with self._reload_lock:
@@ -189,14 +305,52 @@ class QueryService:
 
     # -- query surface --------------------------------------------------------
 
-    def _execute_misses(self, kind: str, param: float, queries: list) -> list:
+    def _resolve_pin(self, pin: str | None) -> str | None:
+        """Validate an explicit member pin (the ``index=`` query kwarg)."""
+        if pin is None:
+            return None
+        if self.catalog is None:
+            if pin != self.index_id:
+                raise ValueError(
+                    f"this service hosts only {self.index_id!r}, cannot pin "
+                    f"{pin!r}"
+                )
+            return None
+        self.catalog.member(pin)  # raises CatalogError on unknown ids
+        return pin
+
+    def _route(self, kind: str, param: float, batch_size: int, pin: str | None) -> str:
+        """The dispatcher group / executor target for one miss partition.
+
+        Single mode: always the one hosted index (the service's own
+        namespace doubles as the group id, exactly the pre-catalog
+        behaviour).  Catalog mode: the pinned member, or whichever member
+        the planner's cost model predicts cheapest.
+        """
+        if self.catalog is None:
+            return self.index_id
+        if pin is not None:
+            return pin
+        return self.planner.route(kind, param, batch_size)
+
+    def _execute_misses(
+        self, index_id: str, kind: str, param: float, queries: list
+    ) -> list:
         """Answer cache-missed queries with one vectorised index call.
 
-        This is the dispatcher's batch executor.  Duplicate queries within
-        the batch (concurrent callers asking the same thing) are
-        deduplicated so each distinct query costs one evaluation; every
-        answer is cached on the way out.
+        This is the dispatcher's batch executor; ``index_id`` names the
+        routed catalog member (or the service's own namespace in single
+        mode).  Duplicate queries within the batch (concurrent callers
+        asking the same thing) are deduplicated so each distinct query
+        costs one evaluation; every answer is cached on the way out.  In
+        catalog mode the member's counters are bracketed around the call
+        and the measured delta feeds the planner's cost model.
         """
+        if self.catalog is not None:
+            member = self.catalog.member(index_id)
+            index, exec_counters = member.index, member.counters
+        else:
+            index, exec_counters = self.index, self.counters
         results: list = [None] * len(queries)
         positions_by_key: dict = {}  # cache key -> positions awaiting it
         for i, query_obj in enumerate(queries):
@@ -208,21 +362,41 @@ class QueryService:
         # the conditional put drops them instead of caching stale results
         caching = self.cache.capacity > 0
         generation = self.cache.generation(self.index_id) if caching else 0
-        t0 = time.perf_counter() if self._batch_ms is not None else 0.0
+        observing = self.planner is not None
+        before = exec_counters.counts() if observing else None
+        t0 = (
+            time.perf_counter()
+            if (self._batch_ms is not None or observing)
+            else 0.0
+        )
         # the batch_execution scope measures this call's CostCounters
         # delta and attributes it to whoever is waiting: exactly to the
         # calling request when it runs its own batch, proportionally
         # (sum-exact) to the coalesced requests when the dispatcher
         # registered them; with no trace anywhere it is a no-op
         with tracing.batch_execution(
-            kind, self.counters, len(queries), len(distinct)
+            kind, exec_counters, len(queries), len(distinct)
         ):
             if kind == "range":
-                answers = self.index.range_query_many(distinct, param)
+                answers = index.range_query_many(distinct, param)
             else:
-                answers = self.index.knn_query_many(distinct, int(param))
-        if self._batch_ms is not None:
-            self._batch_ms[kind].observe((time.perf_counter() - t0) * 1000.0)
+                answers = index.knn_query_many(distinct, int(param))
+        if self._batch_ms is not None or observing:
+            wall_ms = (time.perf_counter() - t0) * 1000.0
+            if self._batch_ms is not None:
+                self._batch_ms[kind].observe(wall_ms)
+            if observing:
+                delta = exec_counters.delta_since(before)
+                self.planner.observe(
+                    index_id,
+                    kind,
+                    param,
+                    len(distinct),
+                    len(index.space),
+                    delta.distance_computations,
+                    delta.page_reads,
+                    wall_ms,
+                )
         for (key, positions), answer in zip(positions_by_key.items(), answers):
             if caching:
                 self.cache.put(
@@ -232,12 +406,16 @@ class QueryService:
                 results[i] = list(answer)
         return results
 
-    def _execute_batch(self, kind: str, param: float, queries: list) -> list:
-        """Cache-aware batch: hits from the LRU, misses in one index call."""
+    def _execute_batch(
+        self, kind: str, param: float, queries: list, pin: str | None = None
+    ) -> list:
+        """Cache-aware batch: hits from the LRU, the whole miss partition
+        routed to one member and answered in one index call."""
         if self.cache.capacity == 0:
             # disabled cache: every lookup would be a guaranteed miss --
             # skip the key hashing and the misleading miss accounting
-            return self._execute_misses(kind, param, queries)
+            target = self._route(kind, param, len(queries), pin)
+            return self._execute_misses(target, kind, param, queries)
         results: list = [None] * len(queries)
         misses: list[int] = []
         with tracing.span("cache_lookup", kind=kind) as lookup:
@@ -252,19 +430,24 @@ class QueryService:
             lookup.meta["hits"] = len(queries) - len(misses)
             lookup.meta["misses"] = len(misses)
         if misses:
-            answers = self._execute_misses(kind, param, [queries[i] for i in misses])
+            target = self._route(kind, param, len(misses), pin)
+            answers = self._execute_misses(
+                target, kind, param, [queries[i] for i in misses]
+            )
             for i, answer in zip(misses, answers):
                 results[i] = answer
         return results
 
-    def _query_one(self, kind: str, query_obj, param: float):
+    def _query_one(self, kind: str, query_obj, param: float, pin: str | None = None):
         """Single query: synchronous cache check, dispatcher on a miss.
 
         The cache lookup runs in the calling thread, so warm repeat
         traffic never pays the dispatcher's handoff or coalescing wait;
-        only misses are enqueued for batching.  A disabled cache
-        (capacity 0) is bypassed entirely -- no key is hashed and no
-        ``cache_miss`` is counted for a lookup that cannot ever hit.
+        only misses are routed and enqueued for batching (the routed
+        member is part of the dispatcher's group key, so only
+        same-member queries coalesce).  A disabled cache (capacity 0) is
+        bypassed entirely -- no key is hashed and no ``cache_miss`` is
+        counted for a lookup that cannot ever hit.
         """
         if self.cache.capacity > 0:
             key = self.cache.make_key(self.index_id, kind, query_obj, param)
@@ -274,20 +457,23 @@ class QueryService:
                 lookup.meta["outcome"] = "hit" if cached is not None else "miss"
             if cached is not None:
                 return cached
+        target = self._route(kind, param, 1, pin)
         if self.dispatcher is not None:
             # the submit-time span (this one) is what the dispatcher
             # carries to the batch execution for cost attribution
             with tracing.span("dispatcher_wait", kind=kind):
-                return self.dispatcher.submit(kind, query_obj, param).result()
-        return self._execute_misses(kind, param, [query_obj])[0]
+                return self.dispatcher.submit(target, kind, query_obj, param).result()
+        return self._execute_misses(target, kind, param, [query_obj])[0]
 
-    def range_query(self, query_obj, radius: float) -> list[int]:
-        """One MRQ; misses coalesce with concurrent callers' traffic."""
-        return self._query_one("range", query_obj, float(radius))
+    def range_query(self, query_obj, radius: float, index: str | None = None) -> list[int]:
+        """One MRQ; misses coalesce with concurrent callers' traffic.
+        ``index=`` pins a catalog member, bypassing the planner."""
+        return self._query_one("range", query_obj, float(radius), self._resolve_pin(index))
 
-    def knn_query(self, query_obj, k: int) -> list[Neighbor]:
-        """One MkNNQ; misses coalesce with concurrent callers' traffic."""
-        return self._query_one("knn", query_obj, float(k))
+    def knn_query(self, query_obj, k: int, index: str | None = None) -> list[Neighbor]:
+        """One MkNNQ; misses coalesce with concurrent callers' traffic.
+        ``index=`` pins a catalog member, bypassing the planner."""
+        return self._query_one("knn", query_obj, float(k), self._resolve_pin(index))
 
     def submit_range(self, query_obj, radius: float):
         """Non-blocking MRQ: a Future resolving to the answer list."""
@@ -309,16 +495,26 @@ class QueryService:
                 future: Future = Future()
                 future.set_result(cached)
                 return future
-        return self.dispatcher.submit(kind, query_obj, param)
+        target = self._route(kind, param, 1, None)
+        return self.dispatcher.submit(target, kind, query_obj, param)
 
-    def range_query_many(self, queries, radius: float) -> list[list[int]]:
+    def range_query_many(
+        self, queries, radius: float, index: str | None = None
+    ) -> list[list[int]]:
         """Batched MRQ through the cache (already-batched callers skip the
-        dispatcher -- there is nothing left to coalesce)."""
-        return self._execute_batch("range", float(radius), list(queries))
+        dispatcher -- there is nothing left to coalesce).  ``index=`` pins
+        a catalog member, bypassing the planner."""
+        return self._execute_batch(
+            "range", float(radius), list(queries), self._resolve_pin(index)
+        )
 
-    def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
+    def knn_query_many(
+        self, queries, k: int, index: str | None = None
+    ) -> list[list[Neighbor]]:
         """Batched MkNNQ through the cache."""
-        return self._execute_batch("knn", float(k), list(queries))
+        return self._execute_batch(
+            "knn", float(k), list(queries), self._resolve_pin(index)
+        )
 
     # -- maintenance -----------------------------------------------------------
 
@@ -331,32 +527,59 @@ class QueryService:
 
         Mutations hold the reload lock: an acknowledged insert must land
         in the index that keeps serving, never in one a concurrent
-        :meth:`reload_from_snapshot` is about to discard."""
+        :meth:`reload_from_snapshot` is about to discard.  In catalog
+        mode the insert fans out to every member (same object, same id,
+        loud on divergence) so all members stay answer-equivalent."""
         with self._reload_lock:
-            new_id = self.index.insert(obj, object_id=object_id)
+            if self.catalog is not None:
+                new_id = self.catalog.insert(obj, object_id=object_id)
+            else:
+                new_id = self.index.insert(obj, object_id=object_id)
             distance = self.index.space.distance
         self.cache.invalidate_affected(self.index_id, obj=obj, distance=distance)
         return new_id
 
     def delete(self, object_id: int) -> None:
-        """Delete from the hosted index, dropping only the cached results
-        that contained the victim (a non-member's removal cannot change an
-        answer).  Holds the reload lock like :meth:`insert`."""
+        """Delete from the hosted index (every catalog member in catalog
+        mode), dropping only the cached results that contained the victim
+        (a non-member's removal cannot change an answer).  Holds the
+        reload lock like :meth:`insert`."""
         with self._reload_lock:
-            self.index.delete(object_id)
+            if self.catalog is not None:
+                self.catalog.delete(object_id)
+            else:
+                self.index.delete(object_id)
         self.cache.invalidate_affected(self.index_id, object_id=object_id)
 
     # -- observability ---------------------------------------------------------
 
     def stats(self) -> dict:
-        """Serving stats: cache behaviour, dispatcher coalescing, counters."""
-        snapshot = self.counters.snapshot()
+        """Serving stats: cache behaviour, dispatcher coalescing, counters.
+
+        The single-index shape is unchanged from the pre-catalog service;
+        catalog mode reports member-summed counters plus ``"planner"``
+        (route counts, mispredict ratio) and ``"members"`` (per-member
+        attributed costs) sections.
+        """
+        if self.catalog is not None:
+            members = self.catalog.stats()
+            distance_computations = sum(
+                m["distance_computations"] for m in members.values()
+            )
+            page_accesses = sum(m["page_accesses"] for m in members.values())
+        else:
+            snapshot = self.counters.snapshot()
+            distance_computations = snapshot.distance_computations
+            page_accesses = snapshot.page_accesses
         out = {
             "index": self.index_id,
             "cache": self.cache.stats(),
-            "distance_computations": snapshot.distance_computations,
-            "page_accesses": snapshot.page_accesses,
+            "distance_computations": distance_computations,
+            "page_accesses": page_accesses,
         }
+        if self.catalog is not None:
+            out["planner"] = self.planner.stats()
+            out["members"] = members
         if self.dispatcher is not None:
             out["dispatcher"] = self.dispatcher.stats.as_dict()
         if self.metrics is not None:

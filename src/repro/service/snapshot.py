@@ -38,6 +38,13 @@ Round-trip equality contract (asserted by ``tests/test_service.py`` for
 every index family): for any queries, the restored index returns answers
 identical to the original's, and restoring performs no distance
 computations or page writes beyond reading the file.
+
+Multi-index deployments compose this format rather than extend it: an
+:class:`~repro.service.catalog.IndexCatalog` saves one ``.snap`` per
+member plus a ``{stem}.catalog.json`` manifest naming them (the same
+idiom as the cluster layer's shard manifests), and the cluster layer's
+``save_split`` writes per-shard ``.snap`` files behind a
+``.cluster.json`` manifest.
 """
 
 from __future__ import annotations

@@ -82,10 +82,10 @@ class _SlowServed:
         self.release = threading.Event()
         original = self.service.range_query
 
-        def slow(query_obj, radius):
+        def slow(query_obj, radius, index=None):
             self.entered.release()
             assert self.release.wait(20), "test never released in-flight queries"
-            return original(query_obj, radius)
+            return original(query_obj, radius, index=index)
 
         self.service.range_query = slow
         self.server = HttpQueryServer(self.service, max_inflight=max_inflight)
@@ -398,7 +398,7 @@ def test_graceful_shutdown_drains_inflight_then_closes(datasets):
     assert answers == [expected, expected]
     # the dispatcher drained before the socket closed...
     with pytest.raises(RuntimeError, match="closed"):
-        slow.service.dispatcher.submit("range", q, 2.0)
+        slow.service.dispatcher.submit(slow.service.index_id, "range", q, 2.0)
     # ...and the socket is now actually closed
     with pytest.raises(OSError):
         slow.client.healthz()

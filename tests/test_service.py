@@ -543,28 +543,30 @@ def test_radius_distinguishes_cache_entries(datasets, built_indexes):
 # ---------------------------------------------------------------------------
 
 
-def _echo_executor(kind, param, queries):
-    return [(kind, param, q) for q in queries]
+def _echo_executor(index_id, kind, param, queries):
+    return [(index_id, kind, param, q) for q in queries]
 
 
 def test_dispatcher_answers_in_submission_order():
     with MicroBatchDispatcher(_echo_executor, max_batch_size=4, max_wait_ms=5.0) as d:
-        futures = [d.submit("range", f"q{i}", 2.0) for i in range(10)]
+        futures = [d.submit("", "range", f"q{i}", 2.0) for i in range(10)]
         results = [f.result(timeout=5) for f in futures]
-    assert results == [("range", 2.0, f"q{i}") for i in range(10)]
+    assert results == [("", "range", 2.0, f"q{i}") for i in range(10)]
 
 
 def test_dispatcher_coalesces_concurrent_callers():
     calls = []
 
-    def executor(kind, param, queries):
+    def executor(index_id, kind, param, queries):
         calls.append(len(queries))
         time.sleep(0.002)  # give the pending queue time to fill
         return [None for _ in queries]
 
     with MicroBatchDispatcher(executor, max_batch_size=16, max_wait_ms=50.0) as d:
         with ThreadPoolExecutor(max_workers=8) as pool:
-            list(pool.map(lambda i: d.submit("range", i, 1.0).result(), range(64)))
+            list(
+                pool.map(lambda i: d.submit("", "range", i, 1.0).result(), range(64))
+            )
         stats = d.stats
     assert stats.queries == 64
     # coalescing must actually happen: far fewer batches than queries
@@ -576,41 +578,41 @@ def test_dispatcher_coalesces_concurrent_callers():
 def test_dispatcher_separates_incompatible_groups():
     seen = []
 
-    def executor(kind, param, queries):
-        seen.append((kind, param, len(queries)))
+    def executor(index_id, kind, param, queries):
+        seen.append((index_id, kind, param, len(queries)))
         return [0 for _ in queries]
 
     with MicroBatchDispatcher(executor, max_batch_size=8, max_wait_ms=20.0) as d:
-        futures = [d.submit("range", i, 1.0) for i in range(3)]
-        futures += [d.submit("range", i, 2.0) for i in range(3)]
-        futures += [d.submit("knn", i, 2.0) for i in range(3)]
+        futures = [d.submit("", "range", i, 1.0) for i in range(3)]
+        futures += [d.submit("", "range", i, 2.0) for i in range(3)]
+        futures += [d.submit("", "knn", i, 2.0) for i in range(3)]
         for f in futures:
             f.result(timeout=5)
-    groups = {(kind, param) for kind, param, _ in seen}
-    # one group per (kind, param): a radius-1 MRQ never batches with a
-    # radius-2 MRQ or with a k=2 kNN
-    assert groups == {("range", 1.0), ("range", 2.0), ("knn", 2.0)}
+    groups = {(index_id, kind, param) for index_id, kind, param, _ in seen}
+    # one group per (index, kind, param): a radius-1 MRQ never batches with
+    # a radius-2 MRQ or with a k=2 kNN
+    assert groups == {("", "range", 1.0), ("", "range", 2.0), ("", "knn", 2.0)}
 
 
 def test_dispatcher_propagates_executor_errors():
-    def executor(kind, param, queries):
+    def executor(index_id, kind, param, queries):
         raise ValueError("boom")
 
     with MicroBatchDispatcher(executor, max_batch_size=4, max_wait_ms=1.0) as d:
-        future = d.submit("range", "q", 1.0)
+        future = d.submit("", "range", "q", 1.0)
         with pytest.raises(ValueError, match="boom"):
             future.result(timeout=5)
 
 
 def test_dispatcher_close_drains_pending_and_rejects_new():
     d = MicroBatchDispatcher(_echo_executor, max_batch_size=64, max_wait_ms=10_000.0)
-    futures = [d.submit("range", i, 1.0) for i in range(5)]
+    futures = [d.submit("", "range", i, 1.0) for i in range(5)]
     d.close()  # max_wait is huge: only the close-drain can resolve these
     assert [f.result(timeout=5) for f in futures] == [
-        ("range", 1.0, i) for i in range(5)
+        ("", "range", 1.0, i) for i in range(5)
     ]
     with pytest.raises(RuntimeError, match="closed"):
-        d.submit("range", "late", 1.0)
+        d.submit("", "range", "late", 1.0)
     d.close()  # idempotent
 
 
@@ -621,7 +623,7 @@ def test_dispatcher_rejects_bad_arguments():
         MicroBatchDispatcher(_echo_executor, max_wait_ms=-1.0)
     with MicroBatchDispatcher(_echo_executor) as d:
         with pytest.raises(ValueError, match="kind"):
-            d.submit("nearest", "q", 1.0)
+            d.submit("", "nearest", "q", 1.0)
 
 
 # ---------------------------------------------------------------------------
@@ -1214,12 +1216,12 @@ def test_zero_capacity_service_still_deduplicates_in_flight(
 
 class TestAdaptiveDispatcherWait:
     def test_wait_tracks_arrival_rate_and_clamps(self):
-        key = ("range", 1.0)
+        key = ("", "range", 1.0)
         with MicroBatchDispatcher(
             _echo_executor, max_batch_size=8, max_wait_ms=50.0
         ) as d:
             assert d._wait_of(key) == pytest.approx(0.05)  # nothing observed yet
-            futures = [d.submit("range", i, 1.0) for i in range(20)]
+            futures = [d.submit("", "range", i, 1.0) for i in range(20)]
             for f in futures:
                 f.result(timeout=5)
             # back-to-back submissions: the group's EWMA interval is tiny,
@@ -1233,7 +1235,7 @@ class TestAdaptiveDispatcherWait:
             assert stats["ewma_arrival_ms"] is not None
 
     def test_sparse_traffic_collapses_wait_to_zero(self):
-        key = ("range", 1.0)
+        key = ("", "range", 1.0)
         with MicroBatchDispatcher(
             _echo_executor, max_batch_size=8, max_wait_ms=5.0
         ) as d:
@@ -1244,7 +1246,8 @@ class TestAdaptiveDispatcherWait:
                 d._observe_arrival(key, 101.0)
             assert d._wait_of(key) == 0.0
             # a single sparse submission still resolves promptly
-            assert d.submit("range", "lonely", 1.0).result(timeout=5) == (
+            assert d.submit("", "range", "lonely", 1.0).result(timeout=5) == (
+                "",
                 "range",
                 1.0,
                 "lonely",
@@ -1252,7 +1255,7 @@ class TestAdaptiveDispatcherWait:
 
     def test_rates_are_per_group_not_global(self):
         """A dense mix of distinct parameters must stay sparse per group:
-        batches only form inside one (kind, param) group, so a globally
+        batches only form inside one (index, kind, param) group, so a globally
         busy stream must not pin every group's wait at the full bound."""
         with MicroBatchDispatcher(
             _echo_executor, max_batch_size=8, max_wait_ms=5.0
@@ -1261,17 +1264,17 @@ class TestAdaptiveDispatcherWait:
                 # 40 globally dense arrivals (0.8ms apart), but each radius
                 # only every 8ms -- sparse within its own group
                 for step in range(40):
-                    key = ("range", float(step % 10))
+                    key = ("", "range", float(step % 10))
                     d._observe_arrival(key, 200.0 + step * 0.0008)
             for radius in range(10):
-                assert d._wait_of(("range", float(radius))) == 0.0
+                assert d._wait_of(("", "range", float(radius))) == 0.0
 
     def test_adaptive_wait_off_keeps_configured_bound(self):
-        key = ("range", 1.0)
+        key = ("", "range", 1.0)
         with MicroBatchDispatcher(
             _echo_executor, max_batch_size=4, max_wait_ms=25.0, adaptive_wait=False
         ) as d:
-            futures = [d.submit("range", i, 1.0) for i in range(12)]
+            futures = [d.submit("", "range", i, 1.0) for i in range(12)]
             for f in futures:
                 f.result(timeout=5)
             assert d._wait_of(key) == pytest.approx(0.025)
@@ -1282,6 +1285,6 @@ class TestAdaptiveDispatcherWait:
 
     def test_answers_stay_exact_under_adaptive_wait(self):
         with MicroBatchDispatcher(_echo_executor, max_batch_size=4) as d:
-            futures = [d.submit("range", f"q{i}", 2.0) for i in range(30)]
+            futures = [d.submit("", "range", f"q{i}", 2.0) for i in range(30)]
             results = [f.result(timeout=5) for f in futures]
-        assert results == [("range", 2.0, f"q{i}") for i in range(30)]
+        assert results == [("", "range", 2.0, f"q{i}") for i in range(30)]
