@@ -146,16 +146,28 @@ def build_index(
     """
     n_pivots = len(pivot_ids)
     page_size = overrides.pop("page_size", _page_size_for(name, workload_name))
+    # staged-cascade knobs only exist on the pivot-table family; the trees
+    # and external indexes silently keep their own bound machinery
+    pruning = {
+        key: overrides.pop(key)
+        for key in ("bounds", "staged")
+        if key in overrides
+    }
     if name == "AESA":
-        return AESA.build(space)
+        bounds = pruning.get("bounds")
+        return AESA.build(space, **({"bounds": bounds} if bounds else {}))
     if name == "LAESA":
-        return LAESA.build(space, pivot_ids, **overrides)
+        return LAESA.build(space, pivot_ids, **pruning, **overrides)
     if name == "EPT":
-        return EPT.build(space, n_groups=n_pivots, seed=seed, **overrides)
+        return EPT.build(space, n_groups=n_pivots, seed=seed, **pruning, **overrides)
     if name == "EPT*":
-        return EPTStar.build(space, n_pivots_per_object=n_pivots, seed=seed, **overrides)
+        return EPTStar.build(
+            space, n_pivots_per_object=n_pivots, seed=seed, **pruning, **overrides
+        )
     if name == "CPT":
-        return CPT.build(space, pivot_ids, page_size=page_size, seed=seed, **overrides)
+        return CPT.build(
+            space, pivot_ids, page_size=page_size, seed=seed, **pruning, **overrides
+        )
     if name == "BKT":
         return BKT.build(space, seed=seed, **overrides)
     if name == "FQT":

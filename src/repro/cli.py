@@ -166,6 +166,16 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _bounds_overrides(args) -> dict:
+    """``{"bounds": ...}`` when ``--bounds`` was given, else nothing.
+
+    ``--bounds ptolemaic`` on a non-Ptolemaic metric fails at build time
+    with the staged pruner's ValueError, which the commands surface.
+    """
+    bounds = getattr(args, "bounds", None)
+    return {"bounds": bounds} if bounds else {}
+
+
 def _built_indexes_for(args, workload):
     """Validate the requested index names and build each one.
 
@@ -174,6 +184,7 @@ def _built_indexes_for(args, workload):
     ``None`` after reporting an unknown index name.
     """
     pivots = shared_pivots(workload, args.pivots)
+    overrides = _bounds_overrides(args)
     built = []
     for name in args.indexes:
         if name not in ALL_INDEXES:
@@ -182,7 +193,11 @@ def _built_indexes_for(args, workload):
         if name in ("BKT", "FQT", "FQA") and not workload.dataset.distance.is_discrete:
             print(f"skipping {name}: requires a discrete distance")
             continue
-        built.append((name, measure_build(name, workload, pivots)))
+        try:
+            built.append((name, measure_build(name, workload, pivots, **overrides)))
+        except ValueError as exc:
+            print(f"cannot build {name}: {exc}")
+            return None
     return built
 
 
@@ -400,6 +415,34 @@ def _serve_http(service: QueryService, args) -> int:
     return 1 if died else 0
 
 
+def _apply_serve_bounds(service, bounds) -> str | None:
+    """Switch every hosted staged pruner to the requested bounds mode.
+
+    Works on snapshot-restored indexes too: the pruner (order, prefix,
+    pivot-pair matrix) rides inside the snapshot, so flipping the mode is
+    an attribute assignment, not a rebuild.  Returns an error message when
+    the request cannot be honoured -- ``ptolemaic`` needs the metric to
+    declare the inequality AND the snapshot to carry a pair matrix (one
+    built with ``--bounds triangle`` has none).
+    """
+    if not bounds:
+        return None
+    for owner, pruner in service._hosted_pruners():
+        if bounds == "ptolemaic":
+            if not getattr(pruner, "is_ptolemaic", False):
+                return (
+                    f"{owner.name}: --bounds ptolemaic but the metric does "
+                    "not satisfy Ptolemy's inequality"
+                )
+            if getattr(pruner, "pair_matrix", None) is None:
+                return (
+                    f"{owner.name}: snapshot carries no pivot-pair matrix "
+                    "(built with bounds=triangle); rebuild with --bounds auto"
+                )
+        pruner.bounds = bounds
+    return None
+
+
 def _cmd_serve(args) -> int:
     # everything that can fail (workload synthesis, snapshot header parse,
     # index construction) runs *before* the service -- and with it the
@@ -429,6 +472,7 @@ def _cmd_serve(args) -> int:
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
             metrics=metrics,
+            adaptive_pruning=getattr(args, "adaptive_pruning", False),
         )
         banner = (
             f"restored {info.index_name} ({info.n_objects} objects, "
@@ -445,6 +489,7 @@ def _cmd_serve(args) -> int:
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
             metrics=metrics,
+            adaptive_pruning=getattr(args, "adaptive_pruning", False),
         )
         dataset = service.index.space.dataset
         workload = (
@@ -462,7 +507,13 @@ def _cmd_serve(args) -> int:
     else:
         workload = make_workload(args.dataset, n=args.n, n_queries=args.queries)
         pivots = shared_pivots(workload, args.pivots)
-        result = measure_build(args.index, workload, pivots)
+        try:
+            result = measure_build(
+                args.index, workload, pivots, **_bounds_overrides(args)
+            )
+        except ValueError as exc:
+            print(f"cannot build {args.index}: {exc}")
+            return 2
         service = QueryService(
             result.index,
             cache_size=args.cache_size,
@@ -471,8 +522,14 @@ def _cmd_serve(args) -> int:
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
             metrics=metrics,
+            adaptive_pruning=getattr(args, "adaptive_pruning", False),
         )
         banner = None
+    bounds_error = _apply_serve_bounds(service, getattr(args, "bounds", None))
+    if bounds_error is not None:
+        service.close()
+        print(bounds_error)
+        return 2
     with service:
         if banner:
             print(banner, flush=True)
@@ -565,6 +622,7 @@ def _cmd_plan(args) -> int:
         rows = []
         for row in planner.explain(kind, param):
             predicted, measured = row["predicted"], row["measured"]
+            stages = row["prune_stages"]
             rows.append(
                 {
                     "Index": row["index"],
@@ -574,6 +632,12 @@ def _cmd_plan(args) -> int:
                     "Meas PA": _plan_cell(measured, "page_reads"),
                     "Pred ms": _plan_cell(predicted, "wall_ms"),
                     "Obs": row["observations"],
+                    # objects decided per cascade stage over the calibration
+                    # traffic: prefix/refine Lemma-1 prunes, Lemma-4
+                    # validations, Ptolemaic prunes
+                    "Pruned pfx/ref/val/pt": "{prefix}/{refine}/{validated}/{ptolemaic}".format(
+                        **stages
+                    ),
                     "Route": "<- chosen" if row["chosen"] else "",
                 }
             )
@@ -759,6 +823,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=16)
     p.add_argument("--k", type=int, default=10)
     p.add_argument("--repeats", type=int, default=3)
+    p.add_argument(
+        "--bounds",
+        choices=("triangle", "ptolemaic", "auto"),
+        default=None,
+        help="staged-pruner bound family for the pivot tables (auto = "
+        "Ptolemaic only when the metric declares it; default: index default)",
+    )
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
@@ -825,6 +896,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--batch-size", type=int, default=32)
     p.add_argument("--max-wait-ms", type=float, default=2.0)
+    p.add_argument(
+        "--bounds",
+        choices=("triangle", "ptolemaic", "auto"),
+        default=None,
+        help="staged-pruner bound family for the hosted index(es); applies "
+        "to snapshot-restored pruners too (auto = Ptolemaic only when the "
+        "metric declares it)",
+    )
+    p.add_argument(
+        "--adaptive-pruning",
+        action="store_true",
+        help="re-rank staged-pruner pivot order online from observed "
+        "per-pivot decided counts (serving-only optimisation; bench "
+        "paths keep the frozen build-time order)",
+    )
     p.add_argument(
         "--http",
         type=int,

@@ -42,6 +42,10 @@ class CostSnapshot:
     cache_evictions: int = 0
     buffer_hits: int = 0
     grouped_hits: int = 0
+    prune_prefix: int = 0
+    prune_refine: int = 0
+    prune_validated: int = 0
+    prune_ptolemaic: int = 0
 
     @property
     def page_accesses(self) -> int:
@@ -117,6 +121,10 @@ class CostCounters:
     cache_evictions: int = 0
     buffer_hits: int = 0
     grouped_hits: int = 0
+    prune_prefix: int = 0
+    prune_refine: int = 0
+    prune_validated: int = 0
+    prune_ptolemaic: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -166,6 +174,26 @@ class CostCounters:
         """A page request served by an earlier read of the same batch."""
         with self._lock:
             self.grouped_hits += n
+
+    def add_prune_stages(
+        self,
+        prefix: int = 0,
+        refine: int = 0,
+        validated: int = 0,
+        ptolemaic: int = 0,
+    ) -> None:
+        """Per-stage decided counts from one staged-cascade pruning pass.
+
+        ``prefix``/``refine``/``ptolemaic`` count (query, object) cells the
+        respective stage excluded; ``validated`` counts cells Lemma 4
+        accepted without an exact distance.  One lock acquisition covers
+        the whole pass.
+        """
+        with self._lock:
+            self.prune_prefix += prefix
+            self.prune_refine += refine
+            self.prune_validated += validated
+            self.prune_ptolemaic += ptolemaic
 
     def reset(self) -> None:
         with self._lock:

@@ -49,10 +49,17 @@ class MetricDistance:
         name: Human-readable name used in reports.
         is_discrete: True when the distance domain is integral (edit
             distance, Hamming) -- BKT/FQT require a discrete metric.
+        is_ptolemaic: True when the metric satisfies Ptolemy's inequality
+            ``d(q,o) * d(p,s) <= d(q,p) * d(o,s) + d(q,s) * d(o,p)``, which
+            licenses the Ptolemaic lower bound in
+            :mod:`~repro.core.pivot_filter`.  Metrics embeddable in a
+            Hilbert space qualify (L2, and PSD quadratic forms via
+            ``A = L^T L``); L1/Linf/Hamming/edit do not.
     """
 
     name: str = "metric"
     is_discrete: bool = False
+    is_ptolemaic: bool = False
 
     def __call__(self, a, b) -> float:
         raise NotImplementedError
@@ -83,6 +90,8 @@ class LPDistance(MetricDistance):
             raise ValueError(f"L_p is only a metric for p >= 1, got p={p}")
         self.p = p
         self.name = "Linf" if np.isinf(p) else f"L{p:g}"
+        # Euclidean space is Ptolemaic; no other L_p (p != 2) is.
+        self.is_ptolemaic = p == 2
 
     def __call__(self, a, b) -> float:
         diff = np.abs(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
@@ -210,6 +219,9 @@ class QuadraticFormDistance(MetricDistance):
     """
 
     name = "quadratic-form"
+    # the constructor enforces A symmetric positive definite, so the metric
+    # is an isometric embedding of Euclidean space (A = L^T L) -- Ptolemaic
+    is_ptolemaic = True
 
     def __init__(self, matrix: np.ndarray):
         matrix = np.asarray(matrix, dtype=np.float64)

@@ -34,6 +34,10 @@ __all__ = [
     "upper_bound",
     "upper_bound_many",
     "upper_bound_many_queries",
+    "ptolemaic_pairs",
+    "ptolemaic_lower_bound",
+    "ptolemaic_lower_bound_many",
+    "ptolemaic_lower_bound_many_queries",
     "can_prune",
     "can_validate",
     "query_chunk",
@@ -60,12 +64,35 @@ def lower_bound(query_pivot_dists, object_pivot_dists) -> float:
     return float(np.abs(q - o).max())
 
 
+def _object_rows(object_pivot_matrix) -> np.ndarray:
+    """Normalize an object-pivot table to a 2-D float64 ``n x l`` array.
+
+    Accepts the degenerate shapes the empty-table / empty-pivot edges
+    produce: a 0-d scalar and a 1-D empty array (both mean zero objects),
+    an ``n x 0`` matrix (zero pivots), and a bare 1-D row (one object's
+    pivot distances).  Keeping this in one place is what makes
+    :func:`lower_bound_many` and :func:`upper_bound_many` agree on the
+    dtype and shape of their zero-size results.
+    """
+    mat = np.asarray(object_pivot_matrix, dtype=np.float64)
+    if mat.ndim == 0 or (mat.ndim == 1 and mat.size == 0):
+        # a 0-d scalar cannot be reshaped when its size is 1 -- both
+        # degenerate shapes mean "no object rows", so hand back a real
+        # 0 x 0 table instead
+        return np.empty((0, 0), dtype=np.float64)
+    if mat.ndim == 1:
+        return mat.reshape(1, -1)
+    return mat
+
+
 def lower_bound_many(query_pivot_dists, object_pivot_matrix) -> np.ndarray:
     """Lower bounds of d(q, o) for every row of an ``n x l`` distance matrix."""
     q = np.asarray(query_pivot_dists, dtype=np.float64)
-    mat = np.asarray(object_pivot_matrix, dtype=np.float64)
+    mat = _object_rows(object_pivot_matrix)
     if mat.size == 0:
-        return np.zeros(mat.shape[0] if mat.ndim else 0, dtype=np.float64)
+        # zero pivots: one (trivial) 0.0 bound per object row; zero objects:
+        # an empty float64 vector -- never a 0-d or integer-dtype result
+        return np.zeros(mat.shape[0], dtype=np.float64)
     return np.abs(mat - q).max(axis=1)
 
 
@@ -131,10 +158,104 @@ def upper_bound(query_pivot_dists, object_pivot_dists) -> float:
 def upper_bound_many(query_pivot_dists, object_pivot_matrix) -> np.ndarray:
     """Upper bounds of d(q, o) for every row of an ``n x l`` distance matrix."""
     q = np.asarray(query_pivot_dists, dtype=np.float64)
-    mat = np.asarray(object_pivot_matrix, dtype=np.float64)
+    mat = _object_rows(object_pivot_matrix)
     if mat.size == 0:
-        return np.full(mat.shape[0] if mat.ndim else 0, np.inf)
+        return np.full(mat.shape[0], np.inf, dtype=np.float64)
     return (mat + q).min(axis=1)
+
+
+# -- Ptolemaic bounds ---------------------------------------------------------
+#
+# For metrics satisfying Ptolemy's inequality
+#     d(q,o) * d(p_i,p_j) <= d(q,p_i) * d(o,p_j) + d(q,p_j) * d(o,p_i)
+# (L2 and PSD quadratic forms; see MetricDistance.is_ptolemaic), each pivot
+# pair yields the lower bound
+#     d(q,o) >= |d(q,p_i) * d(o,p_j) - d(q,p_j) * d(o,p_i)| / d(p_i,p_j).
+# It is not pointwise tighter than the triangle bound, so callers take the
+# max of both; the staged cascade runs it only on Lemma-1 survivors.
+
+
+def ptolemaic_pairs(pivot_pair_dists, order=None, budget: int = 8) -> np.ndarray:
+    """Budgeted pivot pairs for the Ptolemaic bound, best-ranked first.
+
+    Enumerates pairs among the top-ranked pivots first (ranked by
+    ``order`` when given, else column order), skipping zero-distance
+    pairs whose denominator would be degenerate.  Returns an ``m x 2``
+    int array with ``m <= budget``.
+    """
+    mat = np.asarray(pivot_pair_dists, dtype=np.float64)
+    ranked = [int(i) for i in (order if order is not None else range(mat.shape[0]))]
+    pairs: list[tuple[int, int]] = []
+    for second in range(1, len(ranked)):
+        for first in range(second):
+            i, j = ranked[first], ranked[second]
+            if mat[i, j] > 0.0:
+                pairs.append((i, j))
+                if len(pairs) >= budget:
+                    return np.asarray(pairs, dtype=np.intp)
+    return np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
+
+
+def ptolemaic_lower_bound(
+    query_pivot_dists, object_pivot_dists, pivot_pair_dists, pairs=None
+) -> float:
+    """Best Ptolemaic lower bound of d(q, o) over the given pivot pairs."""
+    bounds = ptolemaic_lower_bound_many(
+        query_pivot_dists,
+        np.atleast_2d(np.asarray(object_pivot_dists, dtype=np.float64)),
+        pivot_pair_dists,
+        pairs=pairs,
+    )
+    return float(bounds[0]) if bounds.size else 0.0
+
+
+def ptolemaic_lower_bound_many(
+    query_pivot_dists, object_pivot_matrix, pivot_pair_dists, pairs=None
+) -> np.ndarray:
+    """Ptolemaic lower bounds for every row of an ``n x l`` distance matrix."""
+    q = np.asarray(query_pivot_dists, dtype=np.float64)
+    out = ptolemaic_lower_bound_many_queries(
+        q.reshape(1, -1), object_pivot_matrix, pivot_pair_dists, pairs=pairs
+    )
+    return out[0]
+
+
+def ptolemaic_lower_bound_many_queries(
+    query_pivot_matrix, object_pivot_matrix, pivot_pair_dists, pairs=None
+) -> np.ndarray:
+    """Ptolemaic bound for a batch: ``q x n`` lower bounds of d(q_i, o_j).
+
+    ``pivot_pair_dists`` is the ``l x l`` pivot-pair distance matrix
+    computed at build time; ``pairs`` (``m x 2`` int, e.g. from
+    :func:`ptolemaic_pairs`) selects the budgeted pairs -- all valid
+    pairs when omitted.  Chunked over the query axis like
+    :func:`lower_bound_many_queries` so the ``q x n x m`` temporary stays
+    bounded.
+    """
+    qmat = np.atleast_2d(np.asarray(query_pivot_matrix, dtype=np.float64))
+    omat = _object_rows(object_pivot_matrix)
+    pairmat = np.asarray(pivot_pair_dists, dtype=np.float64)
+    if pairs is None:
+        pairs = ptolemaic_pairs(pairmat, budget=pairmat.shape[0] ** 2)
+    pairs = np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
+    n_queries = qmat.shape[0]
+    n_objects = omat.shape[0]
+    if qmat.size == 0 or omat.size == 0 or pairs.size == 0:
+        return np.zeros((n_queries, n_objects), dtype=np.float64)
+    left, right = pairs[:, 0], pairs[:, 1]
+    denom = pairmat[left, right]
+    q_left, q_right = qmat[:, left], qmat[:, right]
+    o_left, o_right = omat[:, left], omat[:, right]
+    out = np.empty((n_queries, n_objects), dtype=np.float64)
+    step = query_chunk(n_objects, len(pairs))
+    for start in range(0, n_queries, step):
+        stop = start + step
+        cross = np.abs(
+            q_left[start:stop, None, :] * o_right[None, :, :]
+            - q_right[start:stop, None, :] * o_left[None, :, :]
+        )
+        out[start:stop] = (cross / denom).max(axis=2)
+    return out
 
 
 def can_prune(query_pivot_dists, object_pivot_dists, radius: float) -> bool:
@@ -247,17 +368,49 @@ def mbb_max_dist_many_queries(query_pivot_matrix, lows, highs) -> np.ndarray:
     return out
 
 
-def mbb_prune_mask_many_queries(query_pivot_matrix, lows, highs, radius) -> np.ndarray:
+def mbb_prune_mask_many_queries(
+    query_pivot_matrix, lows, highs, radius, order=None, prefix=None, counters=None
+) -> np.ndarray:
     """Lemma 1 prune mask over (queries x regions).
 
     ``radius`` may be a scalar (shared MRQ radius) or a per-query array
     (MkNNQ heap radii); entry (i, j) is True when region j is provably
     outside query i's ball.
+
+    When ``order`` (a pivot-column permutation) and ``prefix`` are given,
+    the mask is computed as a staged cascade: the box test runs over the
+    first ``prefix`` ranked columns, decided cells drop out, and only the
+    surviving (query, region) cells see the remaining columns.  The mask
+    is identical either way -- the per-column gap maximum is order
+    independent -- but the refine stage touches far fewer cells when the
+    prefix columns carry most of the pruning power.  Stage counts go to
+    ``counters`` (a :class:`~repro.core.counters.CostCounters`) when given.
     """
     r = np.asarray(radius, dtype=np.float64)
-    return mbb_min_dist_many_queries(query_pivot_matrix, lows, highs) > (
-        r[:, None] if r.ndim else r
-    )
+    rcol = r[:, None] if r.ndim else r
+    qmat = np.atleast_2d(np.asarray(query_pivot_matrix, dtype=np.float64))
+    lo = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    hi = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    n_pivots = qmat.shape[1] if qmat.size else 0
+    if order is None or prefix is None or not 0 < prefix < n_pivots:
+        return mbb_min_dist_many_queries(qmat, lo, hi) > rcol
+    order = np.asarray(order, dtype=np.intp)
+    head, tail = order[:prefix], order[prefix:]
+    pruned = mbb_min_dist_many_queries(qmat[:, head], lo[:, head], hi[:, head]) > rcol
+    n_prefix = int(pruned.sum())
+    n_refine = 0
+    qi, rj = np.nonzero(~pruned)
+    if qi.size:
+        q_tail = qmat[qi][:, tail]
+        gaps = np.maximum(
+            np.maximum(lo[rj][:, tail] - q_tail, q_tail - hi[rj][:, tail]), 0.0
+        ).max(axis=1)
+        extra = gaps > (r[qi] if r.ndim else r)
+        pruned[qi[extra], rj[extra]] = True
+        n_refine = int(extra.sum())
+    if counters is not None:
+        counters.add_prune_stages(prefix=n_prefix, refine=n_refine)
+    return pruned
 
 
 def mbb_validate_mask_many_queries(query_pivot_matrix, lows, highs, radius) -> np.ndarray:

@@ -1,0 +1,704 @@
+"""Staged pruning cascade: ordered Lemma 1 prefix -> refine -> Lemma 4 ->
+Ptolemaic, over shared-pivot distance tables.
+
+The single-shot batch filter evaluates Lemma 1 over every pivot column for
+every (query, object) cell -- a full ``q x n x l`` broadcast -- before any
+cell is decided.  This module replaces that with a cascade that spends
+columns where they pay:
+
+1. **Prefix** -- Lemma 1 over a small prefix of pivot columns, ordered by
+   measured pruning power.  Most cells die here when the ordering is good.
+2. **Refine** -- only surviving cells see the remaining columns (cell-wise
+   fancy indexing, not a full broadcast).
+3. **Validate** (optional, Lemma 4) -- surviving cells whose upper bound is
+   within the radius are accepted without an exact distance.
+4. **Ptolemaic** -- for metrics declaring
+   :attr:`~repro.core.distances.MetricDistance.is_ptolemaic`, the pair bound
+   ``|d(q,p_i) d(o,p_j) - d(q,p_j) d(o,p_i)| / d(p_i,p_j)`` runs over a
+   budgeted set of pivot pairs as a final filter before exact verification.
+
+Exactness: every stage only makes *provable* decisions, so the survivor /
+validated masks match the single-shot path's answers bit-for-bit; staging
+changes how much numpy work runs, never which objects verify as answers
+-- except that stage 4 may (provably) prune more, which is the point.
+
+The pivot order is scored statically at build time from the stored distance
+table (zero extra distance computations) and can be re-ranked online from
+per-pivot decided counts when a service layer opts in
+(:meth:`StagedPruner.enable_adaptive`); re-ranking never changes answers,
+only which columns run first and which pivot pairs the Ptolemaic budget
+picks, so it is off by default to keep sequential/batch cost parity exact.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .counters import CostCounters
+from .pivot_filter import (
+    _QUERY_CHUNK_FLOATS,
+    _object_rows,
+    lower_bound_many_queries,
+    ptolemaic_pairs,
+    query_chunk,
+    upper_bound_many_queries,
+)
+
+__all__ = [
+    "StagedPruner",
+    "PerObjectStagedPruner",
+    "BOUNDS_MODES",
+    "score_pivot_order",
+]
+
+BOUNDS_MODES = ("triangle", "ptolemaic", "auto")
+
+# default Ptolemaic pair budget: pairs among the top ~4 ranked pivots
+DEFAULT_PAIR_BUDGET = 8
+
+
+def score_pivot_order(matrix, sample: int = 64, seed: int = 0) -> np.ndarray:
+    """Rank pivot columns by estimated pruning power, best first.
+
+    The classic estimator: for random object pairs (a, b), the mean of
+    ``|d(a,p_i) - d(b,p_i)|`` per pivot -- the expected Lemma 1 bound a
+    single pivot yields.  Computed from the stored ``n x l`` table alone,
+    so scoring costs zero distance computations.  Deterministic in
+    ``seed``; stable argsort keeps build-order ties reproducible.
+    """
+    mat = _object_rows(matrix)
+    n, l = mat.shape
+    if l == 0:
+        return np.empty(0, dtype=np.intp)
+    if n < 2:
+        return np.arange(l, dtype=np.intp)
+    rng = np.random.default_rng(seed)
+    left = rng.integers(0, n, size=sample)
+    right = rng.integers(0, n, size=sample)
+    power = np.abs(mat[left] - mat[right]).mean(axis=0)
+    return np.argsort(-power, kind="stable").astype(np.intp)
+
+
+def _cell_step(width: int) -> int:
+    """Cells per slice so a cells x width float temporary stays bounded."""
+    return max(1, _QUERY_CHUNK_FLOATS // max(1, width))
+
+
+class StagedPruner:
+    """The staged cascade over one shared-pivot ``n x l`` distance table.
+
+    The pruner owns *pivot-side* state only (column order, prefix size,
+    Ptolemaic pair matrix and budgeted pairs, per-pivot decided counts);
+    the object table is passed into every call, so tables that grow via
+    ``insert`` need no pruner maintenance.  Pickles cleanly (the adaptive
+    lock is dropped and rebuilt), so indexes carrying a pruner snapshot
+    and restore with zero distance computations.
+    """
+
+    def __init__(
+        self,
+        order,
+        prefix: int,
+        bounds: str = "auto",
+        is_ptolemaic: bool = False,
+        pair_matrix=None,
+        pair_budget: int = DEFAULT_PAIR_BUDGET,
+        staged: bool = True,
+    ):
+        if bounds not in BOUNDS_MODES:
+            raise ValueError(f"bounds must be one of {BOUNDS_MODES}, got {bounds!r}")
+        if bounds == "ptolemaic" and not is_ptolemaic:
+            raise ValueError(
+                "bounds='ptolemaic' requires a metric declaring is_ptolemaic "
+                "(the Ptolemaic inequality does not hold for this metric)"
+            )
+        self.order = np.asarray(order, dtype=np.intp)
+        self.prefix = int(prefix)
+        self.bounds = bounds
+        self.is_ptolemaic = bool(is_ptolemaic)
+        self.pair_budget = int(pair_budget)
+        self.staged = bool(staged)
+        self.pair_matrix = (
+            None if pair_matrix is None else np.asarray(pair_matrix, dtype=np.float64)
+        )
+        self.pairs = (
+            ptolemaic_pairs(self.pair_matrix, order=self.order, budget=self.pair_budget)
+            if self.use_ptolemaic
+            else np.empty((0, 2), dtype=np.intp)
+        )
+        # -- adaptive (online re-ranking) state, off by default ---------------
+        self.adaptive = False
+        self.rerank_interval = 0
+        self.reranks = 0
+        self.decided_counts = np.zeros(self.order.shape[0], dtype=np.int64)
+        self._since_rerank = 0
+        self._lock = threading.Lock()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        space,
+        matrix,
+        pivot_objects,
+        bounds: str = "auto",
+        pair_budget: int = DEFAULT_PAIR_BUDGET,
+        prefix: int | None = None,
+        sample: int = 64,
+        seed: int = 0,
+        staged: bool = True,
+    ) -> "StagedPruner":
+        """Score the order and (for Ptolemaic metrics) the pair matrix.
+
+        The pivot-pair distance matrix is computed with the *counted*
+        metric -- it is real build work, exactly like the mapping itself
+        -- and only when the bounds mode will use it, so non-Ptolemaic
+        builds (Hamming, edit) cost nothing extra.
+        """
+        order = score_pivot_order(matrix, sample=sample, seed=seed)
+        l = order.shape[0]
+        if prefix is None:
+            prefix = max(1, min(l - 1, (l + 3) // 4)) if l > 1 else 1
+        is_pt = bool(getattr(space.distance, "is_ptolemaic", False))
+        pair_matrix = None
+        if bounds == "ptolemaic" and not is_pt:
+            raise ValueError(
+                f"bounds='ptolemaic' but metric {space.distance.name!r} does "
+                "not declare is_ptolemaic"
+            )
+        if l > 1 and is_pt and bounds in ("ptolemaic", "auto"):
+            pair_matrix = space.pairwise_objects(list(pivot_objects), list(pivot_objects))
+        return cls(
+            order,
+            prefix,
+            bounds=bounds,
+            is_ptolemaic=is_pt,
+            pair_matrix=pair_matrix,
+            pair_budget=pair_budget,
+            staged=staged,
+        )
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def use_ptolemaic(self) -> bool:
+        """Whether stage 4 runs: the mode allows it AND the metric licenses
+        it AND the pair matrix exists (non-Ptolemaic metrics skip it
+        automatically -- ``auto`` never turns the bound on unsoundly)."""
+        if self.pair_matrix is None or not self.is_ptolemaic:
+            return False
+        return self.bounds in ("ptolemaic", "auto")
+
+    def stats(self) -> dict:
+        """Pruner configuration + adaptive state for /stats and explain."""
+        return {
+            "bounds": self.bounds,
+            "ptolemaic": self.use_ptolemaic,
+            "staged": self.staged,
+            "prefix": self.prefix,
+            "order": [int(i) for i in self.order],
+            "n_pairs": int(self.pairs.shape[0]),
+            "adaptive": self.adaptive,
+            "reranks": self.reranks,
+            "decided_per_pivot": [int(c) for c in self.decided_counts],
+        }
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- adaptive re-ranking --------------------------------------------------
+
+    def enable_adaptive(self, interval: int = 4096) -> None:
+        """Opt into online re-ranking from per-pivot decided counts.
+
+        Off by default: re-ranking mid-stream changes which columns run
+        first and which pivot pairs the budget picks, so batch vs
+        sequential cost parity (asserted by tests) only holds when the
+        order is frozen.  Service layers opt in per attached index.
+        """
+        self.adaptive = True
+        self.rerank_interval = max(1, int(interval))
+
+    def _record_decided(self, per_column: np.ndarray) -> None:
+        with self._lock:
+            self.decided_counts += per_column
+            self._since_rerank += int(per_column.sum())
+            if self.rerank_interval and self._since_rerank >= self.rerank_interval:
+                self._since_rerank = 0
+                new_order = np.argsort(-self.decided_counts, kind="stable").astype(
+                    np.intp
+                )
+                if not np.array_equal(new_order, self.order):
+                    self.order = new_order
+                    if self.use_ptolemaic:
+                        self.pairs = ptolemaic_pairs(
+                            self.pair_matrix, order=self.order, budget=self.pair_budget
+                        )
+                    self.reranks += 1
+
+    # -- bound matrices (kNN best-first) --------------------------------------
+
+    def lower_bounds_many_queries(self, qmat, omat) -> np.ndarray:
+        """Full ``q x n`` lower bounds: triangle, tightened by Ptolemaic.
+
+        The kNN best-first scan needs a bound for *every* object (ordering
+        plus cutoff), so there is no staged early exit here -- but the
+        Ptolemaic max over the budgeted pairs still tightens the bound,
+        which shrinks the verified frontier.  Any true lower bound keeps
+        :func:`~repro.core.queries.best_first_knn` exact.
+        """
+        qmat = np.atleast_2d(np.asarray(qmat, dtype=np.float64))
+        omat = _object_rows(omat)
+        lower = lower_bound_many_queries(qmat, omat)
+        if self.use_ptolemaic and self.pairs.size:
+            left, right = self.pairs[:, 0], self.pairs[:, 1]
+            denom = self.pair_matrix[left, right]
+            q_l, q_r = qmat[:, left], qmat[:, right]
+            o_l, o_r = omat[:, left], omat[:, right]
+            step = query_chunk(omat.shape[0], self.pairs.shape[0])
+            for start in range(0, qmat.shape[0], step):
+                stop = start + step
+                cross = np.abs(
+                    q_l[start:stop, None, :] * o_r[None, :, :]
+                    - q_r[start:stop, None, :] * o_l[None, :, :]
+                )
+                np.maximum(
+                    lower[start:stop], (cross / denom).max(axis=2), out=lower[start:stop]
+                )
+        return lower
+
+    def lower_bounds_many(self, query_pivot_dists, omat) -> np.ndarray:
+        """Single-query form of :meth:`lower_bounds_many_queries`."""
+        q = np.asarray(query_pivot_dists, dtype=np.float64)
+        return self.lower_bounds_many_queries(q.reshape(1, -1), omat)[0]
+
+    # -- the cascade (range / radius-driven masks) ----------------------------
+
+    def masks_many_queries(
+        self,
+        qmat,
+        omat,
+        radius,
+        counters: CostCounters | None = None,
+        validate: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run the cascade; return ``(survivors, validated)`` bool masks.
+
+        ``survivors[i, j]`` -- object j needs an exact distance for query
+        i; ``validated[i, j]`` -- object j is provably an answer of query
+        i (only when ``validate``, Lemma 4).  ``radius`` is a scalar or a
+        per-query array.  Per-stage decided counts go to ``counters``.
+        The masks are independent of the column order and of ``staged``
+        (modulo stage 4's pair budget), which is what keeps staged ==
+        single-shot == brute force exact.
+        """
+        qmat = np.atleast_2d(np.asarray(qmat, dtype=np.float64))
+        omat = _object_rows(omat)
+        n_q, n_o = qmat.shape[0], omat.shape[0]
+        validated = np.zeros((n_q, n_o), dtype=bool)
+        if n_q == 0 or n_o == 0 or omat.shape[1] == 0:
+            return np.ones((n_q, n_o), dtype=bool), validated
+        r = np.asarray(radius, dtype=np.float64)
+        rcol = r[:, None] if r.ndim else r
+        l = omat.shape[1]
+
+        if not self.staged or l == 1:
+            # single-shot reference path: one full broadcast per lemma
+            alive = lower_bound_many_queries(qmat, omat) <= rcol
+            n_prefix = int(alive.size - alive.sum())
+            n_validated = 0
+            if validate:
+                upper = upper_bound_many_queries(qmat, omat)
+                validated = alive & (upper <= rcol)
+                alive &= ~validated
+                n_validated = int(validated.sum())
+            n_pt = self._ptolemaic_stage(qmat, omat, alive, r)
+            if counters is not None:
+                counters.add_prune_stages(
+                    prefix=n_prefix, validated=n_validated, ptolemaic=n_pt
+                )
+            return alive, validated
+
+        order = self._column_order(l)
+        prefix = min(max(1, self.prefix), l - 1)
+        head, tail = order[:prefix], order[prefix:]
+
+        # stage 1: Lemma 1 over the ranked prefix columns
+        q_head, o_head = qmat[:, head], omat[:, head]
+        lower = np.empty((n_q, n_o), dtype=np.float64)
+        col_decided = np.zeros(l, dtype=np.int64) if self.adaptive else None
+        step = query_chunk(n_o, prefix)
+        for start in range(0, n_q, step):
+            stop = start + step
+            diff = np.abs(q_head[start:stop, None, :] - o_head[None, :, :])
+            lower[start:stop] = diff.max(axis=2)
+            if col_decided is not None:
+                rblock = r[start:stop, None, None] if r.ndim else r
+                col_decided[head] += (diff > rblock).sum(axis=(0, 1))
+        alive = lower <= rcol
+        n_prefix = int(alive.size - alive.sum())
+
+        # stage 2: refine survivors cell-wise with the remaining columns
+        n_refine = 0
+        qi, oj = np.nonzero(alive)
+        if qi.size:
+            q_tail, o_tail = qmat[:, tail], omat[:, tail]
+            cstep = _cell_step(tail.shape[0])
+            for start in range(0, qi.size, cstep):
+                stop = start + cstep
+                ci, cj = qi[start:stop], oj[start:stop]
+                diff = np.abs(q_tail[ci] - o_tail[cj])
+                rcell = r[ci] if r.ndim else r
+                dead = diff.max(axis=1) > rcell
+                if col_decided is not None and dead.any():
+                    col_decided[tail] += (
+                        diff[dead] > (rcell[dead, None] if r.ndim else rcell)
+                    ).sum(axis=0)
+                alive[ci[dead], cj[dead]] = False
+                n_refine += int(dead.sum())
+
+        # stage 3: Lemma 4 validation, only for still-undecided cells
+        n_validated = 0
+        if validate:
+            qi, oj = np.nonzero(alive)
+            if qi.size:
+                cstep = _cell_step(l)
+                for start in range(0, qi.size, cstep):
+                    stop = start + cstep
+                    ci, cj = qi[start:stop], oj[start:stop]
+                    upper = (qmat[ci] + omat[cj]).min(axis=1)
+                    ok = upper <= (r[ci] if r.ndim else r)
+                    validated[ci[ok], cj[ok]] = True
+                    alive[ci[ok], cj[ok]] = False
+                    n_validated += int(ok.sum())
+
+        # stage 4: Ptolemaic filter on whatever is left
+        n_pt = self._ptolemaic_stage(qmat, omat, alive, r)
+
+        if counters is not None:
+            counters.add_prune_stages(
+                prefix=n_prefix,
+                refine=n_refine,
+                validated=n_validated,
+                ptolemaic=n_pt,
+            )
+        if col_decided is not None:
+            self._record_decided(col_decided)
+        return alive, validated
+
+    def masks_many(
+        self,
+        query_pivot_dists,
+        omat,
+        radius: float,
+        counters: CostCounters | None = None,
+        validate: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Single-query form: 1-D ``(survivors, validated)`` masks.
+
+        Routes through :meth:`masks_many_queries` with a one-row query
+        matrix so sequential and batch execution make identical pruning
+        decisions -- the cost-parity contract the batch tests assert.
+        """
+        q = np.asarray(query_pivot_dists, dtype=np.float64)
+        alive, validated = self.masks_many_queries(
+            q.reshape(1, -1), omat, radius, counters=counters, validate=validate
+        )
+        return alive[0], validated[0]
+
+    # -- internals ------------------------------------------------------------
+
+    def _column_order(self, l: int) -> np.ndarray:
+        """The ranked column order, padded if the table grew new columns."""
+        order = self.order
+        if order.shape[0] != l:
+            known = order[order < l]
+            missing = np.setdiff1d(
+                np.arange(l, dtype=np.intp), known, assume_unique=False
+            )
+            order = np.concatenate([known, missing])
+        return order
+
+    def _ptolemaic_stage(self, qmat, omat, alive, r) -> int:
+        """Stage 4 in place on ``alive``; returns the decided-cell count."""
+        if not self.use_ptolemaic or not self.pairs.size:
+            return 0
+        qi, oj = np.nonzero(alive)
+        if not qi.size:
+            return 0
+        left, right = self.pairs[:, 0], self.pairs[:, 1]
+        denom = self.pair_matrix[left, right]
+        q_l, q_r = qmat[:, left], qmat[:, right]
+        o_l, o_r = omat[:, left], omat[:, right]
+        n_pt = 0
+        cstep = _cell_step(self.pairs.shape[0])
+        for start in range(0, qi.size, cstep):
+            stop = start + cstep
+            ci, cj = qi[start:stop], oj[start:stop]
+            cross = np.abs(q_l[ci] * o_r[cj] - q_r[ci] * o_l[cj])
+            bound = (cross / denom).max(axis=1)
+            dead = bound > (r[ci] if r.ndim else r)
+            alive[ci[dead], cj[dead]] = False
+            n_pt += int(dead.sum())
+        return n_pt
+
+class PerObjectStagedPruner:
+    """The staged cascade for per-object-pivot tables (EPT / EPT*).
+
+    EPT rows reference *different* pivots per object (``pivot_idx`` maps
+    each of the ``l`` slots to a global pivot id), so the cascade stages
+    over slot columns instead of shared pivot columns.  Stage 4 uses a
+    sparse pivot-pair distance matrix holding only the pairs the budgeted
+    slot pairs actually reference -- a full ``|P| x |P|`` matrix would
+    cost more build distance computations than the table itself when the
+    group size is large.
+    """
+
+    def __init__(
+        self,
+        slot_order,
+        prefix: int,
+        bounds: str = "auto",
+        is_ptolemaic: bool = False,
+        pair_matrix=None,
+        slot_pairs=None,
+        staged: bool = True,
+    ):
+        if bounds not in BOUNDS_MODES:
+            raise ValueError(f"bounds must be one of {BOUNDS_MODES}, got {bounds!r}")
+        if bounds == "ptolemaic" and not is_ptolemaic:
+            raise ValueError(
+                "bounds='ptolemaic' requires a metric declaring is_ptolemaic"
+            )
+        self.slot_order = np.asarray(slot_order, dtype=np.intp)
+        self.prefix = int(prefix)
+        self.bounds = bounds
+        self.is_ptolemaic = bool(is_ptolemaic)
+        self.staged = bool(staged)
+        self.pair_matrix = (
+            None if pair_matrix is None else np.asarray(pair_matrix, dtype=np.float64)
+        )
+        self.slot_pairs = (
+            np.empty((0, 2), dtype=np.intp)
+            if slot_pairs is None
+            else np.asarray(slot_pairs, dtype=np.intp).reshape(-1, 2)
+        )
+
+    @classmethod
+    def build(
+        cls,
+        space,
+        pivot_ids,
+        pivot_idx,
+        pivot_dist,
+        bounds: str = "auto",
+        pair_budget: int = 3,
+        prefix: int | None = None,
+        staged: bool = True,
+    ) -> "PerObjectStagedPruner":
+        pivot_dist = np.asarray(pivot_dist, dtype=np.float64)
+        pivot_idx = np.asarray(pivot_idx)
+        l = pivot_dist.shape[1] if pivot_dist.ndim == 2 else 0
+        # slot order: larger spread of stored distances -> larger expected
+        # |d(q,p) - d(o,p)| gaps -> more stage-1 pruning (zero compdists)
+        spread = pivot_dist.std(axis=0) if pivot_dist.size else np.zeros(l)
+        slot_order = np.argsort(-spread, kind="stable").astype(np.intp)
+        if prefix is None:
+            prefix = max(1, min(l - 1, (l + 3) // 4)) if l > 1 else 1
+        is_pt = bool(getattr(space.distance, "is_ptolemaic", False))
+        if bounds == "ptolemaic" and not is_pt:
+            raise ValueError(
+                f"bounds='ptolemaic' but metric {space.distance.name!r} does "
+                "not declare is_ptolemaic"
+            )
+        pair_matrix = None
+        slot_pairs = None
+        if l > 1 and is_pt and bounds in ("ptolemaic", "auto"):
+            ranked = slot_order
+            slot_pairs = []
+            for second in range(1, l):
+                for first in range(second):
+                    slot_pairs.append((int(ranked[first]), int(ranked[second])))
+                    if len(slot_pairs) >= pair_budget:
+                        break
+                if len(slot_pairs) >= pair_budget:
+                    break
+            slot_pairs = np.asarray(slot_pairs, dtype=np.intp)
+            # counted build work: only the pivot pairs the budgeted slot
+            # pairs reference, not the full |P| x |P| matrix
+            n_pivots = len(pivot_ids)
+            pair_matrix = np.zeros((n_pivots, n_pivots), dtype=np.float64)
+            needed: set[tuple[int, int]] = set()
+            for a, b in slot_pairs:
+                cols = np.unique(
+                    np.stack([pivot_idx[:, a], pivot_idx[:, b]], axis=1), axis=0
+                )
+                for i, j in cols:
+                    if i != j:
+                        needed.add((int(min(i, j)), int(max(i, j))))
+            for i, j in sorted(needed):
+                d = space.d_between_ids(int(pivot_ids[i]), int(pivot_ids[j]))
+                pair_matrix[i, j] = pair_matrix[j, i] = d
+        return cls(
+            slot_order,
+            prefix,
+            bounds=bounds,
+            is_ptolemaic=is_pt,
+            pair_matrix=pair_matrix,
+            slot_pairs=slot_pairs,
+            staged=staged,
+        )
+
+    @property
+    def use_ptolemaic(self) -> bool:
+        if self.pair_matrix is None or not self.is_ptolemaic:
+            return False
+        return self.bounds in ("ptolemaic", "auto")
+
+    def stats(self) -> dict:
+        return {
+            "bounds": self.bounds,
+            "ptolemaic": self.use_ptolemaic,
+            "staged": self.staged,
+            "prefix": self.prefix,
+            "order": [int(i) for i in self.slot_order],
+            "n_pairs": int(self.slot_pairs.shape[0]),
+            "adaptive": False,
+            "reranks": 0,
+        }
+
+    # -- bounds ---------------------------------------------------------------
+
+    def _slot_bound_cells(self, qdists, pivot_idx, pivot_dist, ci, cj, slots):
+        """max_j |d(q,p_{o,j}) - d(o,p_{o,j})| over ``slots``, per cell."""
+        idx = pivot_idx[cj][:, slots]
+        qd = qdists[ci[:, None], idx]
+        pd = pivot_dist[cj][:, slots]
+        return np.abs(qd - pd).max(axis=1)
+
+    def _ptolemaic_cells(self, qdists, pivot_idx, pivot_dist, ci, cj):
+        """Best Ptolemaic bound over the budgeted slot pairs, per cell."""
+        best = np.zeros(ci.shape[0], dtype=np.float64)
+        for a, b in self.slot_pairs:
+            ia, ib = pivot_idx[cj, a], pivot_idx[cj, b]
+            denom = self.pair_matrix[ia, ib]
+            qa, qb = qdists[ci, ia], qdists[ci, ib]
+            oa, ob = pivot_dist[cj, a], pivot_dist[cj, b]
+            cross = np.abs(qa * ob - qb * oa)
+            ok = denom > 0.0
+            np.maximum(
+                best, np.where(ok, cross / np.where(ok, denom, 1.0), 0.0), out=best
+            )
+        return best
+
+    def lower_bounds_many_queries(self, qdists, pivot_idx, pivot_dist) -> np.ndarray:
+        """Full ``q x n`` lower bounds (triangle max'd with Ptolemaic)."""
+        qdists = np.atleast_2d(np.asarray(qdists, dtype=np.float64))
+        n_q = qdists.shape[0]
+        n_o = pivot_idx.shape[0]
+        out = np.empty((n_q, n_o), dtype=np.float64)
+        step = query_chunk(n_o, pivot_idx.shape[1])
+        for start in range(0, n_q, step):
+            block = qdists[start : start + step]
+            out[start : start + step] = np.abs(
+                block[:, pivot_idx] - pivot_dist[None, :, :]
+            ).max(axis=2)
+        if self.use_ptolemaic and self.slot_pairs.size:
+            rows = np.repeat(np.arange(n_q, dtype=np.intp), n_o)
+            cols = np.tile(np.arange(n_o, dtype=np.intp), n_q)
+            cstep = _cell_step(self.slot_pairs.shape[0])
+            for start in range(0, rows.size, cstep):
+                ci = rows[start : start + cstep]
+                cj = cols[start : start + cstep]
+                pt = self._ptolemaic_cells(qdists, pivot_idx, pivot_dist, ci, cj)
+                np.maximum(out[ci, cj], pt, out=out[ci, cj])
+        return out
+
+    def masks_many_queries(
+        self,
+        qdists,
+        pivot_idx,
+        pivot_dist,
+        radius,
+        counters: CostCounters | None = None,
+    ) -> np.ndarray:
+        """Run the cascade; return the ``q x n`` survivor mask."""
+        qdists = np.atleast_2d(np.asarray(qdists, dtype=np.float64))
+        n_q = qdists.shape[0]
+        n_o, l = pivot_idx.shape
+        if n_q == 0 or n_o == 0 or l == 0:
+            return np.ones((n_q, n_o), dtype=bool)
+        r = np.asarray(radius, dtype=np.float64)
+        rcol = r[:, None] if r.ndim else r
+
+        order = self.slot_order
+        if order.shape[0] != l:
+            order = np.arange(l, dtype=np.intp)
+        prefix = min(max(1, self.prefix), l - 1) if l > 1 else l
+        if not self.staged or l == 1:
+            prefix = l
+        head, tail = order[:prefix], order[prefix:]
+
+        # stage 1: prefix slots, chunked full broadcast
+        idx_head = pivot_idx[:, head]
+        dist_head = pivot_dist[:, head]
+        lower = np.empty((n_q, n_o), dtype=np.float64)
+        step = query_chunk(n_o, len(head))
+        for start in range(0, n_q, step):
+            block = qdists[start : start + step]
+            lower[start : start + step] = np.abs(
+                block[:, idx_head] - dist_head[None, :, :]
+            ).max(axis=2)
+        alive = lower <= rcol
+        n_prefix = int(alive.size - alive.sum())
+
+        # stage 2: refine survivors cell-wise with the remaining slots
+        n_refine = 0
+        if tail.size:
+            qi, oj = np.nonzero(alive)
+            cstep = _cell_step(tail.shape[0])
+            for start in range(0, qi.size, cstep):
+                ci = qi[start : start + cstep]
+                cj = oj[start : start + cstep]
+                bound = self._slot_bound_cells(
+                    qdists, pivot_idx, pivot_dist, ci, cj, tail
+                )
+                dead = bound > (r[ci] if r.ndim else r)
+                alive[ci[dead], cj[dead]] = False
+                n_refine += int(dead.sum())
+
+        # stage 4: Ptolemaic over budgeted slot pairs
+        n_pt = 0
+        if self.use_ptolemaic and self.slot_pairs.size:
+            qi, oj = np.nonzero(alive)
+            cstep = _cell_step(self.slot_pairs.shape[0])
+            for start in range(0, qi.size, cstep):
+                ci = qi[start : start + cstep]
+                cj = oj[start : start + cstep]
+                pt = self._ptolemaic_cells(qdists, pivot_idx, pivot_dist, ci, cj)
+                dead = pt > (r[ci] if r.ndim else r)
+                alive[ci[dead], cj[dead]] = False
+                n_pt += int(dead.sum())
+
+        if counters is not None:
+            counters.add_prune_stages(
+                prefix=n_prefix, refine=n_refine, ptolemaic=n_pt
+            )
+        return alive
+
+    def masks_many(self, qdists, pivot_idx, pivot_dist, radius, counters=None):
+        q = np.asarray(qdists, dtype=np.float64)
+        return self.masks_many_queries(
+            q.reshape(1, -1), pivot_idx, pivot_dist, radius, counters=counters
+        )[0]

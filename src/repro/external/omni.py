@@ -39,6 +39,7 @@ from ..core.pivot_filter import (
     mbb_prune_mask_many_queries,
 )
 from ..core.queries import KnnHeap, Neighbor, best_first_knn
+from ..core.staged import score_pivot_order
 from ..rtree.geometry import Rect
 from ..rtree.rtree import RTree
 from ..storage.pager import Pager
@@ -59,6 +60,11 @@ class _OmniBase(MetricIndex):
         self.pager = pager
         self.raf = RandomAccessFile(pager)
         self._pointers: dict[int, RecordPointer] = {}
+        # pruning-power pivot order for the staged MBB prune mask (scored
+        # from the stored table: zero distance computations)
+        self.pivot_order = score_pivot_order(mapping.matrix)
+        l = mapping.n_pivots
+        self.mbb_prefix = max(1, min(l - 1, (l + 3) // 4)) if l > 1 else 0
 
     def _store_objects(self, order) -> None:
         for object_id in order:
@@ -585,7 +591,15 @@ class OmniRTree(_OmniBase):
                 if not node.children:
                     continue
                 lows, highs = self._child_rect_arrays(node)
-                prune = mbb_prune_mask_many_queries(qmat[active], lows, highs, radius)
+                prune = mbb_prune_mask_many_queries(
+                    qmat[active],
+                    lows,
+                    highs,
+                    radius,
+                    order=self.pivot_order,
+                    prefix=self.mbb_prefix,
+                    counters=self.space.counters,
+                )
                 for j, child in enumerate(node.children):
                     keep = ~prune[:, j]
                     if keep.any():

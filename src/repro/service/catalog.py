@@ -328,5 +328,11 @@ class IndexCatalog:
                 "index": m.index.name,
                 "distance_computations": snap.distance_computations,
                 "page_accesses": snap.page_accesses,
+                "prune_stages": {
+                    "prefix": snap.prune_prefix,
+                    "refine": snap.prune_refine,
+                    "validated": snap.prune_validated,
+                    "ptolemaic": snap.prune_ptolemaic,
+                },
             }
         return out

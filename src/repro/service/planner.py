@@ -201,6 +201,7 @@ class QueryPlanner:
                 best_cost is None or predicted["wall_ms"] < best_cost
             ):
                 best_id, best_cost = member_id, predicted["wall_ms"]
+            snap = self.catalog.member(member_id).counters.snapshot()
             rows.append(
                 {
                     "index": member_id,
@@ -209,6 +210,15 @@ class QueryPlanner:
                     "predicted": predicted,
                     "measured": self.model.measured_means(member_id, kind),
                     "observations": self.model.n_observations(member_id, kind),
+                    # lifetime staged-cascade decisions: how many objects each
+                    # pruning stage decided for this member (zeros for members
+                    # without a staged pruner)
+                    "prune_stages": {
+                        "prefix": snap.prune_prefix,
+                        "refine": snap.prune_refine,
+                        "validated": snap.prune_validated,
+                        "ptolemaic": snap.prune_ptolemaic,
+                    },
                 }
             )
         for row in rows:

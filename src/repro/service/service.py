@@ -57,7 +57,22 @@ from .dispatcher import MicroBatchDispatcher
 from .planner import QueryPlanner
 from .snapshot import load_index, rebind_counters, save_index, snapshot_info
 
-__all__ = ["QueryService"]
+__all__ = ["QueryService", "iter_pruners"]
+
+
+def iter_pruners(index: MetricIndex):
+    """Yield ``(owner, pruner)`` for every staged pruner in an index graph.
+
+    Walks composite indexes (``ShardedIndex`` exposes ``shards``) so a
+    service hosting a sharded pivot table reaches every shard's pruner.
+    Indexes without a staged cascade (trees, externals) simply yield
+    nothing.
+    """
+    pruner = getattr(index, "pruner", None)
+    if pruner is not None:
+        yield index, pruner
+    for shard in getattr(index, "shards", ()) or ():
+        yield from iter_pruners(shard)
 
 
 class QueryService:
@@ -98,6 +113,14 @@ class QueryService:
             one-query batches).
         counters: shared cost accumulator; defaults to the index's own.
             Cache hit/miss/eviction stats are folded into it.
+        adaptive_pruning: opt every hosted staged pruner into online
+            pivot re-ranking from observed per-pivot decided counts
+            (see :meth:`~repro.core.staged.StagedPruner.enable_adaptive`).
+            Off by default because re-ranking changes the budgeted
+            Ptolemaic pair set mid-stream, which breaks the sequential
+            vs batch cost-parity the bench suite asserts; a serving
+            process has no such parity contract and benefits from the
+            drift-tracking order.
         metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
             when given, the service records batch-execution latency per
             query kind and passes the registry down to its private cache
@@ -122,6 +145,7 @@ class QueryService:
         catalog: IndexCatalog | None = None,
         planner_epsilon: float = 0.05,
         planner_seed: int = 0,
+        adaptive_pruning: bool = False,
     ):
         if (index is None) == (catalog is None):
             raise ValueError("pass exactly one of index= or catalog=")
@@ -151,6 +175,12 @@ class QueryService:
                 rebind_counters(index, counters)
             self.counters = index.space.counters
             self.planner = None
+        self.adaptive_pruning = adaptive_pruning
+        if adaptive_pruning:
+            for _owner, pruner in self._hosted_pruners():
+                enable = getattr(pruner, "enable_adaptive", None)
+                if enable is not None:
+                    enable()
         self.metrics = metrics
         if metrics is not None:
             batch_ms = metrics.histogram(
@@ -293,15 +323,37 @@ class QueryService:
                 self.snapshot_path = str(path)
                 self.reload_generation += 1
                 self.cache.invalidate(self.index_id)
+            if self.adaptive_pruning:
+                for _owner, pruner in self._hosted_pruners():
+                    enable = getattr(pruner, "enable_adaptive", None)
+                    if enable is not None:
+                        enable()
             return info
         info = snapshot_info(path)  # validate the header before restoring
         index = load_index(path, counters=self.counters)
+        if self.adaptive_pruning:
+            # restored pruners come back with the frozen build-time order;
+            # re-opt them into online re-ranking before they see traffic
+            for _owner, pruner in iter_pruners(index):
+                enable = getattr(pruner, "enable_adaptive", None)
+                if enable is not None:
+                    enable()
         with self._reload_lock:
             self.index = index
             self.snapshot_path = str(path)
             self.reload_generation += 1
             self.cache.invalidate(self.index_id)
         return info
+
+    # -- pruners ---------------------------------------------------------------
+
+    def _hosted_pruners(self):
+        """``(owner, pruner)`` pairs across the hosted index or catalog."""
+        if self.catalog is not None:
+            for member in self.catalog.members():
+                yield from iter_pruners(member.index)
+        else:
+            yield from iter_pruners(self.index)
 
     # -- query surface --------------------------------------------------------
 
@@ -567,16 +619,34 @@ class QueryService:
                 m["distance_computations"] for m in members.values()
             )
             page_accesses = sum(m["page_accesses"] for m in members.values())
+            prune_stages = {
+                stage: sum(m["prune_stages"][stage] for m in members.values())
+                for stage in ("prefix", "refine", "validated", "ptolemaic")
+            }
         else:
             snapshot = self.counters.snapshot()
             distance_computations = snapshot.distance_computations
             page_accesses = snapshot.page_accesses
+            prune_stages = {
+                "prefix": snapshot.prune_prefix,
+                "refine": snapshot.prune_refine,
+                "validated": snapshot.prune_validated,
+                "ptolemaic": snapshot.prune_ptolemaic,
+            }
         out = {
             "index": self.index_id,
             "cache": self.cache.stats(),
             "distance_computations": distance_computations,
             "page_accesses": page_accesses,
+            "prune_stages": prune_stages,
         }
+        pruners = [
+            dict(pruner.stats(), index=owner.name)
+            for owner, pruner in self._hosted_pruners()
+            if hasattr(pruner, "stats")
+        ]
+        if pruners:
+            out["pruning"] = pruners
         if self.catalog is not None:
             out["planner"] = self.planner.stats()
             out["members"] = members

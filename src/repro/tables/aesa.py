@@ -26,12 +26,22 @@ class AESA(MetricIndex):
 
     name = "AESA"
 
-    def __init__(self, space: MetricSpace, table: np.ndarray):
+    def __init__(self, space: MetricSpace, table: np.ndarray, bounds: str = "auto"):
         super().__init__(space)
         self.table = table
+        if bounds not in ("triangle", "ptolemaic", "auto"):
+            raise ValueError(f"unknown bounds mode {bounds!r}")
+        is_pt = bool(getattr(space.distance, "is_ptolemaic", False))
+        if bounds == "ptolemaic" and not is_pt:
+            raise ValueError(
+                f"bounds='ptolemaic' but metric {space.distance.name!r} does "
+                "not declare is_ptolemaic"
+            )
+        self.bounds = bounds
+        self._use_ptolemaic = is_pt and bounds in ("ptolemaic", "auto")
 
     @classmethod
-    def build(cls, space: MetricSpace) -> "AESA":
+    def build(cls, space: MetricSpace, bounds: str = "auto") -> "AESA":
         """Compute the n x n distance table (n(n-1)/2 computations)."""
         n = len(space)
         table = np.zeros((n, n), dtype=np.float64)
@@ -41,7 +51,29 @@ class AESA(MetricIndex):
                 row = space.d_many(dataset[i], dataset.gather(range(i + 1, n)))
                 table[i, i + 1 :] = row
                 table[i + 1 :, i] = row
-        return cls(space, table)
+        return cls(space, table, bounds=bounds)
+
+    def _tighten(
+        self, lower: np.ndarray, pick: int, d: float, prev: tuple[int, float] | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One eliminate/approximate update with pick's table row.
+
+        Returns ``(triangle_bounds, combined_bounds)``.  When the metric is
+        Ptolemaic and a previous verified object exists, the (prev, pick)
+        pair additionally contributes the Ptolemaic bound
+        ``|d_prev * d(pick, o) - d * d(prev, o)| / d(prev, pick)`` -- every
+        verified object is a dynamic pivot, so AESA gets pair bounds for
+        free from the full table, one new pair per round.
+        """
+        tri = np.maximum(lower, np.abs(self.table[pick] - d))
+        if not self._use_ptolemaic or prev is None:
+            return tri, tri
+        prev_pick, prev_d = prev
+        denom = self.table[prev_pick, pick]
+        if denom <= 0.0:
+            return tri, tri
+        pt = np.abs(prev_d * self.table[pick] - d * self.table[prev_pick]) / denom
+        return tri, np.maximum(tri, pt)
 
     def range_query(self, query_obj, radius: float) -> list[int]:
         n = len(self.space)
@@ -56,8 +88,10 @@ class AESA(MetricIndex):
         lower: np.ndarray,
         alive: np.ndarray,
         results: list[int],
+        prev: tuple[int, float] | None = None,
     ) -> list[int]:
         """Continue the eliminate/approximate loop from the given state."""
+        counters = self.space.counters
         while True:
             candidates = np.flatnonzero(alive)
             if candidates.size == 0:
@@ -69,9 +103,12 @@ class AESA(MetricIndex):
             d = self.space.d_id(query_obj, pick)
             if d <= radius:
                 results.append(pick)
-            # eliminate/approximate with pick's table row
-            lower = np.maximum(lower, np.abs(self.table[pick] - d))
+            tri, lower = self._tighten(lower, pick, d, prev)
+            n_tri = int(np.count_nonzero(alive & (tri > radius)))
+            n_pt = int(np.count_nonzero(alive & (lower > radius))) - n_tri
+            counters.add_prune_stages(refine=n_tri, ptolemaic=n_pt)
             alive &= lower <= radius
+            prev = (pick, d)
 
     def knn_query(self, query_obj, k: int) -> list[Neighbor]:
         n = len(self.space)
@@ -80,7 +117,12 @@ class AESA(MetricIndex):
         return self._knn_scan(query_obj, KnnHeap(k), lower, alive)
 
     def _knn_scan(
-        self, query_obj, heap: KnnHeap, lower: np.ndarray, alive: np.ndarray
+        self,
+        query_obj,
+        heap: KnnHeap,
+        lower: np.ndarray,
+        alive: np.ndarray,
+        prev: tuple[int, float] | None = None,
     ) -> list[Neighbor]:
         """Continue the best-first verification loop from the given state."""
         while True:
@@ -93,7 +135,8 @@ class AESA(MetricIndex):
             alive[pick] = False
             d = self.space.d_id(query_obj, pick)
             heap.consider(pick, d)
-            lower = np.maximum(lower, np.abs(self.table[pick] - d))
+            _, lower = self._tighten(lower, pick, d, prev)
+            prev = (pick, d)
 
     # -- batch queries --------------------------------------------------------
     #
@@ -123,7 +166,21 @@ class AESA(MetricIndex):
         out: list[list[int]] = []
         for qi, q in enumerate(queries):
             results = [0] if first[qi] <= radius else []
-            out.append(self._range_scan(q, radius, lower[qi], alive[qi], results))
+            dead = lower[qi] > radius
+            dead[0] = False
+            self.space.counters.add_prune_stages(refine=int(dead.sum()))
+            # seed prev with round one's pick so the continued scan makes
+            # the same Ptolemaic pair decisions as the sequential path
+            out.append(
+                self._range_scan(
+                    q,
+                    radius,
+                    lower[qi],
+                    alive[qi],
+                    results,
+                    prev=(0, float(first[qi])),
+                )
+            )
         return out
 
     def knn_query_many(self, queries, k: int) -> list[list[Neighbor]]:
@@ -140,7 +197,9 @@ class AESA(MetricIndex):
             heap.consider(0, float(first[qi]))
             alive = np.ones(n, dtype=bool)
             alive[0] = False
-            out.append(self._knn_scan(q, heap, lower[qi], alive))
+            out.append(
+                self._knn_scan(q, heap, lower[qi], alive, prev=(0, float(first[qi])))
+            )
         return out
 
     def insert(self, obj, object_id: int | None = None) -> int:

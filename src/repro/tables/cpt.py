@@ -18,8 +18,8 @@ import numpy as np
 from ..core.index import MetricIndex
 from ..core.mapping import PivotMapping
 from ..core.metric_space import MetricSpace
-from ..core.pivot_filter import lower_bound_many, lower_bound_many_queries
 from ..core.queries import KnnHeap, Neighbor, best_first_knn
+from ..core.staged import StagedPruner
 from ..mtree.mtree import MTree
 from ..storage.pager import Pager
 
@@ -32,13 +32,24 @@ class CPT(MetricIndex):
     name = "CPT"
     is_disk_based = True
 
-    def __init__(self, space: MetricSpace, mapping: PivotMapping, mtree: MTree):
+    def __init__(
+        self,
+        space: MetricSpace,
+        mapping: PivotMapping,
+        mtree: MTree,
+        use_validation: bool = False,
+        pruner: StagedPruner | None = None,
+    ):
         super().__init__(space)
         self.mapping = mapping
         self.mtree = mtree
+        self.use_validation = use_validation
         n = mapping.n_objects
         self._row_ids = np.arange(n, dtype=np.intp)
         self._rows = mapping.matrix.copy()
+        if pruner is None:
+            pruner = StagedPruner.build(space, self._rows, mapping.pivot_objects)
+        self.pruner = pruner
 
     @classmethod
     def build(
@@ -48,6 +59,9 @@ class CPT(MetricIndex):
         pager: Pager | None = None,
         page_size: int = 40960,
         seed: int = 0,
+        use_validation: bool = False,
+        bounds: str = "auto",
+        staged: bool = True,
     ) -> "CPT":
         """Compute the distance table and cluster all objects in an M-tree.
 
@@ -55,14 +69,21 @@ class CPT(MetricIndex):
         the table category (Table 4): every insert descends the tree with
         counted distance computations.  The default 40 KB page matches the
         paper's setting for large objects.
+
+        Lemma 4 validation (``use_validation``) pays double for CPT: a
+        validated object is an answer without the leaf *fetch*, so it
+        saves a page access on top of the distance computation.
         """
         mapping = PivotMapping(space, pivot_ids)
+        pruner = StagedPruner.build(
+            space, mapping.matrix, mapping.pivot_objects, bounds=bounds, staged=staged
+        )
         if pager is None:
             pager = Pager(page_size=page_size, counters=space.counters)
         mtree = MTree(space, pager, seed=seed)
         for object_id in range(len(space)):
             mtree.insert(object_id, space.dataset[object_id])
-        return cls(space, mapping, mtree)
+        return cls(space, mapping, mtree, use_validation, pruner=pruner)
 
     # -- queries -----------------------------------------------------------
 
@@ -73,9 +94,15 @@ class CPT(MetricIndex):
 
     def range_query(self, query_obj, radius: float) -> list[int]:
         query_pivot_dists = self.mapping.map_query(query_obj)
-        lower = lower_bound_many(query_pivot_dists, self._rows)
-        results: list[int] = []
-        for i in np.flatnonzero(lower <= radius):
+        survivors, validated = self.pruner.masks_many(
+            query_pivot_dists,
+            self._rows,
+            radius,
+            counters=self.space.counters,
+            validate=self.use_validation,
+        )
+        results: list[int] = [int(i) for i in self._row_ids[validated]]
+        for i in np.flatnonzero(survivors):
             object_id = int(self._row_ids[i])
             if self._verify(query_obj, object_id) <= radius:
                 results.append(object_id)
@@ -83,7 +110,7 @@ class CPT(MetricIndex):
 
     def knn_query(self, query_obj, k: int) -> list[Neighbor]:
         query_pivot_dists = self.mapping.map_query(query_obj)
-        lower = lower_bound_many(query_pivot_dists, self._rows)
+        lower = self.pruner.lower_bounds_many(query_pivot_dists, self._rows)
         heap = KnnHeap(k)
         for i in range(len(self._row_ids)):  # storage order
             if lower[i] > heap.radius:
@@ -124,14 +151,22 @@ class CPT(MetricIndex):
         if not queries:
             return []
         qmat = self.mapping.map_query_many(queries)
-        lower = lower_bound_many_queries(qmat, self._rows)
+        survivors, validated = self.pruner.masks_many_queries(
+            qmat,
+            self._rows,
+            radius,
+            counters=self.space.counters,
+            validate=self.use_validation,
+        )
         ids_per_query = [
-            [int(i) for i in self._row_ids[lower[qi] <= radius]]
+            [int(i) for i in self._row_ids[survivors[qi]]]
             for qi in range(len(queries))
         ]
         distinct = list(dict.fromkeys(i for ids in ids_per_query for i in ids))
         distinct.sort(key=lambda i: self.mtree.leaf_of.get(i, -1))
-        results: list[list[int]] = [[] for _ in queries]
+        results: list[list[int]] = [
+            [int(i) for i in self._row_ids[validated[qi]]] for qi in range(len(queries))
+        ]
         pending = [list(ids) for ids in ids_per_query]  # not yet verified
         for start in range(0, len(distinct), self._FETCH_CHUNK):
             chunk = distinct[start : start + self._FETCH_CHUNK]
@@ -162,7 +197,7 @@ class CPT(MetricIndex):
         if not queries:
             return []
         qmat = self.mapping.map_query_many(queries)
-        lower = lower_bound_many_queries(qmat, self._rows)
+        lower = self.pruner.lower_bounds_many_queries(qmat, self._rows)
         return [
             best_first_knn(
                 lower[qi], self._row_ids, k, lambda ids, q=q: self._verify_many(q, ids)

@@ -24,9 +24,9 @@ import numpy as np
 
 from ..core.index import MetricIndex
 from ..core.metric_space import MetricSpace
-from ..core.pivot_filter import query_chunk
 from ..core.pivot_selection import hf, psa
 from ..core.queries import KnnHeap, Neighbor, best_first_knn
+from ..core.staged import PerObjectStagedPruner
 
 __all__ = ["EPT", "EPTStar"]
 
@@ -40,26 +40,35 @@ class _ExtremePivotTableBase(MetricIndex):
         pivot_ids: list[int],
         pivot_idx: np.ndarray,
         pivot_dist: np.ndarray,
+        pruner: PerObjectStagedPruner | None = None,
     ):
         super().__init__(space)
         self.pivot_ids = pivot_ids  # global candidate/pivot object ids
         self._row_ids = np.arange(pivot_idx.shape[0], dtype=np.intp)
         self._pivot_idx = pivot_idx.astype(np.int32)  # n x l, into pivot_ids
         self._pivot_dist = pivot_dist.astype(np.float64)  # n x l
+        if pruner is None:
+            pruner = PerObjectStagedPruner.build(
+                space, pivot_ids, self._pivot_idx, self._pivot_dist
+            )
+        self.pruner = pruner
 
     def _query_pivot_dists(self, query_obj) -> np.ndarray:
         """d(q, p) for every pivot the table references (m*l or |CP| comps)."""
         pivots = self.space.dataset.gather(self.pivot_ids)
         return self.space.d_many(query_obj, pivots)
 
-    def _lower_bounds(self, qdists: np.ndarray) -> np.ndarray:
-        return np.abs(qdists[self._pivot_idx] - self._pivot_dist).max(axis=1)
-
     def range_query(self, query_obj, radius: float) -> list[int]:
         qdists = self._query_pivot_dists(query_obj)
-        lower = self._lower_bounds(qdists)
+        survivors = self.pruner.masks_many(
+            qdists,
+            self._pivot_idx,
+            self._pivot_dist,
+            radius,
+            counters=self.space.counters,
+        )
         results: list[int] = []
-        for i in np.flatnonzero(lower <= radius):
+        for i in np.flatnonzero(survivors):
             object_id = int(self._row_ids[i])
             d = self.space.d_id(query_obj, object_id)
             if d <= radius:
@@ -68,7 +77,9 @@ class _ExtremePivotTableBase(MetricIndex):
 
     def knn_query(self, query_obj, k: int) -> list[Neighbor]:
         qdists = self._query_pivot_dists(query_obj)
-        lower = self._lower_bounds(qdists)
+        lower = self.pruner.lower_bounds_many_queries(
+            qdists.reshape(1, -1), self._pivot_idx, self._pivot_dist
+        )[0]
         heap = KnnHeap(k)
         for i in range(len(self._row_ids)):  # storage order, as in the paper
             if lower[i] > heap.radius:
@@ -84,35 +95,23 @@ class _ExtremePivotTableBase(MetricIndex):
         pivots = self.space.dataset.gather(self.pivot_ids)
         return self.space.pairwise_objects(queries, pivots)
 
-    def _lower_bounds_many(self, qdists: np.ndarray) -> np.ndarray:
-        """Per-object-pivot Lemma 1 bounds for a whole batch: q x n.
-
-        ``qdists[:, self._pivot_idx]`` fans the q x |P| matrix out to
-        q x n x l (each object reads its own pivots' columns), so the bound
-        is one broadcast subtraction + max, chunked to limit the temporary.
-        """
-        n_queries = qdists.shape[0]
-        n_objects = self._pivot_idx.shape[0]
-        out = np.empty((n_queries, n_objects), dtype=np.float64)
-        step = query_chunk(n_objects, self._pivot_idx.shape[1])
-        for start in range(0, n_queries, step):
-            block = qdists[start : start + step]
-            out[start : start + step] = np.abs(
-                block[:, self._pivot_idx] - self._pivot_dist[None, :, :]
-            ).max(axis=2)
-        return out
-
     def range_query_many(self, queries, radius: float) -> list[list[int]]:
-        """Batch MRQ: one pairwise call for all query-pivot distances, 2-D
-        Lemma 1 bounds, vectorised per-query verification."""
+        """Batch MRQ: one pairwise call for all query-pivot distances, the
+        staged per-object-pivot cascade, vectorised per-query verification."""
         queries = list(queries)
         if not queries:
             return []
         qdists = self._query_pivot_dists_many(queries)
-        lower = self._lower_bounds_many(qdists)
+        survivors = self.pruner.masks_many_queries(
+            qdists,
+            self._pivot_idx,
+            self._pivot_dist,
+            radius,
+            counters=self.space.counters,
+        )
         out: list[list[int]] = []
         for qi, q in enumerate(queries):
-            ids = [int(i) for i in self._row_ids[lower[qi] <= radius]]
+            ids = [int(i) for i in self._row_ids[survivors[qi]]]
             results: list[int] = []
             if ids:
                 dists = self.space.d_ids(q, ids)
@@ -126,7 +125,9 @@ class _ExtremePivotTableBase(MetricIndex):
         if not queries:
             return []
         qdists = self._query_pivot_dists_many(queries)
-        lower = self._lower_bounds_many(qdists)
+        lower = self.pruner.lower_bounds_many_queries(
+            qdists, self._pivot_idx, self._pivot_dist
+        )
         return [
             best_first_knn(
                 lower[qi], self._row_ids, k, lambda ids, q=q: self.space.d_ids(q, ids)
@@ -173,8 +174,10 @@ class EPT(_ExtremePivotTableBase):
 
     name = "EPT"
 
-    def __init__(self, space, pivot_ids, pivot_idx, pivot_dist, group_size: int, mu):
-        super().__init__(space, pivot_ids, pivot_idx, pivot_dist)
+    def __init__(
+        self, space, pivot_ids, pivot_idx, pivot_dist, group_size: int, mu, pruner=None
+    ):
+        super().__init__(space, pivot_ids, pivot_idx, pivot_dist, pruner=pruner)
         self.group_size = group_size
         self._mu = mu  # mean d(o, p) per pivot column, for insert-time picks
 
@@ -186,6 +189,8 @@ class EPT(_ExtremePivotTableBase):
         group_size: int | None = None,
         seed: int = 0,
         sample_size: int = 256,
+        bounds: str = "auto",
+        staged: bool = True,
     ) -> "EPT":
         """Draw ``n_groups`` random groups and assign extreme pivots.
 
@@ -222,8 +227,22 @@ class EPT(_ExtremePivotTableBase):
             mu_columns.extend(float(v) for v in mus)
             pivot_idx[:, j] = base + choice
             pivot_dist[:, j] = columns[np.arange(n), choice]
+        pruner = PerObjectStagedPruner.build(
+            space,
+            pivot_ids,
+            pivot_idx,
+            pivot_dist,
+            bounds=bounds,
+            staged=staged,
+        )
         return cls(
-            space, pivot_ids, pivot_idx, pivot_dist, m, np.asarray(mu_columns)
+            space,
+            pivot_ids,
+            pivot_idx,
+            pivot_dist,
+            m,
+            np.asarray(mu_columns),
+            pruner=pruner,
         )
 
     @staticmethod
@@ -289,8 +308,8 @@ class EPTStar(_ExtremePivotTableBase):
 
     name = "EPT*"
 
-    def __init__(self, space, pivot_ids, pivot_idx, pivot_dist, sample_ids):
-        super().__init__(space, pivot_ids, pivot_idx, pivot_dist)
+    def __init__(self, space, pivot_ids, pivot_idx, pivot_dist, sample_ids, pruner=None):
+        super().__init__(space, pivot_ids, pivot_idx, pivot_dist, pruner=pruner)
         self._sample_ids = sample_ids  # query proxies reused for inserts
 
     @classmethod
@@ -301,6 +320,8 @@ class EPTStar(_ExtremePivotTableBase):
         candidate_scale: int = 40,
         sample_size: int = 64,
         seed: int = 0,
+        bounds: str = "auto",
+        staged: bool = True,
     ) -> "EPTStar":
         """Run PSA over the whole dataset (deliberately expensive)."""
         pivot_idx, pivot_dist, candidates = psa(
@@ -315,7 +336,10 @@ class EPTStar(_ExtremePivotTableBase):
             int(i)
             for i in rng.choice(len(space), size=min(sample_size, len(space)), replace=False)
         ]
-        return cls(space, candidates, pivot_idx, pivot_dist, sample_ids)
+        pruner = PerObjectStagedPruner.build(
+            space, candidates, pivot_idx, pivot_dist, bounds=bounds, staged=staged
+        )
+        return cls(space, candidates, pivot_idx, pivot_dist, sample_ids, pruner=pruner)
 
     def insert(self, obj, object_id: int | None = None) -> int:
         """PSA for a single object: |CP| + |S| distances plus the greedy scan."""

@@ -18,13 +18,8 @@ import numpy as np
 from ..core.index import MetricIndex
 from ..core.mapping import PivotMapping
 from ..core.metric_space import MetricSpace
-from ..core.pivot_filter import (
-    lower_bound_many,
-    lower_bound_many_queries,
-    upper_bound_many,
-    upper_bound_many_queries,
-)
 from ..core.queries import KnnHeap, Neighbor, best_first_knn
+from ..core.staged import StagedPruner
 
 __all__ = ["LAESA"]
 
@@ -34,34 +29,51 @@ class LAESA(MetricIndex):
 
     name = "LAESA"
 
-    def __init__(self, space: MetricSpace, mapping: PivotMapping, use_validation: bool = False):
+    def __init__(
+        self,
+        space: MetricSpace,
+        mapping: PivotMapping,
+        use_validation: bool = False,
+        pruner: StagedPruner | None = None,
+    ):
         super().__init__(space)
         self.mapping = mapping
         self.use_validation = use_validation
         n = mapping.n_objects
         self._row_ids = np.arange(n, dtype=np.intp)
         self._rows = mapping.matrix.copy()
+        if pruner is None:
+            pruner = StagedPruner.build(space, self._rows, mapping.pivot_objects)
+        self.pruner = pruner
 
     @classmethod
     def build(
-        cls, space: MetricSpace, pivot_ids, use_validation: bool = False
+        cls,
+        space: MetricSpace,
+        pivot_ids,
+        use_validation: bool = False,
+        bounds: str = "auto",
+        staged: bool = True,
     ) -> "LAESA":
-        """Pre-compute the distance table for the given pivots."""
-        return cls(space, PivotMapping(space, pivot_ids), use_validation)
+        """Pre-compute the distance table (and pruner state) for the pivots."""
+        mapping = PivotMapping(space, pivot_ids)
+        pruner = StagedPruner.build(
+            space, mapping.matrix, mapping.pivot_objects, bounds=bounds, staged=staged
+        )
+        return cls(space, mapping, use_validation, pruner=pruner)
 
     # -- queries ------------------------------------------------------------
 
     def range_query(self, query_obj, radius: float) -> list[int]:
         query_pivot_dists = self.mapping.map_query(query_obj)
-        lower = lower_bound_many(query_pivot_dists, self._rows)
-        results: list[int] = []
-        survivors = lower <= radius
-        if self.use_validation:
-            # Lemma 4: objects whose upper bound is within r need no check
-            upper = upper_bound_many(query_pivot_dists, self._rows)
-            validated = survivors & (upper <= radius)
-            results.extend(int(i) for i in self._row_ids[validated])
-            survivors &= ~validated
+        survivors, validated = self.pruner.masks_many(
+            query_pivot_dists,
+            self._rows,
+            radius,
+            counters=self.space.counters,
+            validate=self.use_validation,
+        )
+        results: list[int] = [int(i) for i in self._row_ids[validated]]
         # pivots that are themselves answers are caught by the scan since
         # their table rows contain a zero column
         for row, object_id in zip(
@@ -74,7 +86,7 @@ class LAESA(MetricIndex):
 
     def knn_query(self, query_obj, k: int) -> list[Neighbor]:
         query_pivot_dists = self.mapping.map_query(query_obj)
-        lower = lower_bound_many(query_pivot_dists, self._rows)
+        lower = self.pruner.lower_bounds_many(query_pivot_dists, self._rows)
         heap = KnnHeap(k)
         # storage order, as the paper describes (and criticises)
         for i in range(len(self._row_ids)):
@@ -99,20 +111,17 @@ class LAESA(MetricIndex):
         if not queries:
             return []
         qmat = self.mapping.map_query_many(queries)
-        lower = lower_bound_many_queries(qmat, self._rows)
-        survivors = lower <= radius
-        upper = None
-        if self.use_validation:
-            upper = upper_bound_many_queries(qmat, self._rows)
+        survivors, validated = self.pruner.masks_many_queries(
+            qmat,
+            self._rows,
+            radius,
+            counters=self.space.counters,
+            validate=self.use_validation,
+        )
         out: list[list[int]] = []
         for qi, q in enumerate(queries):
-            mask = survivors[qi]
-            results: list[int] = []
-            if upper is not None:
-                validated = mask & (upper[qi] <= radius)
-                results.extend(int(i) for i in self._row_ids[validated])
-                mask = mask & ~validated
-            ids = [int(i) for i in self._row_ids[mask]]
+            results: list[int] = [int(i) for i in self._row_ids[validated[qi]]]
+            ids = [int(i) for i in self._row_ids[survivors[qi]]]
             if ids:
                 dists = self.space.d_ids(q, ids)
                 results.extend(
@@ -135,7 +144,7 @@ class LAESA(MetricIndex):
         if not queries:
             return []
         qmat = self.mapping.map_query_many(queries)
-        lower = lower_bound_many_queries(qmat, self._rows)
+        lower = self.pruner.lower_bounds_many_queries(qmat, self._rows)
         return [
             best_first_knn(
                 lower[qi], self._row_ids, k, lambda ids, q=q: self.space.d_ids(q, ids)

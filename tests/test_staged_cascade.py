@@ -1,0 +1,338 @@
+"""Staged pruning cascade: exactness, Ptolemaic stage, snapshots, service.
+
+The engine's contract (ISSUE 10): the staged cascade -- pruning-power
+prefix, refine, Lemma 4 validation, Ptolemaic filter -- must answer
+bit-for-bit like the single-shot filter and like brute force, for every
+metric; non-Ptolemaic metrics must skip stage 4 automatically; and the
+whole pruner must survive snapshot save/restore and the live dispatcher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostCounters,
+    Dataset,
+    HammingDistance,
+    L2,
+    MetricSpace,
+    QuadraticFormDistance,
+    brute_force_knn_many,
+    brute_force_range_many,
+    load_index,
+    save_index,
+    select_pivots,
+)
+from repro.core.pivot_filter import (
+    lower_bound_many,
+    ptolemaic_lower_bound_many,
+    ptolemaic_pairs,
+    upper_bound_many,
+)
+from repro.core.staged import PerObjectStagedPruner, StagedPruner
+from repro.service import QueryService
+from repro.tables.aesa import AESA
+from repro.tables.cpt import CPT
+from repro.tables.ept import EPT, EPTStar
+from repro.tables.laesa import LAESA
+
+N = 120
+N_PIVOTS = 5
+
+
+def _l2_space(seed: int = 7) -> MetricSpace:
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 100, size=(N, 6))
+    return MetricSpace(Dataset(points, L2, name="l2"), CostCounters())
+
+
+def _quadratic_space(seed: int = 7) -> MetricSpace:
+    rng = np.random.default_rng(seed)
+    dim = 5
+    basis = rng.normal(size=(dim, dim))
+    matrix = basis @ basis.T + dim * np.eye(dim)
+    points = rng.uniform(0, 10, size=(N, dim))
+    dist = QuadraticFormDistance(matrix)
+    return MetricSpace(Dataset(points, dist, name="qf"), CostCounters())
+
+
+def _hamming_space(seed: int = 7) -> MetricSpace:
+    rng = np.random.default_rng(seed)
+    points = rng.integers(0, 2, size=(N, 24))
+    return MetricSpace(Dataset(points, HammingDistance(), name="ham"), CostCounters())
+
+
+SPACES = {"l2": _l2_space, "quadratic": _quadratic_space, "hamming": _hamming_space}
+# moderate-selectivity radii, pre-picked per space family
+RADII = {"l2": 55.0, "quadratic": 25.0, "hamming": 9.0}
+
+
+def _build(index_name: str, space: MetricSpace, **kwargs):
+    pivot_ids = select_pivots(space, N_PIVOTS, strategy="hfi", seed=3)
+    if index_name == "LAESA":
+        return LAESA.build(space, pivot_ids, **kwargs)
+    if index_name == "CPT":
+        return CPT.build(space, pivot_ids, **kwargs)
+    if index_name == "EPT":
+        return EPT.build(space, n_groups=N_PIVOTS, seed=3, **kwargs)
+    if index_name == "EPT*":
+        return EPTStar.build(space, n_pivots_per_object=N_PIVOTS, seed=3, **kwargs)
+    if index_name == "AESA":
+        return AESA.build(space, **kwargs)
+    raise ValueError(index_name)
+
+
+def _queries(space: MetricSpace, n: int = 6, seed: int = 99):
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(len(space), size=n, replace=False)
+    return [space.dataset[int(i)] for i in ids]
+
+
+def _answers(index, queries, radius, k):
+    return (
+        index.range_query_many(queries, radius),
+        [
+            [(nb.object_id, nb.distance) for nb in row]
+            for row in index.knn_query_many(queries, k)
+        ],
+    )
+
+
+@pytest.mark.parametrize("space_name", sorted(SPACES))
+@pytest.mark.parametrize("index_name", ["LAESA", "CPT", "EPT", "EPT*", "AESA"])
+def test_staged_equals_single_shot_equals_brute_force(space_name, index_name):
+    """The tentpole invariant, per metric x index family.
+
+    Three builds of the same index -- staged auto, staged triangle, and
+    the single-shot reference path -- must all return brute-force answers
+    for MRQ and MkNNQ.  Hamming runs too: its build must silently skip
+    the Ptolemaic machinery (is_ptolemaic=False) and still be exact.
+    """
+    radius, k = RADII[space_name], 10
+    space = SPACES[space_name]()
+    queries = _queries(space)
+    expected_range = brute_force_range_many(space, queries, radius)
+    expected_knn = [
+        [(nb.object_id, nb.distance) for nb in row]
+        for row in brute_force_knn_many(space, queries, k)
+    ]
+
+    variants = [{"bounds": "auto"}, {"bounds": "triangle"}]
+    if index_name != "AESA":  # AESA has no staged/single-shot split
+        variants.append({"bounds": "auto", "staged": False})
+    for kwargs in variants:
+        index = _build(index_name, SPACES[space_name](), **kwargs)
+        got_range, got_knn = _answers(index, queries, radius, k)
+        assert got_range == expected_range, (index_name, kwargs)
+        assert got_knn == expected_knn, (index_name, kwargs)
+        # sequential single-query calls agree with the batch path
+        assert index.range_query(queries[0], radius) == expected_range[0]
+
+
+@pytest.mark.parametrize("space_name", ["l2", "quadratic"])
+def test_ptolemaic_enabled_on_declaring_metrics(space_name):
+    index = _build("LAESA", SPACES[space_name](), bounds="auto")
+    assert index.pruner.use_ptolemaic
+    assert index.pruner.pair_matrix is not None
+    assert index.pruner.pairs.shape[0] > 0
+
+
+def test_hamming_skips_ptolemaic_stage():
+    """auto never turns the bound on unsoundly: no pair matrix, no pairs."""
+    index = _build("LAESA", _hamming_space(), bounds="auto")
+    assert not index.pruner.use_ptolemaic
+    assert index.pruner.pair_matrix is None
+    assert index.pruner.pairs.shape[0] == 0
+
+
+def test_ptolemaic_bounds_mode_rejected_for_non_ptolemaic_metric():
+    with pytest.raises(ValueError, match="is_ptolemaic"):
+        _build("LAESA", _hamming_space(), bounds="ptolemaic")
+    with pytest.raises(ValueError, match="is_ptolemaic"):
+        _build("EPT", _hamming_space(), bounds="ptolemaic")
+    with pytest.raises(ValueError, match="is_ptolemaic"):
+        _build("AESA", _hamming_space(), bounds="ptolemaic")
+
+
+def test_unknown_bounds_mode_rejected():
+    with pytest.raises(ValueError, match="bounds"):
+        StagedPruner(np.arange(3), 1, bounds="bogus")
+    with pytest.raises(ValueError, match="bounds"):
+        PerObjectStagedPruner(np.arange(3), 1, bounds="bogus")
+    with pytest.raises(ValueError, match="bounds"):
+        _build("AESA", _l2_space(), bounds="bogus")
+
+
+def test_ptolemaic_never_loosens_the_survivor_mask():
+    """auto's survivors are a subset of triangle's, and stage 4 fires."""
+    space = _l2_space()
+    queries = _queries(space, n=8)
+    tri = _build("LAESA", _l2_space(), bounds="triangle")
+    pto = _build("LAESA", _l2_space(), bounds="auto")
+    qmat = tri.mapping.map_query_many(queries)
+    radius = RADII["l2"]
+    tri_alive, _ = tri.pruner.masks_many_queries(qmat, tri._rows, radius)
+    counters = CostCounters()
+    pto_alive, _ = pto.pruner.masks_many_queries(
+        qmat, pto._rows, radius, counters=counters
+    )
+    assert not (pto_alive & ~tri_alive).any()
+    snap = counters.snapshot()
+    assert snap.prune_ptolemaic == int(tri_alive.sum() - pto_alive.sum())
+    assert snap.prune_ptolemaic > 0  # L2 at this radius: the stage pays
+
+
+def test_prune_stage_counters_flow_to_cost_snapshot():
+    space = _l2_space()
+    index = _build("LAESA", space, bounds="auto", use_validation=True)
+    space = index.space
+    space.counters.reset()
+    queries = _queries(space)
+    index.range_query_many(queries, RADII["l2"])
+    snap = space.counters.snapshot()
+    assert snap.prune_prefix > 0
+    assert snap.prune_prefix + snap.prune_refine + snap.prune_ptolemaic > 0
+    # sequential path records through the same cascade
+    before = snap
+    index.range_query(queries[0], RADII["l2"])
+    delta = space.counters.snapshot() - before
+    assert delta.prune_prefix + delta.prune_refine >= 0
+
+
+def test_validation_decides_only_survivors():
+    """Satellite: Lemma 4 runs cell-wise on undecided cells, never the
+    full table -- validated and surviving masks are disjoint and their
+    union is bounded by what stage 1/2 left alive."""
+    space = _l2_space()
+    index = _build("LAESA", space, bounds="auto", use_validation=True)
+    queries = _queries(index.space)
+    qmat = index.mapping.map_query_many(queries)
+    # a generous radius: Lemma 4's min_i (d(q,p_i) + d(o,p_i)) needs head
+    # room over the true distance before it can accept answers unverified
+    radius = 160.0
+    survivors, validated = index.pruner.masks_many_queries(
+        qmat, index._rows, radius, validate=True
+    )
+    assert not (survivors & validated).any()
+    assert validated.any()
+
+
+# -- zero-size normalization (satellite) --------------------------------------
+
+
+def test_lower_bound_many_zero_size_shapes():
+    q = np.asarray([1.0, 2.0])
+    for empty in (np.empty((0, 2)), np.empty(0), np.float64(3.0)):
+        out = lower_bound_many(q, empty)
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
+        out = upper_bound_many(q, empty)
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
+
+
+def test_masks_on_empty_tables():
+    pruner = StagedPruner(np.arange(3), 1)
+    alive, validated = pruner.masks_many_queries(
+        np.empty((0, 3)), np.empty((0, 3)), 1.0
+    )
+    assert alive.shape == (0, 0) and validated.shape == (0, 0)
+    alive, validated = pruner.masks_many(np.asarray([1.0, 2.0, 3.0]), np.empty(0), 1.0)
+    assert alive.shape == (0,) and validated.shape == (0,)
+
+
+def test_ptolemaic_pairs_skip_degenerate_denominators():
+    pair = np.array([[0.0, 0.0, 3.0], [0.0, 0.0, 4.0], [3.0, 4.0, 0.0]])
+    pairs = ptolemaic_pairs(pair, budget=8)
+    assert all(pair[i, j] > 0 for i, j in pairs)
+    assert [tuple(p) for p in pairs] == [(0, 2), (1, 2)]
+
+
+def test_ptolemaic_bound_is_a_true_lower_bound():
+    space = _l2_space()
+    index = _build("LAESA", space, bounds="auto")
+    space = index.space
+    q = _queries(space, n=1)[0]
+    qdists = index.mapping.map_query(q)
+    true_d = space.distance.one_to_many(q, space.dataset.objects)
+    bounds = ptolemaic_lower_bound_many(
+        qdists, index._rows, index.pruner.pair_matrix, pairs=index.pruner.pairs
+    )
+    assert (bounds <= true_d + 1e-9).all()
+
+
+# -- adaptive re-ranking -------------------------------------------------------
+
+
+def test_adaptive_rerank_keeps_answers_exact():
+    space = _l2_space()
+    index = _build("LAESA", space, bounds="auto")
+    space = index.space
+    index.pruner.enable_adaptive(interval=1)
+    queries = _queries(space, n=10)
+    expected = brute_force_range_many(space, queries, RADII["l2"])
+    for q in queries:  # sequential traffic drives per-pivot decided counts
+        index.range_query(q, RADII["l2"])
+    assert index.pruner.decided_counts.sum() > 0
+    assert index.range_query_many(queries, RADII["l2"]) == expected
+    stats = index.pruner.stats()
+    assert stats["adaptive"] is True
+    assert stats["reranks"] == index.pruner.reranks
+
+
+def test_adaptive_is_off_by_default():
+    index = _build("LAESA", _l2_space(), bounds="auto")
+    assert not index.pruner.adaptive
+    index.range_query(_queries(index.space, n=1)[0], RADII["l2"])
+    assert index.pruner.decided_counts.sum() == 0  # no bookkeeping unless asked
+
+
+# -- snapshots and the live service -------------------------------------------
+
+
+@pytest.mark.parametrize("index_name", ["LAESA", "EPT*"])
+def test_staged_pruner_survives_snapshot_roundtrip(tmp_path, index_name):
+    space = _l2_space()
+    index = _build(index_name, space, bounds="auto")
+    queries = _queries(index.space)
+    expected = _answers(index, queries, RADII["l2"], 5)
+    path = tmp_path / "staged.snap"
+    save_index(index, path)
+    counters = CostCounters()
+    restored = load_index(path, counters=counters)
+    assert counters.snapshot().distance_computations == 0
+    assert restored.pruner.use_ptolemaic
+    assert restored.pruner.stats() == index.pruner.stats()
+    assert _answers(restored, queries, RADII["l2"], 5) == expected
+
+
+def test_service_dispatcher_with_adaptive_pruning(tmp_path):
+    space = _l2_space()
+    index = _build("LAESA", space, bounds="auto")
+    space = index.space
+    queries = _queries(space, n=8)
+    expected = brute_force_range_many(space, queries, RADII["l2"])
+    with QueryService(index, cache_size=0, adaptive_pruning=True) as service:
+        assert index.pruner.adaptive
+        got = [service.range_query(q, RADII["l2"]) for q in queries]
+        stats = service.stats()
+    assert got == expected
+    assert stats["prune_stages"]["prefix"] > 0
+    (pruning,) = stats["pruning"]
+    assert pruning["index"] == "LAESA"
+    assert pruning["ptolemaic"] is True
+    assert pruning["adaptive"] is True
+
+
+def test_service_snapshot_restore_keeps_prune_stats(tmp_path):
+    index = _build("LAESA", _l2_space(), bounds="auto")
+    path = tmp_path / "svc.snap"
+    save_index(index, path)
+    with QueryService.from_snapshot(str(path), adaptive_pruning=True) as service:
+        q = _queries(service.index.space, n=1)[0]
+        service.range_query(q, RADII["l2"])
+        stats = service.stats()
+    assert stats["prune_stages"]["prefix"] > 0
+    assert stats["pruning"][0]["adaptive"] is True

@@ -58,8 +58,15 @@ class TestAESADetail:
 
 class TestLAESADetail:
     def test_range_compdists_is_pivots_plus_survivors(self, la, la_pivots):
-        """The exact accounting the paper's cost model uses."""
-        index = LAESA.build(MetricSpace(la, CostCounters()), la_pivots)
+        """The exact accounting the paper's cost model uses.
+
+        Pinned to ``bounds="triangle"`` so the survivor count is exactly
+        Lemma 1's -- under ``auto`` the Ptolemaic stage may (provably)
+        prune more, which is asserted separately below.
+        """
+        index = LAESA.build(
+            MetricSpace(la, CostCounters()), la_pivots, bounds="triangle"
+        )
         counters = index.space.counters
         q = la[9]
         radius = 500.0
@@ -72,6 +79,21 @@ class TestLAESADetail:
         survivors = int((lower_bound_many(qd, index.mapping.matrix) <= radius).sum())
         assert counters.distance_computations == len(la_pivots) + survivors
         assert set(result) <= set(range(len(la)))
+
+    def test_auto_bounds_verify_no_more_than_triangle(self, la, la_pivots):
+        """Ptolemaic stage 4 can only shrink the verified candidate set."""
+        answers = {}
+        compdists = {}
+        for bounds in ("triangle", "auto"):
+            index = LAESA.build(
+                MetricSpace(la, CostCounters()), la_pivots, bounds=bounds
+            )
+            counters = index.space.counters
+            counters.reset()
+            answers[bounds] = index.range_query(la[9], 500.0)
+            compdists[bounds] = counters.distance_computations
+        assert answers["auto"] == answers["triangle"]
+        assert compdists["auto"] <= compdists["triangle"]
 
     def test_pivot_rows_are_zero_at_pivot(self, la, la_pivots):
         index = LAESA.build(MetricSpace(la, CostCounters()), la_pivots)
